@@ -1,0 +1,114 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each figure is
+// printed as an aligned text table; -csv switches to CSV output.
+//
+// Usage:
+//
+//	figures -fig all            # everything at default scale
+//	figures -fig 8 -scale full  # one figure at paper scale
+//	figures -fig 5 -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure: 5..12, levelk, follower, overhead, all (paper figures), ext, everything")
+	scaleName := flag.String("scale", "default", "scenario scale: quick, default, full")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	outDir := flag.String("out", "", "also write each figure to <dir>/fig_<id>.txt (or .csv)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	type gen func() (*experiments.Table, error)
+	generators := map[string]gen{
+		"5":  func() (*experiments.Table, error) { return experiments.Fig5(), nil },
+		"6":  func() (*experiments.Table, error) { return experiments.Fig6(scale) },
+		"7":  func() (*experiments.Table, error) { return experiments.Fig7(scale), nil },
+		"8":  func() (*experiments.Table, error) { return experiments.Fig8(scale) },
+		"9":  func() (*experiments.Table, error) { return experiments.Fig9(scale), nil },
+		"10": func() (*experiments.Table, error) { return experiments.Fig10(scale) },
+		"11": func() (*experiments.Table, error) { return experiments.Fig11(scale) },
+		"12": func() (*experiments.Table, error) { return experiments.Fig12(scale) },
+		// Extensions beyond the paper's figures (see EXPERIMENTS.md).
+		"levelk":     func() (*experiments.Table, error) { return experiments.ExtLevelK(scale) },
+		"follower":   func() (*experiments.Table, error) { return experiments.ExtFollower(scale) },
+		"overhead":   func() (*experiments.Table, error) { return experiments.ExtRoamingOverhead(scale) },
+		"load":       func() (*experiments.Table, error) { return experiments.ExtLoad(scale) },
+		"interas":    func() (*experiments.Table, error) { return experiments.ExtInterAS(scale) },
+		"stackpi":    func() (*experiments.Table, error) { return experiments.ExtStackPi(scale) },
+		"spie":       func() (*experiments.Table, error) { return experiments.ExtSPIE(scale) },
+		"defenses":   func() (*experiments.Table, error) { return experiments.ExtAllDefenses(scale) },
+		"threshold":  func() (*experiments.Table, error) { return experiments.ExtThreshold(scale) },
+		"eq4":        func() (*experiments.Table, error) { return experiments.ExtEq4(scale) },
+		"deployment": func() (*experiments.Table, error) { return experiments.ExtDeployment(scale) },
+		"onoff":      func() (*experiments.Table, error) { return experiments.ExtOnOffValidation(scale) },
+	}
+	order := []string{"5", "6", "7", "8", "9", "10", "11", "12"}
+	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff"}
+
+	var selected []string
+	switch *fig {
+	case "all":
+		selected = order
+	case "ext":
+		selected = extOrder
+	case "everything":
+		selected = append(append([]string{}, order...), extOrder...)
+	default:
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := generators[f]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (have %v)\n", f, order)
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	for _, f := range selected {
+		start := time.Now()
+		tab, err := generators[f]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		var rendered string
+		ext := "txt"
+		if *csv {
+			rendered = fmt.Sprintf("# %s\n%s", tab.Title, tab.CSV())
+			ext = "csv"
+		} else {
+			rendered = tab.Render()
+		}
+		fmt.Println(rendered)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("fig_%s.%s", f, ext))
+			if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}

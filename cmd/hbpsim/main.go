@@ -1,0 +1,123 @@
+// Command hbpsim runs a single DDoS-defense simulation scenario and
+// prints the legitimate-throughput time series plus a run summary.
+//
+// Usage:
+//
+//	hbpsim -defense hbp -leaves 200 -attackers 25 -rate 0.1 -placement even
+//	hbpsim -defense pushback -placement close
+//	hbpsim -defense none
+//	hbpsim -defense hbp -onoff 0.5,6.5 -progressive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/topology"
+)
+
+func main() {
+	defense := flag.String("defense", "hbp", "defense scheme: hbp, pushback, pushback-levelk, stackpi, none")
+	leaves := flag.Int("leaves", 200, "number of end hosts in the tree")
+	attackers := flag.Int("attackers", 25, "number of attack hosts")
+	rate := flag.Float64("rate", 0.1, "per-attacker rate in Mb/s")
+	placement := flag.String("placement", "even", "attacker placement: even, close, far")
+	progressive := flag.Bool("progressive", false, "enable progressive back-propagation")
+	onoff := flag.String("onoff", "", "on-off attack 'ton,toff' in seconds (empty = continuous)")
+	red := flag.Bool("red", false, "use RED gateways instead of drop-tail")
+	showTrace := flag.Bool("trace", false, "print the defense's structured event log (hbp only)")
+	deployFrac := flag.Float64("deploy", 1.0, "fraction of ISPs deploying HBP (1 = everywhere)")
+	duration := flag.Float64("duration", 100, "run length in seconds")
+	epoch := flag.Float64("epoch", 10, "roaming epoch length m in seconds")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultTreeConfig()
+	cfg.Topology.Leaves = *leaves
+	cfg.NumAttackers = *attackers
+	cfg.AttackRate = *rate * 1e6
+	cfg.Duration = *duration
+	if *duration < cfg.AttackEnd {
+		cfg.AttackEnd = *duration * 0.95
+	}
+	cfg.Pool.EpochLen = *epoch
+	cfg.Progressive = *progressive
+	cfg.REDQueues = *red
+	cfg.DeployFraction = *deployFrac
+	cfg.Seed = *seed
+	cfg.TraceCap = 0
+	if *showTrace {
+		cfg.TraceCap = 2000
+	}
+
+	switch *defense {
+	case "hbp":
+		cfg.Defense = experiments.HBP
+	case "pushback":
+		cfg.Defense = experiments.Pushback
+	case "pushback-levelk":
+		cfg.Defense = experiments.PushbackLevelK
+	case "stackpi":
+		cfg.Defense = experiments.StackPiFilter
+	case "none":
+		cfg.Defense = experiments.NoDefense
+	default:
+		fmt.Fprintf(os.Stderr, "unknown defense %q\n", *defense)
+		os.Exit(2)
+	}
+	switch *placement {
+	case "even":
+		cfg.Placement = topology.Even
+	case "close":
+		cfg.Placement = topology.Close
+	case "far":
+		cfg.Placement = topology.Far
+	default:
+		fmt.Fprintf(os.Stderr, "unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+	if *onoff != "" {
+		var ton, toff float64
+		if _, err := fmt.Sscanf(strings.ReplaceAll(*onoff, ",", " "), "%f %f", &ton, &toff); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -onoff %q: %v\n", *onoff, err)
+			os.Exit(2)
+		}
+		cfg.OnOff = &experiments.OnOffSpec{Ton: ton, Toff: toff}
+	}
+
+	res, err := experiments.RunTree(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario: %v, %d clients, %d attackers (%s) at %.2f Mb/s each\n",
+		cfg.Defense, cfg.Topology.Leaves-cfg.NumAttackers, cfg.NumAttackers,
+		cfg.Placement, cfg.AttackRate/1e6)
+	fmt.Printf("attack window: %.0f..%.0f s of %.0f s\n\n", cfg.AttackStart, cfg.AttackEnd, cfg.Duration)
+	fmt.Println("time(s)  client throughput (% of bottleneck)")
+	s := res.Throughput
+	for i := range s.Times {
+		bar := strings.Repeat("#", int(s.Values[i]*60))
+		fmt.Printf("%6.0f  %5.1f  %s\n", s.Times[i], 100*s.Values[i], bar)
+	}
+	fmt.Printf("\nmean before attack: %.1f%%\n", 100*res.MeanBefore)
+	fmt.Printf("mean during attack: %.1f%%\n", 100*res.MeanDuringAttack)
+	fmt.Printf("captures: %d/%d", len(res.Captures), cfg.NumAttackers)
+	if len(res.CaptureTimes) > 0 {
+		var max float64
+		for _, ct := range res.CaptureTimes {
+			if ct > max {
+				max = ct
+			}
+		}
+		fmt.Printf(" (last at +%.1f s after attack start)", max)
+	}
+	fmt.Printf("\ncontrol messages: %d, queue drops: %d\n", res.CtrlMessages, res.QueueDrops)
+	if *showTrace && res.Trace != nil {
+		fmt.Printf("\ndefense event log (%d events, %d evicted):\n%s", res.Trace.Len(), res.Trace.Dropped(), res.Trace.String())
+	}
+}

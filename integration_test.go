@@ -1,0 +1,172 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/tcp"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// TestEndToEndHeadlineResult is the cross-module integration test of
+// the paper's headline claim at reduced scale: under a spoofing DDoS
+// flood, honeypot back-propagation captures every attacker within a
+// few roaming epochs and client throughput recovers, while the
+// undefended network stays degraded for the whole attack.
+func TestEndToEndHeadlineResult(t *testing.T) {
+	run := func(d experiments.DefenseKind) *experiments.TreeResult {
+		cfg := experiments.DefaultTreeConfig()
+		cfg.Topology.Leaves = 80
+		cfg.NumAttackers = 16
+		cfg.AttackRate = 0.3e6
+		cfg.Defense = d
+		cfg.TraceCap = 10000
+		r, err := experiments.RunTree(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	hbp := run(experiments.HBP)
+	none := run(experiments.NoDefense)
+
+	if len(hbp.Captures) != 16 {
+		t.Fatalf("HBP captured %d/16", len(hbp.Captures))
+	}
+	if hbp.MeanDuringAttack < none.MeanDuringAttack+0.03 {
+		t.Fatalf("HBP %.3f vs no-defense %.3f: no clear win", hbp.MeanDuringAttack, none.MeanDuringAttack)
+	}
+	// Recovery: the tail of the attack window is back near pre-attack.
+	tail := hbp.Throughput.MeanBetween(60, 90)
+	if tail < 0.9*hbp.MeanBefore {
+		t.Fatalf("no recovery: tail %.3f vs before %.3f", tail, hbp.MeanBefore)
+	}
+	// The trace tells the same story: a capture per attacker, sessions
+	// opened before them.
+	if hbp.Trace == nil {
+		t.Fatal("trace missing")
+	}
+	counts := hbp.Trace.Count()
+	if counts[trace.Captured] != 16 {
+		t.Fatalf("trace has %d captures", counts[trace.Captured])
+	}
+	if counts[trace.SessionOpened] < counts[trace.Captured] {
+		t.Fatal("fewer sessions than captures")
+	}
+}
+
+// TestEndToEndTCPUnderDefense drives a TCP client through a full
+// attack-and-defense cycle: goodput collapses when the flood starts
+// and recovers after the zombies are captured.
+func TestEndToEndTCPUnderDefense(t *testing.T) {
+	sim := des.New()
+	p := topology.DefaultParams()
+	p.Leaves = 40
+	// Narrow the bottleneck so a few zombies can crush it.
+	p.Bottleneck.Bandwidth = 2e6
+	tr := topology.NewTree(sim, p)
+	pcfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.3, Epochs: 30, ChainSeed: []byte("e2e")}
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []*roaming.ServerAgent
+	for _, s := range tr.Servers {
+		a := roaming.NewServerAgent(pool, s)
+		tcp.NewServerEndpoint(a)
+		agents = append(agents, a)
+	}
+	def.DeployAll(agents)
+
+	attackHosts, clientHosts := tr.PlaceAttackers(8, topology.Even, 1)
+	rng := des.NewRNG(2)
+	sub, err := pool.Issue(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tcp.NewEndpoint(clientHosts[0])
+	client := tcp.NewRoamingClient(e, sub, tr.Servers, 1, tcp.SenderConfig{}, rng)
+
+	spoof := make([]netsim.NodeID, len(tr.Leaves))
+	for i, l := range tr.Leaves {
+		spoof[i] = l.ID
+	}
+	var zombies []*traffic.Attacker
+	for _, h := range attackHosts {
+		zombies = append(zombies, traffic.NewAttacker(h, tr.Servers,
+			traffic.AttackerConfig{Rate: 0.5e6, Size: 500, SpoofSpace: spoof}, rng))
+	}
+
+	pool.Start()
+	sim.At(0.01, func() { client.Start(pcfg.EpochLen) })
+	// Phase 1: clean network.
+	if err := sim.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	clean := client.Sender.GoodputBytes()
+	// Phase 2: attack.
+	sim.At(sim.Now(), func() {
+		for _, z := range zombies {
+			z.Start()
+		}
+	})
+	if err := sim.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	duringAttack := client.Sender.GoodputBytes() - clean
+	// Phase 3: give every zombie's target time to take a honeypot
+	// turn (12 epochs makes a miss vanishingly unlikely), then
+	// measure the recovered regime over a window equal to phase 2.
+	if err := sim.RunUntil(180); err != nil {
+		t.Fatal(err)
+	}
+	atRecoveryStart := client.Sender.GoodputBytes()
+	if err := sim.RunUntil(210); err != nil {
+		t.Fatal(err)
+	}
+	after := client.Sender.GoodputBytes() - atRecoveryStart
+	if len(def.Captures()) != len(zombies) {
+		t.Fatalf("captured %d/%d zombies", len(def.Captures()), len(zombies))
+	}
+	if duringAttack >= clean {
+		t.Fatalf("attack did not hurt TCP goodput: clean=%d during=%d", clean, duringAttack)
+	}
+	if after <= duringAttack {
+		t.Fatalf("TCP goodput did not recover after captures: during=%d after=%d", duringAttack, after)
+	}
+}
+
+// TestAnalysisPredictsSimulation ties the closed-form model to the
+// packet simulation: the Eq. (3) bound holds for a measured run.
+func TestAnalysisPredictsSimulation(t *testing.T) {
+	cfg := experiments.DefaultValidationConfig()
+	cfg.Hops = 8
+	cfg.EpochLen = 30
+	cfg.HoneypotProb = 0.4
+	cfg.Runs = 5
+	r, err := experiments.RunValidation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Captured != cfg.Runs {
+		t.Fatalf("captured %d/%d", r.Captured, cfg.Runs)
+	}
+	if r.MeanCT > r.Model.ECT*1.5 {
+		t.Fatalf("measured %.1f s far above the Eq.(3) bound %.1f s", r.MeanCT, r.Model.ECT)
+	}
+	// The metrics helpers agree on simple aggregates.
+	if metrics.Mean([]float64{r.MeanCT}) != r.MeanCT {
+		t.Fatal("metrics plumbing broken")
+	}
+}

@@ -1,0 +1,253 @@
+// Package analysis implements the closed-form expected capture-time
+// model of Sec. 7: Bernoulli-trial bounds on the time for honeypot
+// back-propagation (basic and progressive) to reach and stop an
+// attack host under continuous, on-off, and follower attacks —
+// Eqs. (1) through (12) of the paper.
+//
+// Conventions: m is the epoch length in seconds, p the honeypot
+// probability (N−k)/N, r the per-host attack rate in packets/s, h the
+// attacker's hop distance, and τ the average per-hop session-setup
+// time. The per-hop traceback cost is 1/r + τ: wait for an attack
+// packet, then propagate one hop.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params are the model parameters shared by all attack shapes.
+type Params struct {
+	// M is the epoch length m in seconds.
+	M float64
+	// P is the honeypot probability p = (N-k)/N.
+	P float64
+	// R is the attack rate in packets per second.
+	R float64
+	// H is the attacker's hop distance from the victim.
+	H int
+	// Tau is the average per-hop propagation/session-setup time τ.
+	Tau float64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.M <= 0:
+		return errors.New("analysis: epoch length must be positive")
+	case p.P <= 0 || p.P > 1:
+		return errors.New("analysis: honeypot probability must be in (0,1]")
+	case p.R <= 0:
+		return errors.New("analysis: attack rate must be positive")
+	case p.H < 1:
+		return errors.New("analysis: hop distance must be >= 1")
+	case p.Tau < 0:
+		return errors.New("analysis: tau must be non-negative")
+	}
+	return nil
+}
+
+// PerHop returns the time to progress one hop: 1/r + τ.
+func (p Params) PerHop() float64 { return 1/p.R + p.Tau }
+
+// Result is a capture-time estimate plus the validity of the closed
+// form's applicability condition. When Valid is false the formula's
+// precondition (enough attack–honeypot overlap to make progress) does
+// not hold and the estimate is not meaningful — the attacker may be
+// untraceable by that scheme.
+type Result struct {
+	// ECT is the expected capture time in seconds.
+	ECT float64
+	// Valid reports whether the equation's applicability condition
+	// holds for the given parameters.
+	Valid bool
+	// Eq names the paper equation used, e.g. "Eq.(4)".
+	Eq string
+}
+
+func (r Result) String() string {
+	v := ""
+	if !r.Valid {
+		v = " (condition violated)"
+	}
+	return fmt.Sprintf("%s E[CT]=%.3gs%s", r.Eq, r.ECT, v)
+}
+
+// BasicContinuous is Eq. (3): under a continuous attack the basic
+// scheme needs one honeypot epoch long enough to trace all h hops;
+// E[CT] ≈ m/p, valid when m ≥ h(1/r + τ).
+func BasicContinuous(p Params) Result {
+	mustValidate(p)
+	return Result{
+		ECT:   p.M / p.P,
+		Valid: p.M >= float64(p.H)*p.PerHop(),
+		Eq:    "Eq.(3)",
+	}
+}
+
+// ProgressiveContinuous is Eq. (4): hops accumulate across epochs;
+// E[CT] ≈ (m/p) · h / (m/(1/r+τ)) = h(1/r+τ)/p, valid when
+// m ≥ 1/r + τ.
+func ProgressiveContinuous(p Params) Result {
+	mustValidate(p)
+	return Result{
+		ECT:   float64(p.H) * p.PerHop() / p.P,
+		Valid: p.M >= p.PerHop(),
+		Eq:    "Eq.(4)",
+	}
+}
+
+// OnOffCase identifies which regime of Sec. 7.3 applies.
+type OnOffCase int
+
+const (
+	// Case1 is m ≤ t_on/2: epochs are short relative to bursts.
+	Case1 OnOffCase = iota + 1
+	// Case2 is t_on/2 < m ≤ t_on + t_off: each burst overlaps exactly
+	// one epoch.
+	Case2
+	// Case3 is m > t_on + t_off: each epoch overlaps several bursts.
+	Case3
+)
+
+func (c OnOffCase) String() string { return fmt.Sprintf("case %d", int(c)) }
+
+// ClassifyOnOff returns the regime for the given epoch length and
+// burst pattern.
+func ClassifyOnOff(m, ton, toff float64) OnOffCase {
+	switch {
+	case m <= ton/2:
+		return Case1
+	case m <= ton+toff:
+		return Case2
+	default:
+		return Case3
+	}
+}
+
+// BasicOnOff evaluates Eqs. (5), (7-basic) and (10) by regime.
+func BasicOnOff(p Params, ton, toff float64) Result {
+	mustValidate(p)
+	mustOnOff(ton, toff)
+	need := float64(p.H) * p.PerHop()
+	switch ClassifyOnOff(p.M, ton, toff) {
+	case Case1:
+		// Eq. (5): trial per burst; overlap per success ≈ p(t_on−m).
+		return Result{
+			ECT:   (ton + toff) / p.P,
+			Valid: p.M >= need,
+			Eq:    "Eq.(5)",
+		}
+	case Case2:
+		// Eq. (7), basic half: overlap per success ≥ t_on/2.
+		return Result{
+			ECT:   (ton + toff) / p.P,
+			Valid: ton/2 >= need,
+			Eq:    "Eq.(7)",
+		}
+	default:
+		// Eq. (10): trial per epoch; overlap per success ≥ T_m.
+		return Result{
+			ECT:   p.M / p.P,
+			Valid: overlapPerEpoch(p.M, ton, toff) >= need,
+			Eq:    "Eq.(10)",
+		}
+	}
+}
+
+// ProgressiveOnOff evaluates Eqs. (6), (7-progressive), and (11) by
+// regime. The "best attack strategy" special case of Eq. (9) —
+// t_on/2 = 1/r + τ with t_off maximized — falls inside Case 2 and is
+// reported through SpecialCaseOnOff.
+func ProgressiveOnOff(p Params, ton, toff float64) Result {
+	mustValidate(p)
+	mustOnOff(ton, toff)
+	h := float64(p.H)
+	perHop := p.PerHop()
+	switch ClassifyOnOff(p.M, ton, toff) {
+	case Case1:
+		// Eq. (6): hops per burst = p(t_on−m)/(1/r+τ).
+		overlap := p.P * (ton - p.M)
+		valid := overlap >= perHop*p.P // at least one hop per success
+		if overlap <= 0 {
+			return Result{ECT: math.Inf(1), Valid: false, Eq: "Eq.(6)"}
+		}
+		return Result{
+			ECT:   (ton + toff) * h * perHop / overlap,
+			Valid: valid && ton-p.M >= perHop,
+			Eq:    "Eq.(6)",
+		}
+	case Case2:
+		// Eq. (7): hops per success = (t_on/2)/(1/r+τ), success prob p.
+		hopsPerSuccess := (ton / 2) / perHop
+		if hopsPerSuccess <= 0 {
+			return Result{ECT: math.Inf(1), Valid: false, Eq: "Eq.(7)"}
+		}
+		return Result{
+			ECT:   (ton + toff) / p.P * h / hopsPerSuccess,
+			Valid: ton/2 >= perHop,
+			Eq:    "Eq.(7)",
+		}
+	default:
+		// Eq. (11): hops per epoch ≈ T_m/(1/r+τ), success prob p.
+		tm := overlapPerEpoch(p.M, ton, toff)
+		if tm <= 0 {
+			return Result{ECT: math.Inf(1), Valid: false, Eq: "Eq.(11)"}
+		}
+		return Result{
+			ECT:   p.M / p.P * h / (tm / perHop),
+			Valid: tm >= perHop,
+			Eq:    "Eq.(11)",
+		}
+	}
+}
+
+// SpecialCaseOnOff is Eq. (9): the attacker's best strategy shrinks
+// t_on to exactly 2(1/r+τ) (one hop of progress per overlapped burst)
+// and stretches t_off as far as the regime allows, giving
+// E[CT] = h(t_on + t_off)/p.
+func SpecialCaseOnOff(p Params, toff float64) Result {
+	mustValidate(p)
+	ton := 2 * p.PerHop()
+	return Result{
+		ECT:   float64(p.H) * (ton + toff) / p.P,
+		Valid: ClassifyOnOff(p.M, ton, toff) == Case2,
+		Eq:    "Eq.(9)",
+	}
+}
+
+// ProgressiveFollower is Eq. (12): an attacker that stops d_follow
+// seconds after each honeypot epoch starts concedes
+// d_follow/(1/r+τ) hops per success.
+func ProgressiveFollower(p Params, dfollow float64) Result {
+	mustValidate(p)
+	if dfollow < 0 {
+		panic("analysis: negative follower delay")
+	}
+	perHop := p.PerHop()
+	hops := math.Max(1, dfollow/perHop)
+	return Result{
+		ECT:   p.M / p.P * float64(p.H) / hops,
+		Valid: dfollow >= perHop,
+		Eq:    "Eq.(12)",
+	}
+}
+
+// overlapPerEpoch is T_m of Case 3: the guaranteed burst overlap
+// within one epoch, t_on·⌊m/(t_on+t_off)⌋.
+func overlapPerEpoch(m, ton, toff float64) float64 {
+	return ton * math.Floor(m/(ton+toff))
+}
+
+func mustValidate(p Params) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+func mustOnOff(ton, toff float64) {
+	if ton <= 0 || toff < 0 {
+		panic("analysis: need positive t_on and non-negative t_off")
+	}
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params { return Params{M: 100, P: 0.4, R: 100, H: 10, Tau: 0.1} }
+
+func TestValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{M: 0, P: 0.4, R: 100, H: 10},
+		{M: 10, P: 0, R: 100, H: 10},
+		{M: 10, P: 1.5, R: 100, H: 10},
+		{M: 10, P: 0.4, R: 0, H: 10},
+		{M: 10, P: 0.4, R: 100, H: 0},
+		{M: 10, P: 0.4, R: 100, H: 10, Tau: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestPerHop(t *testing.T) {
+	p := params()
+	if got := p.PerHop(); math.Abs(got-0.11) > 1e-12 {
+		t.Fatalf("PerHop = %v, want 0.11", got)
+	}
+}
+
+func TestBasicContinuous(t *testing.T) {
+	p := params()
+	r := BasicContinuous(p)
+	if math.Abs(r.ECT-250) > 1e-9 { // m/p = 100/0.4
+		t.Fatalf("E[CT] = %v, want 250", r.ECT)
+	}
+	if !r.Valid { // m=100 >= 10*0.11
+		t.Fatal("condition should hold")
+	}
+	// Condition violated when the epoch is too short for h hops.
+	p2 := p
+	p2.M = 1
+	p2.R = 1 // per-hop 1.1 s; need 11 s > 1 s
+	if BasicContinuous(p2).Valid {
+		t.Fatal("violated condition reported valid")
+	}
+}
+
+func TestProgressiveContinuous(t *testing.T) {
+	p := params()
+	r := ProgressiveContinuous(p)
+	want := 10 * 0.11 / 0.4 // = 2.75 s
+	if math.Abs(r.ECT-want) > 1e-9 {
+		t.Fatalf("E[CT] = %v, want %v", r.ECT, want)
+	}
+	if !r.Valid {
+		t.Fatal("condition should hold")
+	}
+	// Progressive is never slower than basic when both valid.
+	b := BasicContinuous(p)
+	if r.ECT > b.ECT {
+		t.Fatal("progressive slower than basic under continuous attack")
+	}
+}
+
+func TestClassifyOnOff(t *testing.T) {
+	if c := ClassifyOnOff(1, 10, 5); c != Case1 { // m <= ton/2
+		t.Fatalf("got %v", c)
+	}
+	if c := ClassifyOnOff(8, 10, 5); c != Case2 { // ton/2 < m <= ton+toff
+		t.Fatalf("got %v", c)
+	}
+	if c := ClassifyOnOff(100, 10, 5); c != Case3 {
+		t.Fatalf("got %v", c)
+	}
+	// Boundaries.
+	if c := ClassifyOnOff(5, 10, 5); c != Case1 {
+		t.Fatalf("m=ton/2 should be case 1, got %v", c)
+	}
+	if c := ClassifyOnOff(15, 10, 5); c != Case2 {
+		t.Fatalf("m=ton+toff should be case 2, got %v", c)
+	}
+}
+
+func TestProgressiveOnOffCase1(t *testing.T) {
+	// m=1 <= ton/2 with ton=10.
+	p := params()
+	p.M = 1
+	r := ProgressiveOnOff(p, 10, 5)
+	// Eq.(6): (ton+toff) * h*(1/r+τ) / (p*(ton-m))
+	want := 15 * 10 * 0.11 / (0.4 * 9)
+	if math.Abs(r.ECT-want) > 1e-9 {
+		t.Fatalf("case1 E[CT] = %v, want %v", r.ECT, want)
+	}
+	if r.Eq != "Eq.(6)" || !r.Valid {
+		t.Fatalf("unexpected %+v", r)
+	}
+}
+
+func TestProgressiveOnOffCase2(t *testing.T) {
+	p := params() // m=100
+	ton, toff := 150.0, 10.0
+	r := ProgressiveOnOff(p, ton, toff)
+	// Eq.(7): (ton+toff)/p * h / ((ton/2)/(perHop))
+	want := (ton + toff) / 0.4 * 10 / ((ton / 2) / 0.11)
+	if math.Abs(r.ECT-want) > 1e-9 {
+		t.Fatalf("case2 E[CT] = %v, want %v", r.ECT, want)
+	}
+	if r.Eq != "Eq.(7)" {
+		t.Fatalf("wrong equation %s", r.Eq)
+	}
+}
+
+func TestProgressiveOnOffCase3(t *testing.T) {
+	p := params() // m=100
+	ton, toff := 2.0, 8.0
+	r := ProgressiveOnOff(p, ton, toff)
+	tm := 2.0 * math.Floor(100/10.0) // 20 s overlap per epoch
+	want := 100 / 0.4 * 10 / (tm / 0.11)
+	if math.Abs(r.ECT-want) > 1e-9 {
+		t.Fatalf("case3 E[CT] = %v, want %v", r.ECT, want)
+	}
+	if r.Eq != "Eq.(11)" || !r.Valid {
+		t.Fatalf("unexpected %+v", r)
+	}
+}
+
+func TestSpecialCase(t *testing.T) {
+	p := params()
+	toff := 150.0
+	r := SpecialCaseOnOff(p, toff)
+	ton := 2 * 0.11
+	want := 10 * (ton + toff) / 0.4
+	if math.Abs(r.ECT-want) > 1e-9 {
+		t.Fatalf("Eq.(9) = %v, want %v", r.ECT, want)
+	}
+	if !r.Valid {
+		t.Fatal("special case should sit in case 2")
+	}
+}
+
+func TestBestStrategyIsWorstForDefender(t *testing.T) {
+	// The paper's claim (Sec. 7.4): the special-case strategy yields
+	// the largest capture time among on-off strategies with the same
+	// t_off, and dominates the continuous attack.
+	p := params()
+	toff := 150.0
+	special := SpecialCaseOnOff(p, toff)
+	cont := ProgressiveContinuous(p)
+	if special.ECT <= cont.ECT {
+		t.Fatalf("special case (%.1f) should exceed continuous (%.1f)", special.ECT, cont.ECT)
+	}
+	for _, ton := range []float64{1, 2, 5, 10, 50, 150, 190, 260} {
+		r := ProgressiveOnOff(p, ton, toff)
+		if r.Valid && r.ECT > special.ECT*1.01 {
+			t.Fatalf("t_on=%v gives %.1f, exceeding special case %.1f", ton, r.ECT, special.ECT)
+		}
+	}
+}
+
+func TestLongerOffTimeSlowsCapture(t *testing.T) {
+	p := params()
+	for _, ton := range []float64{1, 5, 20, 150} {
+		r5 := ProgressiveOnOff(p, ton, 5)
+		r10 := ProgressiveOnOff(p, ton, 10)
+		if !math.IsInf(r5.ECT, 1) && !math.IsInf(r10.ECT, 1) && r10.ECT < r5.ECT-1e-9 {
+			t.Fatalf("t_on=%v: t_off=10 (%.2f) faster than t_off=5 (%.2f)", ton, r10.ECT, r5.ECT)
+		}
+	}
+}
+
+func TestFollower(t *testing.T) {
+	p := params()
+	r := ProgressiveFollower(p, 1.1) // 10 hops worth of delay
+	want := 100.0 / 0.4 * 10 / (1.1 / 0.11)
+	if math.Abs(r.ECT-want) > 1e-9 {
+		t.Fatalf("follower E[CT] = %v, want %v", r.ECT, want)
+	}
+	if !r.Valid {
+		t.Fatal("condition should hold")
+	}
+	// A follower reacting faster than one per-hop time concedes at
+	// most one hop per epoch: max(1, ·) clamps.
+	r2 := ProgressiveFollower(p, 0.01)
+	want2 := 100.0 / 0.4 * 10 / 1
+	if math.Abs(r2.ECT-want2) > 1e-9 {
+		t.Fatalf("clamped follower = %v, want %v", r2.ECT, want2)
+	}
+	if r2.Valid {
+		t.Fatal("sub-per-hop follower delay should violate the condition")
+	}
+}
+
+func TestCaseContinuity(t *testing.T) {
+	// Across the case-1/case-2 boundary (m = ton/2) the two formulas
+	// should be of the same order (the paper's bounds are conservative
+	// but continuous in structure).
+	p := params()
+	p.M = 10
+	toff := 5.0
+	r1 := ProgressiveOnOff(p, 20.0000001, toff) // just case 1 (m <= ton/2)
+	r2 := ProgressiveOnOff(p, 19.9999999, toff) // just case 2
+	if r1.ECT <= 0 || r2.ECT <= 0 {
+		t.Fatal("non-positive estimates at boundary")
+	}
+	ratio := r1.ECT / r2.ECT
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("discontinuity at case boundary: %v vs %v", r1.ECT, r2.ECT)
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	// E[CT] grows with h and shrinks with p for every scheme.
+	f := func(hRaw, pRaw uint8) bool {
+		h1 := int(hRaw)%20 + 1
+		h2 := h1 + 5
+		p1 := 0.1 + float64(pRaw%8)/10 // 0.1 .. 0.8
+		base := Params{M: 100, P: p1, R: 100, H: h1, Tau: 0.1}
+		bigger := base
+		bigger.H = h2
+		if ProgressiveContinuous(bigger).ECT < ProgressiveContinuous(base).ECT {
+			return false
+		}
+		lowerP := base
+		lowerP.P = p1 / 2
+		if ProgressiveContinuous(lowerP).ECT < ProgressiveContinuous(base).ECT {
+			return false
+		}
+		if BasicContinuous(lowerP).ECT < BasicContinuous(base).ECT {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5Series(t *testing.T) {
+	p := Fig5Params()
+	tons := Fig5TonSweep(p)
+	if len(tons) < 20 {
+		t.Fatalf("sweep too small: %d", len(tons))
+	}
+	s5 := Fig5Series(p, 5, tons)
+	s10 := Fig5Series(p, 10, tons)
+	if len(s5) != len(tons) || len(s10) != len(tons) {
+		t.Fatal("series length mismatch")
+	}
+	// All three regimes must appear in the sweep.
+	seen := map[OnOffCase]bool{}
+	for _, pt := range s10 {
+		seen[pt.Case] = true
+	}
+	for c := Case1; c <= Case3; c++ {
+		if !seen[c] {
+			t.Fatalf("regime %v missing from Fig. 5 sweep", c)
+		}
+	}
+	// For every t_on the longer off-time is at least as slow.
+	for i := range s5 {
+		if !math.IsInf(s5[i].OnOff.ECT, 1) && s10[i].OnOff.ECT < s5[i].OnOff.ECT-1e-9 {
+			t.Fatalf("t_on=%v: t_off=10 faster than t_off=5", s5[i].Ton)
+		}
+	}
+}
+
+func TestPanicsOnInvalid(t *testing.T) {
+	bad := Params{}
+	for i, f := range []func(){
+		func() { BasicContinuous(bad) },
+		func() { ProgressiveContinuous(bad) },
+		func() { BasicOnOff(params(), 0, 5) },
+		func() { ProgressiveOnOff(params(), 1, -1) },
+		func() { ProgressiveFollower(params(), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := BasicContinuous(params())
+	if r.String() == "" {
+		t.Fatal("empty Result string")
+	}
+	r.Valid = false
+	if r.String() == "" {
+		t.Fatal("empty invalid Result string")
+	}
+}
+
+func TestBasicOnOffRegimes(t *testing.T) {
+	p := params()
+	p.M = 1
+	if r := BasicOnOff(p, 10, 5); r.Eq != "Eq.(5)" {
+		t.Fatalf("case1 used %s", r.Eq)
+	}
+	p.M = 12
+	if r := BasicOnOff(p, 10, 5); r.Eq != "Eq.(7)" {
+		t.Fatalf("case2 used %s", r.Eq)
+	}
+	p.M = 100
+	if r := BasicOnOff(p, 10, 5); r.Eq != "Eq.(10)" {
+		t.Fatalf("case3 used %s", r.Eq)
+	}
+}

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// The Fig. 5 setting: how long until a continuous attacker 10 hops
+// away is captured, in expectation?
+func ExampleProgressiveContinuous() {
+	p := analysis.Params{M: 100, P: 0.4, R: 100, H: 10, Tau: 0.1}
+	r := analysis.ProgressiveContinuous(p)
+	fmt.Printf("%s valid=%v E[CT]=%.2fs\n", r.Eq, r.Valid, r.ECT)
+	// Output: Eq.(4) valid=true E[CT]=2.75s
+}
+
+// The attacker's best strategy (Eq. 9): shrink bursts to two per-hop
+// times and stretch the silence.
+func ExampleSpecialCaseOnOff() {
+	p := analysis.Params{M: 100, P: 0.4, R: 100, H: 10, Tau: 0.1}
+	r := analysis.SpecialCaseOnOff(p, 150)
+	fmt.Printf("%s E[CT]=%.1fs\n", r.Eq, r.ECT)
+	// Output: Eq.(9) E[CT]=3755.5s
+}
+
+// Epoch lengths select the on-off analysis regime.
+func ExampleClassifyOnOff() {
+	fmt.Println(analysis.ClassifyOnOff(1, 10, 5))
+	fmt.Println(analysis.ClassifyOnOff(8, 10, 5))
+	fmt.Println(analysis.ClassifyOnOff(100, 10, 5))
+	// Output:
+	// case 1
+	// case 2
+	// case 3
+}

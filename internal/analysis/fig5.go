@@ -1,0 +1,51 @@
+package analysis
+
+// Fig5Point is one point of the Fig. 5 comparison: progressive
+// back-propagation capture time as a function of the attack on-burst
+// duration, for a fixed off time, against the continuous-attack
+// horizontal line.
+type Fig5Point struct {
+	Ton float64
+	// OnOff is E[CT] of the on-off attack at this t_on.
+	OnOff Result
+	// Case is the Sec. 7.3 regime at this t_on.
+	Case OnOffCase
+}
+
+// Fig5Params reproduces the paper's Fig. 5 setting: m = 100 s, N = 5,
+// k = 3 (p = 0.4), r = 100 pkt/s, h = 10, with τ defaulting to 0.1 s
+// (the paper does not print its τ; 0.1 s reproduces the reported
+// crossover structure).
+func Fig5Params() Params {
+	return Params{M: 100, P: 0.4, R: 100, H: 10, Tau: 0.1}
+}
+
+// Fig5Series evaluates progressive E[CT] over a t_on sweep for one
+// t_off, per Eqs. (6), (7) and (11).
+func Fig5Series(p Params, toff float64, tons []float64) []Fig5Point {
+	out := make([]Fig5Point, 0, len(tons))
+	for _, ton := range tons {
+		out = append(out, Fig5Point{
+			Ton:   ton,
+			OnOff: ProgressiveOnOff(p, ton, toff),
+			Case:  ClassifyOnOff(p.M, ton, toff),
+		})
+	}
+	return out
+}
+
+// Fig5TonSweep returns the default t_on grid of the figure (0.2 s to
+// beyond 2m so all three cases appear).
+func Fig5TonSweep(p Params) []float64 {
+	var tons []float64
+	for t := 0.2; t <= 2.0; t += 0.2 {
+		tons = append(tons, t)
+	}
+	for t := 2.5; t <= 20; t += 0.5 {
+		tons = append(tons, t)
+	}
+	for t := 25.0; t <= 2.5*p.M; t += 5 {
+		tons = append(tons, t)
+	}
+	return tons
+}

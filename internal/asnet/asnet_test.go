@@ -1,0 +1,316 @@
+package asnet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// chainTopo builds a chain of transit ASes with a stub at each end:
+// stub0(server) - t1 - t2 - ... - tN - stubA(attacker).
+func chainTopo(t testing.TB, transits int) (*des.Simulator, *Graph, *AS, *AS) {
+	t.Helper()
+	sim := des.New()
+	g := NewGraph(sim)
+	serverAS := g.AddAS(false)
+	prev := serverAS
+	for i := 0; i < transits; i++ {
+		tr := g.AddAS(true)
+		g.Connect(prev, tr)
+		prev = tr
+	}
+	attackerAS := g.AddAS(false)
+	g.Connect(prev, attackerAS)
+	g.ComputeRoutes()
+	return sim, g, serverAS, attackerAS
+}
+
+func testSchedule(t testing.TB, m float64, epochs int) *Schedule {
+	t.Helper()
+	s, err := NewSchedule([]byte("asnet-test"), 2, 1, 0, m, 0.2, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGraphRouting(t *testing.T) {
+	_, g, serverAS, attackerAS := chainTopo(t, 4)
+	if got := g.Hops(attackerAS.ID, serverAS.ID); got != 5 {
+		t.Fatalf("hops = %d, want 5", got)
+	}
+	path := g.Path(attackerAS.ID, serverAS.ID)
+	if len(path) != 6 || path[0] != attackerAS || path[5] != serverAS {
+		t.Fatalf("bad path %v", path)
+	}
+	if g.Hops(serverAS.ID, serverAS.ID) != 0 {
+		t.Fatal("self distance not 0")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	sim := des.New()
+	g := NewGraph(sim)
+	a := g.AddAS(true)
+	b := g.AddAS(true)
+	g.Connect(a, b)
+	for i, f := range []func(){
+		func() { g.Connect(a, a) },
+		func() { g.Connect(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScheduleProperties(t *testing.T) {
+	s := testSchedule(t, 10, 100)
+	if s.HoneypotProbability() != 0.5 {
+		t.Fatalf("p = %v", s.HoneypotProbability())
+	}
+	honeypots := 0
+	for e := 0; e < 100; e++ {
+		if s.HoneypotAt(e) {
+			honeypots++
+		}
+	}
+	if honeypots < 25 || honeypots > 75 {
+		t.Fatalf("honeypot epochs %d/100; schedule biased", honeypots)
+	}
+	next := s.NextHoneypotEpoch(0)
+	if next < 0 || !s.HoneypotAt(next) {
+		t.Fatalf("NextHoneypotEpoch broken: %d", next)
+	}
+	if s.StartTime(3) != 30 {
+		t.Fatal("StartTime wrong")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	cases := []struct{ n, k, member int }{
+		{2, 0, 0}, {2, 2, 0}, {2, 1, 2}, {2, 1, -1},
+	}
+	for i, c := range cases {
+		if _, err := NewSchedule([]byte("x"), c.n, c.k, c.member, 10, 0.1, 10); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewSchedule([]byte("x"), 2, 1, 0, 10, 6, 10); err == nil {
+		t.Error("guard >= m/2 accepted")
+	}
+}
+
+func TestInterASCapture(t *testing.T) {
+	sim, g, serverAS, attackerAS := chainTopo(t, 5)
+	def := NewDefense(g, 10, Config{})
+	def.DeployAll()
+	sched := testSchedule(t, 10, 40)
+	srv := NewServer(def, serverAS, sched)
+	atk := NewAttacker(def, attackerAS, srv, 50)
+
+	var captures []Capture
+	def.OnCapture = func(c Capture) { captures = append(captures, c) }
+	sim.At(0.5, func() { atk.Start() })
+	if err := sim.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(captures) != 1 {
+		t.Fatalf("captures = %d, want 1", len(captures))
+	}
+	if captures[0].AS != attackerAS.ID {
+		t.Fatalf("captured in AS %d, want attacker AS %d", captures[0].AS, attackerAS.ID)
+	}
+	if !atk.Captured() {
+		t.Fatal("attacker not marked captured")
+	}
+	// The attack must be silenced: sends stop growing.
+	sent := atk.Sent
+	if err := sim.RunUntil(450); err != nil {
+		t.Fatal(err)
+	}
+	if atk.Sent != sent {
+		t.Fatal("captured attacker kept sending")
+	}
+}
+
+func TestSessionsFollowWindows(t *testing.T) {
+	sim, g, serverAS, attackerAS := chainTopo(t, 3)
+	def := NewDefense(g, 10, Config{IntraASTime: 1e6}) // never complete intra-AS
+	def.DeployAll()
+	sched := testSchedule(t, 10, 40)
+	srv := NewServer(def, serverAS, sched)
+	atk := NewAttacker(def, attackerAS, srv, 50)
+	sim.At(0.5, func() { atk.Start() })
+
+	// Pick a honeypot epoch followed by an active epoch, so sessions
+	// observed afterwards cannot belong to a new window.
+	hp := -1
+	for e := 0; e < sched.Epochs()-1; e++ {
+		if sched.HoneypotAt(e) && !sched.HoneypotAt(e+1) {
+			hp = e
+			break
+		}
+	}
+	if hp < 0 {
+		t.Fatal("no honeypot epoch followed by an active one")
+	}
+	// Mid-window: transit sessions exist.
+	if err := sim.RunUntil(sched.StartTime(hp) + 5); err != nil {
+		t.Fatal(err)
+	}
+	active := 0
+	for _, a := range g.ASes() {
+		if a.Transit && a.HSM().ActiveSessions() > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Fatal("no transit sessions mid-window")
+	}
+	// After the window closes (+ control latency), transit sessions
+	// are cancelled; the stub retains its session for the pending
+	// intra-AS traceback (Sec. 5.1).
+	if err := sim.RunUntil(sched.StartTime(hp+1) + 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range g.ASes() {
+		if a.Transit && a.HSM().ActiveSessions() > 0 {
+			t.Fatalf("transit %v retains a session after cancel", a)
+		}
+	}
+	if attackerAS.HSM().ActiveSessions() != 1 {
+		t.Fatal("stub AS did not retain its session for intra-AS traceback")
+	}
+}
+
+func TestActivationThreshold(t *testing.T) {
+	sim, g, serverAS, attackerAS := chainTopo(t, 3)
+	def := NewDefense(g, 10, Config{ActivationThreshold: 1000})
+	def.DeployAll()
+	sched := testSchedule(t, 10, 30)
+	srv := NewServer(def, serverAS, sched)
+	atk := NewAttacker(def, attackerAS, srv, 1) // 1 pkt/s: far below threshold per window
+	sim.At(0.5, func() { atk.Start() })
+	if err := sim.RunUntil(290); err != nil {
+		t.Fatal(err)
+	}
+	if srv.RequestsSent != 0 {
+		t.Fatal("threshold ignored")
+	}
+	if len(def.Captures()) != 0 {
+		t.Fatal("captured below threshold")
+	}
+}
+
+func TestPartialDeploymentBridge(t *testing.T) {
+	sim, g, serverAS, attackerAS := chainTopo(t, 5)
+	def := NewDefense(g, 10, Config{})
+	// Two legacy transit ASes in the middle.
+	for _, a := range g.ASes() {
+		if a.ID == 2 || a.ID == 3 {
+			def.DeployLegacy(a)
+		} else {
+			def.DeployAS(a)
+		}
+	}
+	sched := testSchedule(t, 10, 40)
+	srv := NewServer(def, serverAS, sched)
+	atk := NewAttacker(def, attackerAS, srv, 50)
+	sim.At(0.5, func() { atk.Start() })
+	if err := sim.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Captures()) != 1 {
+		t.Fatalf("piggyback bridge failed: %d captures", len(def.Captures()))
+	}
+	if atk.Sent == 0 || !atk.Captured() {
+		t.Fatal("inconsistent attacker state")
+	}
+}
+
+func TestProgressiveInterAS(t *testing.T) {
+	// Low-rate on-off attacker over a long AS path: basic stalls,
+	// progressive accumulates the frontier and captures.
+	run := func(progressive bool) (int, int64) {
+		sim, g, serverAS, attackerAS := chainTopo(t, 10)
+		def := NewDefense(g, 10, Config{Progressive: progressive, Rho: 6})
+		def.DeployAll()
+		sched := testSchedule(t, 10, 400)
+		srv := NewServer(def, serverAS, sched)
+		atk := NewAttacker(def, attackerAS, srv, 2)
+		atk.Ton, atk.Toff = 0.6, 6.4
+		sim.At(0.5, func() { atk.Start() })
+		if err := sim.RunUntil(3500); err != nil {
+			t.Fatal(err)
+		}
+		return len(def.Captures()), srv.ReportsReceived
+	}
+	basicCaptures, _ := run(false)
+	progCaptures, reports := run(true)
+	if basicCaptures != 0 {
+		t.Fatalf("basic captured a short-burst attacker (%d)", basicCaptures)
+	}
+	if progCaptures != 1 {
+		t.Fatalf("progressive failed to capture (reports=%d)", reports)
+	}
+	if reports == 0 {
+		t.Fatal("no frontier reports")
+	}
+}
+
+func TestMarkingVsTunnelingBothWork(t *testing.T) {
+	for _, mode := range []IngressMode{Marking, Tunneling} {
+		sim, g, serverAS, attackerAS := chainTopo(t, 4)
+		def := NewDefense(g, 10, Config{Mode: mode})
+		def.DeployAll()
+		sched := testSchedule(t, 10, 40)
+		srv := NewServer(def, serverAS, sched)
+		atk := NewAttacker(def, attackerAS, srv, 50)
+		sim.At(0.5, func() { atk.Start() })
+		if err := sim.RunUntil(400); err != nil {
+			t.Fatal(err)
+		}
+		if len(def.Captures()) != 1 {
+			t.Fatalf("mode %v: captures = %d", mode, len(def.Captures()))
+		}
+		if def.IngressLookups == 0 {
+			t.Fatalf("mode %v: no ingress identifications", mode)
+		}
+	}
+}
+
+func TestIngressModeStrings(t *testing.T) {
+	if Marking.String() == "" || Tunneling.String() == "" {
+		t.Fatal("empty mode name")
+	}
+}
+
+func TestOverheadLinearInPath(t *testing.T) {
+	// Sec. 5.3: control messages scale with the attack tree, not the
+	// attack volume.
+	sim, g, serverAS, attackerAS := chainTopo(t, 6)
+	def := NewDefense(g, 10, Config{})
+	def.DeployAll()
+	sched := testSchedule(t, 10, 40)
+	srv := NewServer(def, serverAS, sched)
+	atk := NewAttacker(def, attackerAS, srv, 200) // heavy flood
+	sim.At(0.5, func() { atk.Start() })
+	if err := sim.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if def.MsgSent == 0 {
+		t.Fatal("no control messages")
+	}
+	if def.MsgSent > 200 {
+		t.Fatalf("control messages (%d) scale with attack volume (%d packets)", def.MsgSent, atk.Sent)
+	}
+	if atk.Sent < 1000 {
+		t.Fatalf("attack too small for the comparison: %d", atk.Sent)
+	}
+}

@@ -1,0 +1,404 @@
+package asnet
+
+import (
+	"repro/internal/des"
+)
+
+// IngressMode selects how an HSM identifies the ingress edge router
+// (and thus the upstream AS) of diverted honeypot traffic (Sec. 5.1).
+type IngressMode int
+
+const (
+	// Marking is destination-end provider marking: edge routers stamp
+	// their ID into the (to-be-discarded) honeypot traffic. Cheap and
+	// inline.
+	Marking IngressMode = iota
+	// Tunneling diverts honeypot traffic into the HSM through GRE
+	// tunnels from every edge router; ingress is inferred from the
+	// tunnel. Slightly slower per packet (an extra traversal to the
+	// HSM) but needs no header bits.
+	Tunneling
+)
+
+func (m IngressMode) String() string {
+	if m == Tunneling {
+		return "tunneling"
+	}
+	return "marking"
+}
+
+// Config parameterizes the inter-AS defense.
+type Config struct {
+	// Mode selects the ingress-identification mechanism.
+	Mode IngressMode
+	// MarkDelay is the extra ingress-identification latency under
+	// Marking (default 1 ms).
+	MarkDelay float64
+	// TunnelDelay is the extra latency under Tunneling: the diverted
+	// packet's detour through the tunnel to the HSM (default 15 ms).
+	TunnelDelay float64
+	// IntraASTime abstracts the router-level traceback inside an
+	// attack-hosting AS (modelled in detail by internal/core); when a
+	// stub AS identifies locally originated honeypot traffic, the
+	// attacker is captured after this delay (default 0.5 s).
+	IntraASTime float64
+	// ActivationThreshold is the honeypot packet count needed before
+	// the server triggers back-propagation (default 1).
+	ActivationThreshold int
+	// SessionLifetime is the safety expiry of HSM sessions (default
+	// 2 epochs, set at deployment time).
+	SessionLifetime float64
+	// Progressive enables the intermediate-AS list (Sec. 6).
+	Progressive bool
+	// Rho is the ρ retention threshold (default 3).
+	Rho int
+	// Tau is the server's per-hop setup estimate for scheduling
+	// direct requests (default = graph CtrlDelay × 2).
+	Tau float64
+}
+
+func (c *Config) fillDefaults(g *Graph, epochLen float64) {
+	if c.MarkDelay <= 0 {
+		c.MarkDelay = 0.001
+	}
+	if c.TunnelDelay <= 0 {
+		c.TunnelDelay = 0.015
+	}
+	if c.IntraASTime <= 0 {
+		c.IntraASTime = 0.5
+	}
+	if c.ActivationThreshold <= 0 {
+		c.ActivationThreshold = 1
+	}
+	if c.SessionLifetime <= 0 {
+		c.SessionLifetime = 2 * epochLen
+	}
+	if c.Rho <= 0 {
+		c.Rho = 3
+	}
+	if c.Tau <= 0 {
+		c.Tau = 2 * g.CtrlDelay
+	}
+}
+
+// Capture records an attacker stopped by intra-AS traceback in its
+// home AS.
+type Capture struct {
+	Attacker *Attacker
+	AS       ASID
+	Time     float64
+}
+
+// Defense is one inter-AS honeypot back-propagation deployment.
+type Defense struct {
+	Cfg Config
+	g   *Graph
+
+	servers  []*Server
+	captures []Capture
+	// OnCapture fires for each capture.
+	OnCapture func(Capture)
+
+	// MsgSent counts HSM control messages (requests, cancels,
+	// reports, piggybacks).
+	MsgSent int64
+	// IngressLookups counts ingress identifications (the per-packet
+	// work of the marking/tunneling mechanism).
+	IngressLookups int64
+	floodSeq       int64
+}
+
+// NewDefense builds a defense over the graph. epochLen feeds default
+// session lifetimes.
+func NewDefense(g *Graph, epochLen float64, cfg Config) *Defense {
+	cfg.fillDefaults(g, epochLen)
+	return &Defense{Cfg: cfg, g: g}
+}
+
+// DeployAS installs an HSM in the AS.
+func (d *Defense) DeployAS(a *AS) *HSM {
+	if a.hsm != nil {
+		return a.hsm
+	}
+	a.legacy = nil
+	a.hsm = &HSM{as: a, d: d, sessions: map[*Server]*hsmSession{}}
+	return a.hsm
+}
+
+// DeployLegacy marks the AS as non-deploying; it relays piggybacked
+// announcements only.
+func (d *Defense) DeployLegacy(a *AS) *Legacy {
+	if a.legacy != nil {
+		return a.legacy
+	}
+	a.hsm = nil
+	a.legacy = &Legacy{as: a, d: d, seen: map[int64]bool{}}
+	return a.legacy
+}
+
+// DeployAll installs HSMs everywhere.
+func (d *Defense) DeployAll() {
+	for _, a := range d.g.ases {
+		d.DeployAS(a)
+	}
+}
+
+// Captures returns recorded captures in time order.
+func (d *Defense) Captures() []Capture { return d.captures }
+
+func (d *Defense) recordCapture(c Capture) {
+	d.captures = append(d.captures, c)
+	if d.OnCapture != nil {
+		d.OnCapture(c)
+	}
+}
+
+// ingressDelay is the latency of identifying one packet's ingress
+// point under the configured mode.
+func (d *Defense) ingressDelay() float64 {
+	if d.Cfg.Mode == Tunneling {
+		return d.Cfg.TunnelDelay
+	}
+	return d.Cfg.MarkDelay
+}
+
+// sendCtrl delivers a control thunk to a target AS after the control
+// latency for the AS-hop distance from `from` (1 for neighbors; the
+// server's direct messages cross several hops).
+func (d *Defense) sendCtrl(from, to ASID, deliver func()) {
+	hops := d.g.Hops(from, to)
+	if hops < 0 {
+		return
+	}
+	if hops == 0 {
+		hops = 1
+	}
+	d.MsgSent++
+	d.g.Sim.After(float64(hops)*d.g.CtrlDelay, deliver)
+}
+
+// hsmSession is a honeypot session at one HSM: the record of the
+// protected server plus the set of upstream ASes honeypot traffic
+// entered from (Sec. 5.1).
+type hsmSession struct {
+	server *Server
+	epoch  int
+	// ingress counts honeypot packets per upstream neighbor AS.
+	ingress map[ASID]int
+	// requested marks neighbors the session was propagated to.
+	requested map[ASID]bool
+	// sentUpstream counts propagations; zero at cancel time makes
+	// this AS a progressive frontier.
+	sentUpstream int
+	// intraAS marks that local-origin traffic was seen and intra-AS
+	// traceback is running (stub ASes retain their session for it).
+	intraAS bool
+	expiry  *des.Event
+}
+
+// HSM is an AS's honeypot session manager.
+type HSM struct {
+	as       *AS
+	d        *Defense
+	sessions map[*Server]*hsmSession
+
+	SessionsCreated int64
+	Propagations    int64
+}
+
+// HasSession reports whether a session for the server is active.
+func (h *HSM) HasSession(s *Server) bool {
+	_, ok := h.sessions[s]
+	return ok
+}
+
+// ActiveSessions returns the live session count.
+func (h *HSM) ActiveSessions() int { return len(h.sessions) }
+
+// openSession creates or refreshes the session.
+func (h *HSM) openSession(s *Server, epoch int) {
+	sess, ok := h.sessions[s]
+	if !ok {
+		sess = &hsmSession{
+			server:    s,
+			epoch:     epoch,
+			ingress:   map[ASID]int{},
+			requested: map[ASID]bool{},
+		}
+		h.sessions[s] = sess
+		h.SessionsCreated++
+	} else {
+		sess.epoch = epoch
+	}
+	if sess.expiry != nil {
+		h.d.g.Sim.Cancel(sess.expiry)
+	}
+	sess.expiry = h.d.g.Sim.AfterNamed(h.d.Cfg.SessionLifetime, "asnet-session-expiry", func() {
+		h.closeSession(s, false)
+	})
+}
+
+// closeSession tears the session down, forwarding cancels and
+// emitting the progressive frontier report.
+func (h *HSM) closeSession(s *Server, propagate bool) {
+	sess, ok := h.sessions[s]
+	if !ok {
+		return
+	}
+	// A stub AS holding an in-progress intra-AS traceback retains the
+	// session until it completes (Sec. 5.1); the capture path removes
+	// it.
+	if sess.intraAS && !h.as.Transit {
+		return
+	}
+	delete(h.sessions, s)
+	if sess.expiry != nil {
+		h.d.g.Sim.Cancel(sess.expiry)
+	}
+	if !propagate {
+		return
+	}
+	for nb := range sess.requested {
+		nbAS := h.d.g.AS(nb)
+		if nbAS.Deployed() {
+			target := nbAS.hsm
+			h.d.sendCtrl(h.as.ID, nb, func() { target.closeSession(s, true) })
+		} else if nbAS.legacy != nil {
+			h.d.floodSeq++
+			nbAS.legacy.relay(&piggyback{kind: pbCancel, server: s, epoch: sess.epoch, id: h.d.floodSeq}, h.as.ID)
+			h.d.MsgSent++
+		}
+	}
+	if h.d.Cfg.Progressive && sess.sentUpstream == 0 && h.as.Transit {
+		now := h.d.g.Sim.Now()
+		origin := h.as.ID
+		epoch := sess.epoch
+		h.d.sendCtrl(h.as.ID, s.Home.ID, func() {
+			s.handleReport(origin, epoch, now)
+		})
+	}
+}
+
+// observe processes one honeypot-destined packet crossing (or
+// terminating in) this AS while a session is active. from is the
+// upstream neighbor AS, or -1 when the packet originated inside this
+// AS.
+func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
+	sess, ok := h.sessions[s]
+	if !ok {
+		return
+	}
+	sim := h.d.g.Sim
+	if from < 0 {
+		// Locally originated attack traffic: this AS hosts the
+		// attacker. Run intra-AS traceback (router-level detail in
+		// internal/core) and shut the attacker's access port.
+		if sess.intraAS {
+			return
+		}
+		sess.intraAS = true
+		sim.After(h.d.Cfg.IntraASTime, func() {
+			if origin.captured {
+				return
+			}
+			origin.captured = true
+			h.d.recordCapture(Capture{Attacker: origin, AS: h.as.ID, Time: sim.Now()})
+			// Intra-AS traceback done: the retained stub session can
+			// now be removed (the MAC filter persists in the model).
+			sess.intraAS = false
+			h.closeSession(s, false)
+		})
+		return
+	}
+	// Ingress identification (marking or tunnel divert) takes a
+	// moment; then propagate the session upstream if new.
+	h.d.IngressLookups++
+	sim.After(h.d.ingressDelay(), func() {
+		cur, ok := h.sessions[s]
+		if !ok || cur != sess {
+			return
+		}
+		sess.ingress[from]++
+		if sess.requested[from] {
+			return
+		}
+		sess.requested[from] = true
+		sess.sentUpstream++
+		h.Propagations++
+		h.propagate(s, sess.epoch, from)
+	})
+}
+
+func (h *HSM) propagate(s *Server, epoch int, to ASID) {
+	nbAS := h.d.g.AS(to)
+	if nbAS.Deployed() {
+		target := nbAS.hsm
+		h.d.sendCtrl(h.as.ID, to, func() { target.openSession(s, epoch) })
+		return
+	}
+	if nbAS.legacy != nil {
+		// Piggyback over routing announcements across the deployment
+		// gap (Sec. 5.3).
+		h.d.floodSeq++
+		h.d.MsgSent++
+		nbAS.legacy.relay(&piggyback{kind: pbRequest, server: s, epoch: epoch, id: h.d.floodSeq}, h.as.ID)
+	}
+}
+
+// receivePiggyback terminates a flood at a deploying AS.
+func (h *HSM) receivePiggyback(p *piggyback) {
+	switch p.kind {
+	case pbRequest:
+		h.openSession(p.server, p.epoch)
+	case pbCancel:
+		h.closeSession(p.server, true)
+	}
+}
+
+type pbKind int
+
+const (
+	pbRequest pbKind = iota
+	pbCancel
+)
+
+// piggyback is a request/cancel bridged over routing announcements.
+type piggyback struct {
+	kind   pbKind
+	server *Server
+	epoch  int
+	id     int64
+}
+
+// Legacy is a non-deploying AS: it relays piggybacked announcements
+// to all neighbors (routing messages propagate regardless of defense
+// support) and does nothing else.
+type Legacy struct {
+	as   *AS
+	d    *Defense
+	seen map[int64]bool
+
+	Relayed int64
+}
+
+func (l *Legacy) relay(p *piggyback, from ASID) {
+	if l.seen[p.id] {
+		return
+	}
+	l.seen[p.id] = true
+	for _, nb := range l.as.neighbors {
+		if nb.ID == from {
+			continue
+		}
+		nb := nb
+		l.Relayed++
+		l.d.MsgSent++
+		l.d.g.Sim.After(l.d.g.CtrlDelay, func() {
+			if nb.Deployed() {
+				nb.hsm.receivePiggyback(p)
+			} else if nb.legacy != nil {
+				nb.legacy.relay(p, l.as.ID)
+			}
+		})
+	}
+}

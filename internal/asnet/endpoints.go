@@ -1,0 +1,328 @@
+package asnet
+
+import (
+	"fmt"
+
+	"repro/internal/hashchain"
+)
+
+// Schedule is the roaming-honeypots epoch schedule as seen by one
+// server of the pool: epoch length m, guard slack, and the hash-chain
+// derived active sets (Sec. 4) for pool parameters N and K.
+type Schedule struct {
+	// M is the epoch length in seconds; Guard shrinks honeypot
+	// windows at both ends.
+	M, Guard float64
+	// N, K are the pool size and concurrent active count.
+	N, K int
+	// Member is this server's index within the pool.
+	Member int
+
+	chain  *hashchain.Chain
+	epochs int
+}
+
+// NewSchedule derives a schedule from a chain seed.
+func NewSchedule(seed []byte, n, k, member int, m, guard float64, epochs int) (*Schedule, error) {
+	if member < 0 || member >= n {
+		return nil, fmt.Errorf("asnet: member %d outside pool of %d", member, n)
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("asnet: k=%d must be in [1,%d)", k, n)
+	}
+	if m <= 0 || guard < 0 || guard*2 >= m {
+		return nil, fmt.Errorf("asnet: bad m=%v guard=%v", m, guard)
+	}
+	chain, err := hashchain.Generate(seed, epochs)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{M: m, Guard: guard, N: n, K: k, Member: member, chain: chain, epochs: epochs}, nil
+}
+
+// Epochs returns the schedule length.
+func (s *Schedule) Epochs() int { return s.epochs }
+
+// HoneypotAt reports whether the member acts as a honeypot in the
+// epoch.
+func (s *Schedule) HoneypotAt(epoch int) bool {
+	key, err := s.chain.Key(epoch)
+	if err != nil {
+		return false
+	}
+	for _, idx := range hashchain.ActiveSet(key, s.N, s.K) {
+		if idx == s.Member {
+			return false
+		}
+	}
+	return true
+}
+
+// NextHoneypotEpoch returns the first honeypot epoch >= from, or -1.
+func (s *Schedule) NextHoneypotEpoch(from int) int {
+	for e := from; e < s.epochs; e++ {
+		if s.HoneypotAt(e) {
+			return e
+		}
+	}
+	return -1
+}
+
+// StartTime returns the epoch's start time (schedule starts at 0).
+func (s *Schedule) StartTime(epoch int) float64 { return float64(epoch) * s.M }
+
+// HoneypotProbability returns p = (N-K)/N.
+func (s *Schedule) HoneypotProbability() float64 { return float64(s.N-s.K) / float64(s.N) }
+
+// Server is the defended server: it follows its schedule, counts
+// honeypot traffic, drives inter-AS session setup/teardown, and runs
+// the progressive intermediate-AS list.
+type Server struct {
+	Home  *AS
+	Sched *Schedule
+
+	d *Defense
+
+	windowOpen bool
+	epoch      int
+	hpCount    int
+	requested  bool
+
+	intermediates map[ASID]*asIntermediate
+
+	// Stats
+	RequestsSent       int64
+	CancelsSent        int64
+	DirectRequestsSent int64
+	ReportsReceived    int64
+}
+
+type asIntermediate struct {
+	id            ASID
+	tdist         float64
+	consecutive   int
+	armedEpoch    int
+	reportedEpoch int
+	armPending    bool
+}
+
+// NewServer creates the defended server in its home AS and starts its
+// window timers (the schedule begins at simulation time 0).
+func NewServer(d *Defense, home *AS, sched *Schedule) *Server {
+	s := &Server{Home: home, Sched: sched, d: d, epoch: -1, intermediates: map[ASID]*asIntermediate{}}
+	d.servers = append(d.servers, s)
+	sim := d.g.Sim
+	for e := 0; e < sched.Epochs(); e++ {
+		if !sched.HoneypotAt(e) {
+			continue
+		}
+		e := e
+		sim.AtNamed(sched.StartTime(e)+sched.Guard, "asnet-window-open", func() { s.windowOpenAt(e) })
+		sim.AtNamed(sched.StartTime(e)+sched.M-sched.Guard, "asnet-window-close", func() { s.windowCloseAt(e) })
+	}
+	return s
+}
+
+// Intermediates returns the current intermediate-AS list size.
+func (s *Server) Intermediates() int { return len(s.intermediates) }
+
+func (s *Server) windowOpenAt(epoch int) {
+	s.windowOpen = true
+	s.epoch = epoch
+	s.hpCount = 0
+	s.requested = false
+	// Rule 1 stale sweep: armed earlier, never reported -> the AS
+	// propagated upstream (or the report was lost); drop it.
+	for id, e := range s.intermediates {
+		if e.armedEpoch >= 0 && e.armedEpoch < epoch && e.reportedEpoch < e.armedEpoch {
+			delete(s.intermediates, id)
+		}
+	}
+}
+
+func (s *Server) windowCloseAt(epoch int) {
+	s.windowOpen = false
+	if s.requested && s.Home.Deployed() {
+		hsm := s.Home.hsm
+		s.CancelsSent++
+		s.d.sendCtrl(s.Home.ID, s.Home.ID, func() { hsm.closeSession(s, true) })
+	}
+	for _, e := range s.intermediates {
+		if e.armedEpoch == epoch {
+			target := s.d.g.AS(e.id)
+			if target == nil || !target.Deployed() {
+				continue
+			}
+			hsm := target.hsm
+			s.CancelsSent++
+			s.d.sendCtrl(s.Home.ID, e.id, func() { hsm.closeSession(s, true) })
+		}
+	}
+}
+
+// receive handles one attack packet arriving at the server while it
+// may be acting as a honeypot.
+func (s *Server) receive() {
+	if !s.windowOpen {
+		return
+	}
+	s.hpCount++
+	if s.hpCount >= s.d.Cfg.ActivationThreshold && !s.requested && s.Home.Deployed() {
+		s.requested = true
+		epoch := s.epoch
+		hsm := s.Home.hsm
+		s.RequestsSent++
+		s.d.sendCtrl(s.Home.ID, s.Home.ID, func() { hsm.openSession(s, epoch) })
+	}
+}
+
+// handleReport processes a progressive frontier report (Sec. 6).
+func (s *Server) handleReport(origin ASID, epoch int, sentAt float64) {
+	if !s.d.Cfg.Progressive {
+		return
+	}
+	s.ReportsReceived++
+	now := s.d.g.Sim.Now()
+	e, ok := s.intermediates[origin]
+	if !ok {
+		e = &asIntermediate{id: origin, armedEpoch: -1, reportedEpoch: -1}
+		s.intermediates[origin] = e
+	}
+	if epoch > e.reportedEpoch {
+		e.consecutive++
+		e.reportedEpoch = epoch
+	}
+	e.tdist = now - sentAt
+	if e.tdist < 0 {
+		e.tdist = 0
+	}
+	if e.consecutive >= s.d.Cfg.Rho {
+		delete(s.intermediates, origin)
+		return
+	}
+	s.scheduleArm(e, epoch)
+}
+
+func (s *Server) scheduleArm(e *asIntermediate, afterEpoch int) {
+	if e.armPending {
+		return
+	}
+	next := s.Sched.NextHoneypotEpoch(afterEpoch + 1)
+	if next < 0 {
+		return
+	}
+	open := s.Sched.StartTime(next) + s.Sched.Guard
+	at := open - e.tdist - s.d.Cfg.Tau
+	sim := s.d.g.Sim
+	if at < sim.Now() {
+		at = sim.Now()
+	}
+	e.armPending = true
+	sim.AtNamed(at, "asnet-progressive-arm", func() {
+		e.armPending = false
+		if s.intermediates[e.id] != e {
+			return
+		}
+		target := s.d.g.AS(e.id)
+		if target == nil || !target.Deployed() {
+			return
+		}
+		hsm := target.hsm
+		s.DirectRequestsSent++
+		s.d.sendCtrl(s.Home.ID, e.id, func() { hsm.openSession(s, next) })
+		e.armedEpoch = next
+	})
+}
+
+// Attacker is a zombie in a stub AS flooding the server. Rate is in
+// packets/s; on-off bursting optional.
+type Attacker struct {
+	AS     *AS
+	Server *Server
+	// Rate is packets per second during on-time.
+	Rate float64
+	// Ton/Toff, when Ton > 0, select an on-off pattern.
+	Ton, Toff float64
+
+	d        *Defense
+	path     []*AS
+	captured bool
+	running  bool
+	Sent     int64
+}
+
+// NewAttacker creates a zombie in the given AS.
+func NewAttacker(d *Defense, home *AS, target *Server, rate float64) *Attacker {
+	a := &Attacker{AS: home, Server: target, Rate: rate, d: d}
+	a.path = d.g.Path(home.ID, target.Home.ID)
+	if a.path == nil {
+		panic("asnet: attacker cannot reach server")
+	}
+	return a
+}
+
+// Captured reports whether intra-AS traceback shut the zombie down.
+func (a *Attacker) Captured() bool { return a.captured }
+
+// Start begins the flood at the current simulation time.
+func (a *Attacker) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	sim := a.d.g.Sim
+	interval := 1 / a.Rate
+	cycle := a.Ton + a.Toff
+	var tick func()
+	tick = func() {
+		if !a.running || a.captured {
+			return
+		}
+		// On-off gating by simulation-clock phase (bursts align to
+		// multiples of Ton+Toff on the global clock).
+		if a.Ton > 0 && cycle > 0 {
+			phase := sim.Now() - float64(int(sim.Now()/cycle))*cycle
+			if phase >= a.Ton {
+				// Sleep to the next burst start.
+				sim.After(cycle-phase, tick)
+				return
+			}
+		}
+		a.emit()
+		sim.After(interval, tick)
+	}
+	sim.After(0, tick)
+}
+
+// Stop halts the flood.
+func (a *Attacker) Stop() { a.running = false }
+
+// emit launches one packet along the AS path, letting each AS's HSM
+// observe it with the correct ingress neighbor.
+func (a *Attacker) emit() {
+	a.Sent++
+	sim := a.d.g.Sim
+	// Origin AS observes a locally originated packet.
+	if a.AS.Deployed() {
+		a.AS.hsm.observe(a.Server, -1, a)
+	}
+	var step func(i int)
+	step = func(i int) {
+		if i >= len(a.path) {
+			a.Server.receive()
+			return
+		}
+		cur := a.path[i]
+		from := a.path[i-1].ID
+		if cur.Deployed() {
+			cur.hsm.observe(a.Server, from, a)
+		}
+		sim.After(a.d.g.DataDelay, func() { step(i + 1) })
+	}
+	if len(a.path) == 1 {
+		// Attacker and server share the AS; delivery is local.
+		sim.After(a.d.g.DataDelay, func() { a.Server.receive() })
+		return
+	}
+	sim.After(a.d.g.DataDelay, func() { step(1) })
+}

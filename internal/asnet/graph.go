@@ -1,0 +1,162 @@
+// Package asnet models the inter-AS half of honeypot back-propagation
+// (Sec. 5.1, Figs. 2–3): autonomous systems with honeypot session
+// managers (HSMs), ingress identification of honeypot traffic at AS
+// edge routers (by destination-end provider marking or GRE tunneling
+// to the HSM), hop-by-hop propagation of honeypot sessions between
+// HSMs, piggybacking across non-deploying ASes, and the progressive
+// intermediate-AS list. Router-level detail inside each AS is modelled
+// by internal/core; here an AS is one hop and intra-AS traceback is a
+// configurable delay.
+package asnet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// ASID identifies an autonomous system.
+type ASID int
+
+// AS is one autonomous system in the graph.
+type AS struct {
+	ID ASID
+	// Transit ASes carry third-party traffic; non-transit (stub) ASes
+	// host endpoints and terminate back-propagation (Sec. 5.1).
+	Transit bool
+
+	graph     *Graph
+	neighbors []*AS
+	// routes[dst] is the next-hop AS toward dst.
+	routes []*AS
+
+	hsm    *HSM    // nil when the AS does not deploy the defense
+	legacy *Legacy // piggyback relay when not deploying
+}
+
+// Neighbors returns directly connected ASes.
+func (a *AS) Neighbors() []*AS { return a.neighbors }
+
+// HSM returns the AS's honeypot session manager, or nil.
+func (a *AS) HSM() *HSM { return a.hsm }
+
+// Deployed reports whether the AS runs the defense.
+func (a *AS) Deployed() bool { return a.hsm != nil }
+
+func (a *AS) String() string {
+	kind := "stub"
+	if a.Transit {
+		kind = "transit"
+	}
+	return fmt.Sprintf("AS%d(%s)", a.ID, kind)
+}
+
+// Graph is the AS-level topology. Inter-AS links share one control
+// latency (the τ of the analysis) and one data-packet forwarding
+// latency.
+type Graph struct {
+	Sim *des.Simulator
+	// CtrlDelay is the one-hop latency of HSM-to-HSM messages.
+	CtrlDelay float64
+	// DataDelay is the one-hop latency of data packets.
+	DataDelay float64
+
+	ases []*AS
+}
+
+// NewGraph returns an empty AS graph with 20 ms hop latencies.
+func NewGraph(sim *des.Simulator) *Graph {
+	return &Graph{Sim: sim, CtrlDelay: 0.02, DataDelay: 0.02}
+}
+
+// AddAS creates an AS. transit selects transit vs stub.
+func (g *Graph) AddAS(transit bool) *AS {
+	a := &AS{ID: ASID(len(g.ases)), Transit: transit, graph: g}
+	g.ases = append(g.ases, a)
+	return a
+}
+
+// ASes returns every AS indexed by ID.
+func (g *Graph) ASes() []*AS { return g.ases }
+
+// AS returns the AS with the given ID, or nil.
+func (g *Graph) AS(id ASID) *AS {
+	if id < 0 || int(id) >= len(g.ases) {
+		return nil
+	}
+	return g.ases[id]
+}
+
+// Connect joins two ASes with a bidirectional adjacency.
+func (g *Graph) Connect(a, b *AS) {
+	if a == b {
+		panic("asnet: self adjacency")
+	}
+	for _, n := range a.neighbors {
+		if n == b {
+			panic("asnet: duplicate adjacency")
+		}
+	}
+	a.neighbors = append(a.neighbors, b)
+	b.neighbors = append(b.neighbors, a)
+}
+
+// ComputeRoutes fills shortest-path next hops (hop count, BFS).
+func (g *Graph) ComputeRoutes() {
+	n := len(g.ases)
+	for _, a := range g.ases {
+		a.routes = make([]*AS, n)
+	}
+	visited := make([]bool, n)
+	queue := make([]*AS, 0, n)
+	for _, dst := range g.ases {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = append(queue[:0], dst)
+		visited[dst.ID] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range cur.neighbors {
+				if visited[nb.ID] {
+					continue
+				}
+				visited[nb.ID] = true
+				nb.routes[dst.ID] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+}
+
+// Path returns the AS sequence from a to b inclusive, or nil.
+func (g *Graph) Path(a, b ASID) []*AS {
+	cur := g.AS(a)
+	if cur == nil || g.AS(b) == nil {
+		return nil
+	}
+	path := []*AS{cur}
+	for cur.ID != b {
+		next := cur.routes[b]
+		if next == nil {
+			return nil
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > len(g.ases)+1 {
+			return nil
+		}
+	}
+	return path
+}
+
+// Hops returns the AS-hop distance between two ASes (-1 if
+// unreachable).
+func (g *Graph) Hops(a, b ASID) int {
+	p := g.Path(a, b)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}

@@ -1,0 +1,73 @@
+package asnet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// TopoParams configures random AS-graph generation: a connected
+// transit core (random tree plus extra mesh links) with stub ASes
+// hanging off random transits — the usual coarse model of inter-domain
+// structure.
+type TopoParams struct {
+	// Transits is the number of transit ASes (core).
+	Transits int
+	// Stubs is the number of stub ASes (endpoints live here).
+	Stubs int
+	// ExtraLinks adds this many random transit-transit adjacencies on
+	// top of the spanning tree (0 keeps a pure tree).
+	ExtraLinks int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultTopoParams returns a modest internet-like graph: 12 transit
+// ASes with some meshing and 30 stubs.
+func DefaultTopoParams() TopoParams {
+	return TopoParams{Transits: 12, Stubs: 30, ExtraLinks: 6, Seed: 1}
+}
+
+// GenerateTopology populates the graph and returns the transit core
+// and the stub list. Routes are computed before returning.
+func GenerateTopology(g *Graph, p TopoParams) (transits, stubs []*AS, err error) {
+	if p.Transits < 1 || p.Stubs < 1 {
+		return nil, nil, fmt.Errorf("asnet: need at least one transit and one stub (got %d, %d)", p.Transits, p.Stubs)
+	}
+	rng := des.NewRNG(p.Seed)
+	transits = make([]*AS, p.Transits)
+	for i := range transits {
+		transits[i] = g.AddAS(true)
+		if i > 0 {
+			// Random-attachment spanning tree keeps the core connected.
+			g.Connect(transits[i], transits[rng.Intn(i)])
+		}
+	}
+	// Extra mesh links (skip duplicates/self).
+	for added := 0; added < p.ExtraLinks && p.Transits > 2; {
+		a := transits[rng.Intn(p.Transits)]
+		b := transits[rng.Intn(p.Transits)]
+		if a == b || adjacent(a, b) {
+			added++ // bounded attempts: count even when skipped
+			continue
+		}
+		g.Connect(a, b)
+		added++
+	}
+	stubs = make([]*AS, p.Stubs)
+	for i := range stubs {
+		stubs[i] = g.AddAS(false)
+		g.Connect(stubs[i], transits[rng.Intn(p.Transits)])
+	}
+	g.ComputeRoutes()
+	return transits, stubs, nil
+}
+
+func adjacent(a, b *AS) bool {
+	for _, n := range a.neighbors {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package asnet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestGenerateTopologyShape(t *testing.T) {
+	sim := des.New()
+	g := NewGraph(sim)
+	p := DefaultTopoParams()
+	transits, stubs, err := GenerateTopology(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(transits) != p.Transits || len(stubs) != p.Stubs {
+		t.Fatalf("sizes %d/%d", len(transits), len(stubs))
+	}
+	// Fully connected: every stub reaches every other stub.
+	for _, a := range stubs {
+		for _, b := range stubs {
+			if g.Hops(a.ID, b.ID) < 0 {
+				t.Fatalf("%v cannot reach %v", a, b)
+			}
+		}
+	}
+	// Stubs have exactly one provider; transits are flagged transit.
+	for _, s := range stubs {
+		if s.Transit {
+			t.Fatal("stub flagged transit")
+		}
+		if len(s.Neighbors()) != 1 {
+			t.Fatalf("stub with %d providers", len(s.Neighbors()))
+		}
+	}
+	for _, tr := range transits {
+		if !tr.Transit {
+			t.Fatal("transit not flagged")
+		}
+	}
+}
+
+func TestGenerateTopologyDeterminism(t *testing.T) {
+	shape := func(seed int64) []int {
+		g := NewGraph(des.New())
+		p := DefaultTopoParams()
+		p.Seed = seed
+		_, stubs, err := GenerateTopology(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(stubs))
+		for i, s := range stubs {
+			out[i] = int(s.Neighbors()[0].ID)
+		}
+		return out
+	}
+	a, b := shape(7), shape(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different topology")
+		}
+	}
+}
+
+func TestGenerateTopologyValidation(t *testing.T) {
+	g := NewGraph(des.New())
+	if _, _, err := GenerateTopology(g, TopoParams{Transits: 0, Stubs: 1}); err == nil {
+		t.Fatal("accepted zero transits")
+	}
+	if _, _, err := GenerateTopology(g, TopoParams{Transits: 1, Stubs: 0}); err == nil {
+		t.Fatal("accepted zero stubs")
+	}
+}
+
+func TestMultiASAttackAllCaptured(t *testing.T) {
+	sim := des.New()
+	g := NewGraph(sim)
+	p := DefaultTopoParams()
+	p.Seed = 3
+	_, stubs, err := GenerateTopology(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := NewDefense(g, 10, Config{})
+	def.DeployAll()
+	sched := testSchedule(t, 10, 80)
+	srv := NewServer(def, stubs[0], sched)
+
+	// Zombies in eight distinct stub ASes.
+	var zombies []*Attacker
+	for i := 1; i <= 8; i++ {
+		zombies = append(zombies, NewAttacker(def, stubs[i], srv, 25))
+	}
+	sim.At(0.5, func() {
+		for _, z := range zombies {
+			z.Start()
+		}
+	})
+	if err := sim.RunUntil(800); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(def.Captures()); got != len(zombies) {
+		t.Fatalf("captured %d of %d zombies", got, len(zombies))
+	}
+	// Each capture happened in the zombie's own AS.
+	for _, c := range def.Captures() {
+		if c.Attacker.AS.ID != c.AS {
+			t.Fatalf("capture in AS %d but zombie lives in %v", c.AS, c.Attacker.AS)
+		}
+	}
+	for _, z := range zombies {
+		if !z.Captured() {
+			t.Fatal("zombie not marked captured")
+		}
+	}
+}
+
+func TestSameASAttackerAndServer(t *testing.T) {
+	// Degenerate case: zombie and server share a stub AS — intra-AS
+	// traceback alone must handle it.
+	sim := des.New()
+	g := NewGraph(sim)
+	home := g.AddAS(false)
+	up := g.AddAS(true)
+	g.Connect(home, up)
+	g.ComputeRoutes()
+	def := NewDefense(g, 10, Config{})
+	def.DeployAll()
+	sched := testSchedule(t, 10, 40)
+	srv := NewServer(def, home, sched)
+	z := NewAttacker(def, home, srv, 25)
+	sim.At(0.5, func() { z.Start() })
+	if err := sim.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Captures()) != 1 {
+		t.Fatalf("same-AS zombie not captured: %d", len(def.Captures()))
+	}
+}

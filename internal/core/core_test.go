@@ -1,0 +1,460 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// harness bundles a string-topology HBP deployment.
+type harness struct {
+	sim   *des.Simulator
+	tr    *topology.Tree
+	pool  *roaming.Pool
+	agent []*roaming.ServerAgent
+	def   *Defense
+}
+
+// newHarness builds: servers -- gw -- r0 -- ... -- r(hops-1) -- host,
+// with a roaming pool and fully deployed defense.
+func newHarness(t testing.TB, hops int, pcfg roaming.Config, dcfg Config) *harness {
+	t.Helper()
+	sim := des.New()
+	tr := topology.NewString(sim, hops, pcfg.N, topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(tr.Net, pool, func(n *netsim.Node) bool { return tr.IsHost(n) }, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{sim: sim, tr: tr, pool: pool, def: def}
+	for _, s := range tr.Servers {
+		h.agent = append(h.agent, roaming.NewServerAgent(pool, s))
+	}
+	def.DeployAll(h.agent)
+	return h
+}
+
+func poolCfg(n, k int, m float64) roaming.Config {
+	return roaming.Config{N: n, K: k, EpochLen: m, Guard: 0.2, Epochs: 200, ChainSeed: []byte("core-test")}
+}
+
+// attackCBR builds a continuous spoofed flood from the string host at
+// the given server.
+func (h *harness) attackCBR(target netsim.NodeID, rate float64) *traffic.CBR {
+	host := h.tr.Leaves[0]
+	rng := des.NewRNG(77)
+	return &traffic.CBR{
+		Node:   host,
+		Rate:   rate,
+		Size:   500,
+		Dest:   func() netsim.NodeID { return target },
+		Source: func() netsim.NodeID { return netsim.NodeID(rng.Intn(1000) + 5000) },
+	}
+}
+
+func TestMessageSignVerify(t *testing.T) {
+	key := []byte("k1")
+	m := &Message{Kind: Report, Server: 3, Epoch: 7, Origin: 12, Timestamp: 1.5}
+	if m.Verify(key) {
+		t.Fatal("unsigned message verified")
+	}
+	m.Sign(key)
+	if !m.Verify(key) {
+		t.Fatal("signed message rejected")
+	}
+	if m.Verify([]byte("other")) {
+		t.Fatal("verified under wrong key")
+	}
+	m2 := *m
+	m2.Epoch = 8
+	if m2.Verify(key) {
+		t.Fatal("tampered message verified")
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	for k := Request; k <= PiggybackCancel; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestEndToEndCapture(t *testing.T) {
+	h := newHarness(t, 8, poolCfg(2, 1, 10), Config{})
+	target := h.tr.Servers[0].ID
+	atk := h.attackCBR(target, 4e5) // 100 pkt/s
+	var captured []Capture
+	h.def.OnCapture = func(c Capture) { captured = append(captured, c) }
+	h.pool.Start()
+	h.sim.At(1, func() { atk.Start() })
+	if err := h.sim.RunUntil(120); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 1 {
+		t.Fatalf("captures = %d, want 1", len(captured))
+	}
+	c := captured[0]
+	if c.Attacker != h.tr.Leaves[0].ID {
+		t.Fatalf("captured %d, want attacker %d", c.Attacker, h.tr.Leaves[0].ID)
+	}
+	if c.Server != target {
+		t.Fatalf("capture credited to server %d, want %d", c.Server, target)
+	}
+	if c.Router != h.tr.AccessRouter(h.tr.Leaves[0]).ID {
+		t.Fatal("capture not at the access router")
+	}
+	// The attack must actually be silenced: packets stop reaching the
+	// server after the capture.
+	sa := h.agent[0]
+	before := sa.Stats.HoneypotPackets + int64(sa.Stats.ServedBytes/500)
+	if err := h.sim.RunUntil(160); err != nil {
+		t.Fatal(err)
+	}
+	after := h.agent[0].Stats.HoneypotPackets + int64(h.agent[0].Stats.ServedBytes/500)
+	if after != before {
+		t.Fatalf("attack traffic still arriving after capture (%d -> %d)", before, after)
+	}
+}
+
+func TestCaptureWithinFirstOverlappingWindow(t *testing.T) {
+	// With a continuous high-rate attack and short control latencies,
+	// capture happens inside the first honeypot window of the target.
+	h := newHarness(t, 10, poolCfg(2, 1, 10), Config{})
+	target := h.tr.Servers[0].ID
+	atk := h.attackCBR(target, 4e5)
+	h.pool.Start()
+	h.sim.At(0.5, func() { atk.Start() })
+	hp := h.pool.NextHoneypotEpoch(target, 0)
+	if hp < 0 {
+		t.Fatal("no honeypot epoch")
+	}
+	windowOpen := h.pool.EpochStartTime(hp) + 0.2
+	if err := h.sim.RunUntil(h.pool.EpochStartTime(hp + 1)); err != nil {
+		t.Fatal(err)
+	}
+	caps := h.def.Captures()
+	if len(caps) != 1 {
+		t.Fatalf("captures = %d, want 1 by end of first honeypot epoch", len(caps))
+	}
+	if caps[0].Time < windowOpen {
+		t.Fatal("capture before window open is impossible")
+	}
+	// 11 hops of propagation at ~10 ms/packet interval + ~4 ms/hop
+	// control latency: well under 2 s.
+	if caps[0].Time > windowOpen+2 {
+		t.Fatalf("capture took %.3f s after window open; propagation too slow", caps[0].Time-windowOpen)
+	}
+}
+
+func TestNoCaptureWithoutAttack(t *testing.T) {
+	h := newHarness(t, 5, poolCfg(2, 1, 10), Config{})
+	h.pool.Start()
+	if err := h.sim.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(h.def.Captures()); n != 0 {
+		t.Fatalf("phantom captures: %d", n)
+	}
+	// No honeypot traffic -> no requests at all.
+	for _, s := range h.tr.Servers {
+		if sd := h.def.ServerDefense(s.ID); sd != nil && sd.RequestsSent != 0 {
+			t.Fatal("request sent without honeypot traffic")
+		}
+	}
+}
+
+func TestActivationThresholdSuppressesScanners(t *testing.T) {
+	// A benign scanner sends 3 probes into a honeypot window; with
+	// ActivationThreshold 10 no back-propagation may start.
+	h := newHarness(t, 5, poolCfg(2, 1, 10), Config{ActivationThreshold: 10})
+	target := h.tr.Servers[0].ID
+	h.pool.Start()
+	hp := h.pool.NextHoneypotEpoch(target, 0)
+	at := h.pool.EpochStartTime(hp) + 1
+	host := h.tr.Leaves[0]
+	for i := 0; i < 3; i++ {
+		i := i
+		h.sim.At(at+float64(i)*0.1, func() {
+			host.Send(&netsim.Packet{Src: host.ID, TrueSrc: host.ID, Dst: target, Size: 100, Type: netsim.Data})
+		})
+	}
+	if err := h.sim.RunUntil(at + 20); err != nil {
+		t.Fatal(err)
+	}
+	sd := h.def.ServerDefense(target)
+	if sd.RequestsSent != 0 {
+		t.Fatal("3 probes triggered back-propagation despite threshold 10")
+	}
+	if len(h.def.Captures()) != 0 {
+		t.Fatal("scanner captured")
+	}
+}
+
+func TestSessionsTornDownAfterEpoch(t *testing.T) {
+	h := newHarness(t, 6, poolCfg(2, 1, 10), Config{})
+	target := h.tr.Servers[0].ID
+	atk := h.attackCBR(target, 4e5)
+	h.pool.Start()
+	h.sim.At(0.5, func() { atk.Start() })
+	hp := h.pool.NextHoneypotEpoch(target, 0)
+	// Run until two epochs past the first honeypot epoch's end.
+	if err := h.sim.RunUntil(h.pool.EpochStartTime(hp+1) + 5); err != nil {
+		t.Fatal(err)
+	}
+	open := 0
+	for _, r := range h.tr.Routers {
+		if ra := h.def.Router(r.ID); ra != nil {
+			open += ra.ActiveSessions()
+		}
+	}
+	// Target's sessions must be gone after the cancel wave. (Another
+	// server may currently be a honeypot, but the captured attacker
+	// no longer generates traffic, so no sessions should persist.)
+	if open != 0 {
+		t.Fatalf("%d sessions still open well after cancel", open)
+	}
+	// The capture filter persists after teardown.
+	access := h.tr.AccessRouter(h.tr.Leaves[0])
+	in := access.PortTo(h.tr.Leaves[0])
+	if !in.BlockedIngress {
+		t.Fatal("capture filter removed by cancel")
+	}
+}
+
+func TestForgedRequestFromHostRejected(t *testing.T) {
+	h := newHarness(t, 5, poolCfg(2, 1, 10), Config{})
+	// The attacker forges a honeypot request for server 0 and sends
+	// it to its access router. TTL is 255 (one hop) but the peer is a
+	// host, so it must be rejected.
+	host := h.tr.Leaves[0]
+	access := h.tr.AccessRouter(host)
+	forged := &Message{Kind: Request, Server: h.tr.Servers[0].ID, Epoch: 0}
+	h.pool.Start()
+	h.sim.At(1, func() {
+		host.Send(&netsim.Packet{Src: host.ID, TrueSrc: host.ID, Dst: access.ID, Size: 64, Type: netsim.Control, Payload: forged})
+	})
+	if err := h.sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Router(access.ID).ActiveSessions() != 0 {
+		t.Fatal("forged request from a host opened a session")
+	}
+	if h.def.MsgBadAuth == 0 {
+		t.Fatal("forgery not counted")
+	}
+}
+
+func TestForgedMultiHopRequestRejected(t *testing.T) {
+	h := newHarness(t, 6, poolCfg(2, 1, 10), Config{})
+	host := h.tr.Leaves[0]
+	// Target a router several hops away: TTL < 255 on arrival and the
+	// message carries no valid tag.
+	far := h.tr.Routers[1]
+	forged := &Message{Kind: Request, Server: h.tr.Servers[0].ID, Epoch: 0, Direct: true}
+	forged.Tag = []byte("bogus-tag-bogus-tag-bogus-tag!!!")
+	h.pool.Start()
+	h.sim.At(1, func() {
+		host.Send(&netsim.Packet{Src: host.ID, TrueSrc: host.ID, Dst: far.ID, Size: 64, Type: netsim.Control, Payload: forged})
+	})
+	if err := h.sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Router(far.ID).ActiveSessions() != 0 {
+		t.Fatal("forged multi-hop request opened a session")
+	}
+}
+
+func TestSignedDirectRequestAccepted(t *testing.T) {
+	h := newHarness(t, 6, poolCfg(2, 1, 10), Config{})
+	far := h.tr.Routers[3]
+	m := &Message{Kind: Request, Server: h.tr.Servers[0].ID, Epoch: 0, Direct: true}
+	m.Sign(h.def.Cfg.AuthKey)
+	h.pool.Start()
+	server := h.tr.Servers[0]
+	h.sim.At(1, func() {
+		server.Send(&netsim.Packet{Src: server.ID, TrueSrc: server.ID, Dst: far.ID, Size: 64, Type: netsim.Control, Payload: m})
+	})
+	if err := h.sim.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Router(far.ID).ActiveSessions() != 1 {
+		t.Fatal("validly signed direct request rejected")
+	}
+}
+
+func TestSessionExpirySafety(t *testing.T) {
+	// A session whose cancel is never delivered expires on its own.
+	h := newHarness(t, 5, poolCfg(2, 1, 10), Config{SessionLifetime: 3})
+	far := h.tr.Routers[2]
+	m := &Message{Kind: Request, Server: h.tr.Servers[0].ID, Epoch: 0, Direct: true}
+	m.Sign(h.def.Cfg.AuthKey)
+	server := h.tr.Servers[0]
+	h.sim.At(1, func() {
+		server.Send(&netsim.Packet{Src: server.ID, TrueSrc: server.ID, Dst: far.ID, Size: 64, Type: netsim.Control, Payload: m})
+	})
+	if err := h.sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Router(far.ID).ActiveSessions() != 1 {
+		t.Fatal("session not opened")
+	}
+	if err := h.sim.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Router(far.ID).ActiveSessions() != 0 {
+		t.Fatal("session did not expire")
+	}
+}
+
+func TestPartialDeploymentPiggyback(t *testing.T) {
+	// Make two mid-path routers legacy; the piggyback flood must
+	// bridge the gap and the attacker must still be captured.
+	sim := des.New()
+	tr := topology.NewString(sim, 8, 2, topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
+	pcfg := poolCfg(2, 1, 10)
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(tr.Net, pool, tr.IsHost, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []*roaming.ServerAgent
+	for _, s := range tr.Servers {
+		agents = append(agents, roaming.NewServerAgent(pool, s))
+	}
+	// Routers order: gw, r0..r7. Make r3 and r4 legacy.
+	legacySet := map[netsim.NodeID]bool{tr.Routers[4].ID: true, tr.Routers[5].ID: true}
+	for _, r := range tr.Routers {
+		if legacySet[r.ID] {
+			def.DeployLegacy(r)
+		} else {
+			def.DeployRouter(r)
+		}
+	}
+	for _, sa := range agents {
+		def.AttachServer(sa)
+	}
+	target := tr.Servers[0].ID
+	rng := des.NewRNG(5)
+	atk := &traffic.CBR{
+		Node: tr.Leaves[0], Rate: 4e5, Size: 500,
+		Dest:   func() netsim.NodeID { return target },
+		Source: func() netsim.NodeID { return netsim.NodeID(rng.Intn(1000) + 5000) },
+	}
+	pool.Start()
+	sim.At(0.5, func() { atk.Start() })
+	if err := sim.RunUntil(120); err != nil {
+		t.Fatal(err)
+	}
+	caps := def.Captures()
+	if len(caps) != 1 {
+		t.Fatalf("captures across deployment gap = %d, want 1", len(caps))
+	}
+	if caps[0].Attacker != tr.Leaves[0].ID {
+		t.Fatal("wrong capture")
+	}
+}
+
+func TestFullyLegacyPathNoCapture(t *testing.T) {
+	// If the access router itself is legacy, the attacker cannot be
+	// captured (the paper's partial-deployment limit): no panic, no
+	// phantom capture.
+	sim := des.New()
+	tr := topology.NewString(sim, 5, 2, topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
+	pool, err := roaming.NewPool(sim, tr.Servers, poolCfg(2, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(tr.Net, pool, tr.IsHost, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []*roaming.ServerAgent
+	for _, s := range tr.Servers {
+		agents = append(agents, roaming.NewServerAgent(pool, s))
+	}
+	access := tr.AccessRouter(tr.Leaves[0])
+	for _, r := range tr.Routers {
+		if r == access {
+			def.DeployLegacy(r)
+		} else {
+			def.DeployRouter(r)
+		}
+	}
+	for _, sa := range agents {
+		def.AttachServer(sa)
+	}
+	target := tr.Servers[0].ID
+	rng := des.NewRNG(6)
+	atk := &traffic.CBR{Node: tr.Leaves[0], Rate: 4e5, Size: 500,
+		Dest:   func() netsim.NodeID { return target },
+		Source: func() netsim.NodeID { return netsim.NodeID(rng.Intn(1000) + 5000) }}
+	pool.Start()
+	sim.At(0.5, func() { atk.Start() })
+	if err := sim.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Captures()) != 0 {
+		t.Fatal("capture through a legacy access router should be impossible")
+	}
+}
+
+func TestRoamingClientNotCaptured(t *testing.T) {
+	// A legitimate roaming client coexisting with the defense must
+	// never be captured even over many epochs.
+	h := newHarness(t, 6, poolCfg(3, 2, 10), Config{})
+	sub, err := h.pool.Issue(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := des.NewRNG(12)
+	client := traffic.NewRoamingClient(h.tr.Leaves[0], sub, h.tr.Servers, traffic.ClientConfig{Rate: 2e5, Size: 500}, rng)
+	h.pool.Start()
+	h.sim.At(0.01, func() { client.Start(10) })
+	if err := h.sim.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.def.Captures()) != 0 {
+		t.Fatalf("legitimate client captured: %+v", h.def.Captures())
+	}
+}
+
+func TestDefenseOverheadCounters(t *testing.T) {
+	h := newHarness(t, 6, poolCfg(2, 1, 10), Config{})
+	target := h.tr.Servers[0].ID
+	atk := h.attackCBR(target, 4e5)
+	h.pool.Start()
+	h.sim.At(0.5, func() { atk.Start() })
+	if err := h.sim.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.MsgSent == 0 {
+		t.Fatal("no control messages counted")
+	}
+	sd := h.def.ServerDefense(target)
+	if sd.RequestsSent == 0 {
+		t.Fatal("no server requests counted")
+	}
+	// Overhead sanity (Sec. 5.3): messages linear in path length, not
+	// in attack volume. 11-hop path, a handful of epochs: the control
+	// message count must be orders of magnitude below packet count.
+	if h.def.MsgSent > 500 {
+		t.Fatalf("control message overhead suspiciously high: %d", h.def.MsgSent)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil, Config{}); err == nil {
+		t.Fatal("nil arguments accepted")
+	}
+}

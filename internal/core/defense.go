@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the honeypot back-propagation defense.
+type Config struct {
+	// ActivationThreshold is how many honeypot packets a server must
+	// receive inside one window before triggering back-propagation.
+	// Values > 1 tolerate benign scanner noise (Sec. 5.3, false
+	// positives). Default 1.
+	ActivationThreshold int
+	// PropagateThreshold is how many honeypot-destined packets an
+	// input port must carry before a router propagates the session
+	// upstream across it. Default 1 (plain input debugging).
+	PropagateThreshold int
+	// SessionLifetime is a safety expiry for router sessions in case
+	// a cancel message is lost; 0 disables. Defaults to twice the
+	// pool epoch length.
+	SessionLifetime float64
+	// Progressive enables the multi-epoch scheme of Sec. 6.
+	Progressive bool
+	// Rho is the progressive scheme's consecutive-report retention
+	// threshold ρ. Default 3.
+	Rho int
+	// Tau is the server's estimate of the per-hop session-setup time
+	// τ used to schedule direct requests ahead of honeypot windows.
+	// Default 50 ms.
+	Tau float64
+	// AuthKey is the shared key authenticating multi-hop messages.
+	// Required when Progressive or partial deployment is used.
+	AuthKey []byte
+}
+
+func (c *Config) fillDefaults(epochLen float64) {
+	if c.ActivationThreshold <= 0 {
+		c.ActivationThreshold = 1
+	}
+	if c.PropagateThreshold <= 0 {
+		c.PropagateThreshold = 1
+	}
+	if c.SessionLifetime == 0 {
+		c.SessionLifetime = 2 * epochLen
+	}
+	if c.Rho <= 0 {
+		c.Rho = 3
+	}
+	if c.Tau <= 0 {
+		c.Tau = 0.05
+	}
+	if len(c.AuthKey) == 0 {
+		c.AuthKey = []byte("hbp-shared-defense-key")
+	}
+}
+
+// Capture records back-propagation reaching an attack host: its
+// access-switch port was shut.
+type Capture struct {
+	// Attacker is the captured host.
+	Attacker netsim.NodeID
+	// Server is the honeypot whose session tree reached the host.
+	Server netsim.NodeID
+	// Router is the access router that installed the filter.
+	Router netsim.NodeID
+	// Time is the simulation time of the capture.
+	Time float64
+}
+
+// Defense wires honeypot back-propagation into a simulated network:
+// router agents on deploying routers, legacy relays on non-deploying
+// ones, and server-side triggers on the roaming pool's server agents.
+type Defense struct {
+	Cfg  Config
+	sim  *des.Simulator
+	net  *netsim.Network
+	pool *roaming.Pool
+
+	// IsHost classifies nodes as end hosts (attack-capture decision
+	// point at access routers). Set from the topology.
+	isHost func(*netsim.Node) bool
+
+	routers  map[netsim.NodeID]*RouterAgent
+	legacy   map[netsim.NodeID]*LegacyAgent
+	servers  map[netsim.NodeID]*ServerDefense
+	captures []Capture
+	// OnCapture, if set, fires for every capture.
+	OnCapture func(Capture)
+	// Trace, if set, records a structured event log of every defense
+	// action (session lifecycle, propagation, captures, auth
+	// rejections). A nil log is a no-op.
+	Trace *trace.Log
+
+	// Counters for the overhead accounting of Sec. 5.3.
+	MsgSent    int64
+	MsgBadAuth int64
+	floodSeq   int64
+}
+
+// New builds a defense instance. isHost must classify end hosts
+// (leaves and servers) versus routers.
+func New(nw *netsim.Network, pool *roaming.Pool, isHost func(*netsim.Node) bool, cfg Config) (*Defense, error) {
+	if nw == nil || pool == nil || isHost == nil {
+		return nil, errors.New("core: nil network, pool or host classifier")
+	}
+	cfg.fillDefaults(pool.Config().EpochLen)
+	return &Defense{
+		Cfg:     cfg,
+		sim:     nw.Sim,
+		net:     nw,
+		pool:    pool,
+		isHost:  isHost,
+		routers: map[netsim.NodeID]*RouterAgent{},
+		legacy:  map[netsim.NodeID]*LegacyAgent{},
+		servers: map[netsim.NodeID]*ServerDefense{},
+	}, nil
+}
+
+// DeployRouter activates honeypot back-propagation on a router.
+func (d *Defense) DeployRouter(n *netsim.Node) *RouterAgent {
+	if a, ok := d.routers[n.ID]; ok {
+		return a
+	}
+	a := newRouterAgent(d, n)
+	d.routers[n.ID] = a
+	return a
+}
+
+// DeployLegacy marks a router as non-deploying: it only relays
+// piggybacked announcements (the routing protocol does, regardless of
+// defense support).
+func (d *Defense) DeployLegacy(n *netsim.Node) *LegacyAgent {
+	if a, ok := d.legacy[n.ID]; ok {
+		return a
+	}
+	a := newLegacyAgent(d, n)
+	d.legacy[n.ID] = a
+	return a
+}
+
+// AttachServer hooks the defense into a roaming server agent: its
+// honeypot windows drive session setup and teardown.
+func (d *Defense) AttachServer(sa *roaming.ServerAgent) *ServerDefense {
+	if s, ok := d.servers[sa.Node.ID]; ok {
+		return s
+	}
+	s := newServerDefense(d, sa)
+	d.servers[sa.Node.ID] = s
+	return s
+}
+
+// DeployPerAS deploys at ISP granularity (the realistic increment of
+// Sec. 5.3: whole providers adopt the scheme or don't): routers whose
+// AS is in the deployed set run agents; routers in non-deploying ASes
+// become legacy piggyback relays.
+func (d *Defense) DeployPerAS(routers []*netsim.Node, asOf map[netsim.NodeID]int, deployed map[int]bool) {
+	for _, r := range routers {
+		if deployed[asOf[r.ID]] {
+			d.DeployRouter(r)
+		} else {
+			d.DeployLegacy(r)
+		}
+	}
+}
+
+// CapturesByAS groups captures by the access router's AS — the
+// paper's deployment incentive: each ISP learns exactly which of its
+// own hosts are compromised.
+func (d *Defense) CapturesByAS(asOf map[netsim.NodeID]int) map[int]int {
+	out := map[int]int{}
+	for _, c := range d.captures {
+		out[asOf[c.Router]]++
+	}
+	return out
+}
+
+// DeployAll deploys router agents on every non-host node and attaches
+// every provided server agent — the full-deployment configuration of
+// the simulation study.
+func (d *Defense) DeployAll(serverAgents []*roaming.ServerAgent) {
+	for _, n := range d.net.Nodes() {
+		if !d.isHost(n) {
+			d.DeployRouter(n)
+		}
+	}
+	for _, sa := range serverAgents {
+		d.AttachServer(sa)
+	}
+}
+
+// Captures returns all captures so far, in time order.
+func (d *Defense) Captures() []Capture { return d.captures }
+
+// Router returns the agent deployed on node id, or nil.
+func (d *Defense) Router(id netsim.NodeID) *RouterAgent { return d.routers[id] }
+
+// ServerDefense returns the server-side defense for node id, or nil.
+func (d *Defense) ServerDefense(id netsim.NodeID) *ServerDefense { return d.servers[id] }
+
+// deployed reports whether a node runs a router agent.
+func (d *Defense) deployed(n *netsim.Node) bool {
+	_, ok := d.routers[n.ID]
+	return ok
+}
+
+func (d *Defense) recordCapture(c Capture) {
+	d.captures = append(d.captures, c)
+	d.rec(trace.Captured, int(c.Router), int(c.Attacker), int(c.Server), "")
+	if d.OnCapture != nil {
+		d.OnCapture(c)
+	}
+}
+
+// rec appends a trace event with the current timestamp.
+func (d *Defense) rec(kind trace.Kind, node, peer, server int, note string) {
+	d.Trace.Record(trace.Event{
+		Time:   d.sim.Now(),
+		Kind:   kind,
+		Node:   node,
+		Peer:   peer,
+		Server: server,
+		Note:   note,
+	})
+}
+
+// sendMsg transmits a control message from a node to a destination
+// node (hop-by-hop when adjacent; routed when Direct/Report).
+func (d *Defense) sendMsg(from *netsim.Node, to netsim.NodeID, m *Message) {
+	d.MsgSent++
+	from.Send(&netsim.Packet{
+		Src:     from.ID,
+		TrueSrc: from.ID,
+		Dst:     to,
+		Size:    CtrlPacketSize,
+		Type:    netsim.Control,
+		Payload: m,
+	})
+}
+
+// authOK validates an incoming control message per Sec. 5.3: messages
+// from a direct neighbor that is a router (or a pool server) pass the
+// TTL-255 adjacency check; anything else needs a valid HMAC under the
+// shared key.
+func (d *Defense) authOK(m *Message, p *netsim.Packet, in *netsim.Port) bool {
+	if m.Verify(d.Cfg.AuthKey) {
+		return true
+	}
+	if in == nil {
+		return true // locally generated
+	}
+	if p.TTL != netsim.DefaultTTL {
+		d.MsgBadAuth++
+		d.rec(trace.AuthRejected, int(p.Dst), int(p.Src), int(m.Server), "multi-hop without tag")
+		return false
+	}
+	peer := in.Peer().Node()
+	// Only adjacent routers and pool servers may speak hop-by-hop.
+	if d.isHost(peer) && !d.isPoolServer(peer.ID) {
+		d.MsgBadAuth++
+		d.rec(trace.AuthRejected, int(p.Dst), int(peer.ID), int(m.Server), "hop-by-hop from a host")
+		return false
+	}
+	return true
+}
+
+func (d *Defense) isPoolServer(id netsim.NodeID) bool {
+	for _, s := range d.pool.Servers() {
+		if s.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Defense) nextFloodID() int64 {
+	d.floodSeq++
+	return d.floodSeq
+}

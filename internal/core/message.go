@@ -1,0 +1,148 @@
+// Package core implements honeypot back-propagation (Sec. 5–6 of the
+// paper): the hop-by-hop traceback scheme that, when a roaming
+// honeypot receives attack packets, propagates honeypot sessions
+// upstream towards the attack sources — identifying at each router the
+// input ports carrying honeypot-destined traffic (input debugging) and
+// finally shutting the access port of each attack host. It includes
+// the progressive variant for low-rate attacks, partial-deployment
+// bridging via routing-option piggyback, and message authentication
+// (TTL-255 for hop-by-hop messages, HMAC for multi-hop messages).
+//
+// This package operates at router granularity, matching the paper's
+// ns-2 model of the intra-AS scheme (Sec. 8.1). The AS-granularity
+// inter-AS scheme, with HSMs and edge-router marking, lives in
+// internal/asnet and reuses these message definitions.
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// MsgKind enumerates honeypot back-propagation control messages.
+type MsgKind int
+
+const (
+	// Request activates (or extends) a honeypot session for a server.
+	Request MsgKind = iota
+	// Cancel tears down a session at the end of a honeypot epoch.
+	Cancel
+	// Report is the progressive scheme's frontier notification: a
+	// router at which propagation stopped identifies itself to the
+	// server (Sec. 6).
+	Report
+	// PiggybackRequest is a Request bridged across non-deploying
+	// routers by flooding over routing-protocol announcements
+	// (Sec. 5.3, incremental deployment).
+	PiggybackRequest
+	// PiggybackCancel is the flooded form of Cancel.
+	PiggybackCancel
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Cancel:
+		return "cancel"
+	case Report:
+		return "report"
+	case PiggybackRequest:
+		return "piggyback-request"
+	case PiggybackCancel:
+		return "piggyback-cancel"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Message is the payload of honeypot back-propagation control packets.
+type Message struct {
+	Kind MsgKind
+	// Server is the protected (honeypot) server the session concerns.
+	Server netsim.NodeID
+	// Epoch is the honeypot epoch the message belongs to.
+	Epoch int
+	// Direct marks a progressive-scheme request sent straight to an
+	// intermediate router rather than hop-by-hop.
+	Direct bool
+	// Origin is the sender's identity: the reporting router for
+	// Report, the flood initiator for Piggyback*.
+	Origin netsim.NodeID
+	// Timestamp is the sender's clock at transmission; the server
+	// derives the frontier router's time distance t_A from it.
+	Timestamp float64
+	// FloodID deduplicates piggyback floods.
+	FloodID int64
+	// Tag authenticates multi-hop messages (HMAC-SHA256 over the
+	// canonical encoding). Hop-by-hop messages may omit it and rely
+	// on the TTL-255 adjacency check instead.
+	Tag []byte
+}
+
+// CtrlPacketSize is the wire size of control packets carrying
+// Messages.
+const CtrlPacketSize = 64
+
+// encode produces the canonical byte representation covered by Tag.
+func (m *Message) encode() []byte {
+	buf := make([]byte, 0, 64)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(m.Kind))
+	put(uint64(int64(m.Server)))
+	put(uint64(int64(m.Epoch)))
+	if m.Direct {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint64(int64(m.Origin)))
+	put(uint64(int64(m.FloodID)))
+	// Timestamp is authenticated at millisecond resolution.
+	put(uint64(int64(m.Timestamp * 1e3)))
+	return buf
+}
+
+// Sign computes and attaches the HMAC tag under the shared defense
+// key.
+func (m *Message) Sign(key []byte) {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(m.encode())
+	m.Tag = mac.Sum(nil)
+}
+
+// Verify checks the HMAC tag under the shared defense key.
+func (m *Message) Verify(key []byte) bool {
+	if len(m.Tag) == 0 {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(m.encode())
+	return hmac.Equal(m.Tag, mac.Sum(nil))
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("%v server=%d epoch=%d origin=%d direct=%v", m.Kind, m.Server, m.Epoch, m.Origin, m.Direct)
+}
+
+// newCtrlPacket wraps a Message in a control packet from one node to
+// another (claimed source = true source; forgeries set fields
+// themselves).
+func newCtrlPacket(from, to netsim.NodeID, m *Message) *netsim.Packet {
+	return &netsim.Packet{
+		Src:     from,
+		TrueSrc: from,
+		Dst:     to,
+		Size:    CtrlPacketSize,
+		Type:    netsim.Control,
+		Payload: m,
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// treeHarness builds a small random tree with a full HBP deployment.
+type treeHarness struct {
+	sim    *des.Simulator
+	tr     *topology.Tree
+	pool   *roaming.Pool
+	agents []*roaming.ServerAgent
+	def    *Defense
+}
+
+func newTreeHarness(t testing.TB, leaves int, pcfg roaming.Config, dcfg Config) *treeHarness {
+	t.Helper()
+	sim := des.New()
+	p := topology.DefaultParams()
+	p.Leaves = leaves
+	p.Servers = pcfg.N
+	tr := topology.NewTree(sim, p)
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(tr.Net, pool, tr.IsHost, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &treeHarness{sim: sim, tr: tr, pool: pool, def: def}
+	for _, s := range tr.Servers {
+		h.agents = append(h.agents, roaming.NewServerAgent(pool, s))
+	}
+	def.DeployAll(h.agents)
+	return h
+}
+
+func TestMultipleAttackersAllCaptured(t *testing.T) {
+	pcfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.3, Epochs: 40, ChainSeed: []byte("multi")}
+	h := newTreeHarness(t, 60, pcfg, Config{})
+	rng := des.NewRNG(3)
+	attackHosts, _ := h.tr.PlaceAttackers(10, topology.Even, 3)
+	spoof := make([]netsim.NodeID, len(h.tr.Leaves))
+	for i, l := range h.tr.Leaves {
+		spoof[i] = l.ID
+	}
+	var attackers []*traffic.Attacker
+	for _, host := range attackHosts {
+		attackers = append(attackers, traffic.NewAttacker(host, h.tr.Servers,
+			traffic.AttackerConfig{Rate: 2e5, Size: 500, SpoofSpace: spoof}, rng))
+	}
+	h.pool.Start()
+	h.sim.At(1, func() {
+		for _, a := range attackers {
+			a.Start()
+		}
+	})
+	if err := h.sim.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	caps := h.def.Captures()
+	if len(caps) != len(attackers) {
+		t.Fatalf("captured %d of %d attackers within 30 epochs", len(caps), len(attackers))
+	}
+	// Each captured node really is an attack host, and no host is
+	// captured twice.
+	isAttacker := map[netsim.NodeID]bool{}
+	for _, a := range attackHosts {
+		isAttacker[a.ID] = true
+	}
+	seen := map[netsim.NodeID]bool{}
+	for _, c := range caps {
+		if !isAttacker[c.Attacker] {
+			t.Fatalf("captured non-attacker %d", c.Attacker)
+		}
+		if seen[c.Attacker] {
+			t.Fatalf("attacker %d captured twice", c.Attacker)
+		}
+		seen[c.Attacker] = true
+	}
+}
+
+func TestCoexistingClientsNeverCaptured(t *testing.T) {
+	pcfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.3, Epochs: 30, ChainSeed: []byte("coex")}
+	h := newTreeHarness(t, 50, pcfg, Config{})
+	rng := des.NewRNG(5)
+	attackHosts, clientHosts := h.tr.PlaceAttackers(8, topology.Even, 5)
+	spoof := make([]netsim.NodeID, len(h.tr.Leaves))
+	for i, l := range h.tr.Leaves {
+		spoof[i] = l.ID
+	}
+	for _, host := range attackHosts {
+		a := traffic.NewAttacker(host, h.tr.Servers,
+			traffic.AttackerConfig{Rate: 2e5, Size: 500, SpoofSpace: spoof}, rng)
+		h.sim.At(1, a.Start)
+	}
+	for _, host := range clientHosts {
+		sub, err := h.pool.Issue(29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := traffic.NewRoamingClient(host, sub, h.tr.Servers, traffic.ClientConfig{Rate: 1e5, Size: 500}, rng)
+		h.sim.At(0.01, func() { c.Start(pcfg.EpochLen) })
+	}
+	h.pool.Start()
+	if err := h.sim.RunUntil(290); err != nil {
+		t.Fatal(err)
+	}
+	isAttacker := map[netsim.NodeID]bool{}
+	for _, a := range attackHosts {
+		isAttacker[a.ID] = true
+	}
+	for _, c := range h.def.Captures() {
+		if !isAttacker[c.Attacker] {
+			t.Fatalf("legitimate client %d captured (false positive)", c.Attacker)
+		}
+	}
+	if len(h.def.Captures()) == 0 {
+		t.Fatal("no attackers captured at all")
+	}
+}
+
+func TestConcurrentHoneypotSessions(t *testing.T) {
+	// With N=5, K=3 two servers are honeypots at once; attackers on
+	// both must be traced through overlapping session trees without
+	// interference.
+	pcfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.3, Epochs: 40, ChainSeed: []byte("conc")}
+	h := newTreeHarness(t, 40, pcfg, Config{})
+	rng := des.NewRNG(8)
+	attackHosts, _ := h.tr.PlaceAttackers(2, topology.Even, 9)
+	// Force the two attackers onto two different servers.
+	mkCBR := func(host *netsim.Node, target netsim.NodeID) *traffic.CBR {
+		return &traffic.CBR{
+			Node: host, Rate: 2e5, Size: 500,
+			Dest:   func() netsim.NodeID { return target },
+			Source: func() netsim.NodeID { return netsim.NodeID(rng.Intn(4096) + 20000) },
+		}
+	}
+	a0 := mkCBR(attackHosts[0], h.tr.Servers[0].ID)
+	a1 := mkCBR(attackHosts[1], h.tr.Servers[1].ID)
+	h.pool.Start()
+	h.sim.At(1, func() { a0.Start(); a1.Start() })
+	if err := h.sim.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.def.Captures()) != 2 {
+		t.Fatalf("captured %d of 2 attackers on distinct servers", len(h.def.Captures()))
+	}
+	servers := map[netsim.NodeID]bool{}
+	for _, c := range h.def.Captures() {
+		servers[c.Server] = true
+	}
+	if len(servers) != 2 {
+		t.Fatalf("both captures credited to one server: %+v", h.def.Captures())
+	}
+}
+
+func TestBlacklistedTrafficStillTraceable(t *testing.T) {
+	// An attacker that (foolishly) completed a handshake gets
+	// blacklisted at the server; back-propagation must still capture
+	// it because honeypot windows count packets before serving.
+	pcfg := roaming.Config{N: 2, K: 1, EpochLen: 10, Guard: 0.2, Epochs: 40, ChainSeed: []byte("bl")}
+	sim := des.New()
+	tr := topology.NewString(sim, 5, 2, topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(tr.Net, pool, tr.IsHost, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []*roaming.ServerAgent
+	for _, s := range tr.Servers {
+		agents = append(agents, roaming.NewServerAgent(pool, s))
+	}
+	def.DeployAll(agents)
+	host := tr.Leaves[0]
+	target := tr.Servers[0].ID
+	// Handshake with the true source, then flood unspoofed.
+	sim.At(0.5, func() {
+		host.Send(&netsim.Packet{Src: host.ID, TrueSrc: host.ID, Dst: target, Size: 64, Type: netsim.Handshake})
+	})
+	flood := &traffic.CBR{Node: host, Rate: 4e5, Size: 500,
+		Dest: func() netsim.NodeID { return target }}
+	pool.Start()
+	sim.At(1, flood.Start)
+	if err := sim.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Captures()) != 1 {
+		t.Fatalf("unspoofed attacker not captured: %d", len(def.Captures()))
+	}
+	if !agents[0].Blacklisted(host.ID) {
+		t.Fatal("verified source not blacklisted after honeypot hit")
+	}
+}

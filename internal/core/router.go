@@ -1,0 +1,277 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// session is a router-level honeypot session: the state kept while a
+// server is a honeypot, recording which input ports carry traffic
+// destined for it (router-level input debugging, Sec. 5.2).
+type session struct {
+	server netsim.NodeID
+	epoch  int
+	// counts tracks honeypot-destined packets per input port.
+	counts map[*netsim.Port]int
+	// requested marks ports across which the session was already
+	// propagated (or whose host was captured).
+	requested map[*netsim.Port]bool
+	// sentUpstream counts propagations; zero at cancel time makes
+	// this router a progressive-scheme frontier.
+	sentUpstream int
+	expiry       *des.Event
+}
+
+// RouterAgent runs honeypot back-propagation on one router.
+type RouterAgent struct {
+	Node *netsim.Node
+
+	d          *Defense
+	sessions   map[netsim.NodeID]*session // keyed by protected server
+	hookRemove func()
+
+	// Stats
+	SessionsCreated int64
+	SessionsClosed  int64
+	Propagations    int64
+	Blocks          int64
+}
+
+func newRouterAgent(d *Defense, n *netsim.Node) *RouterAgent {
+	a := &RouterAgent{Node: n, d: d, sessions: map[netsim.NodeID]*session{}}
+	n.Handler = a.handleControl
+	return a
+}
+
+// ActiveSessions returns the number of live honeypot sessions.
+func (a *RouterAgent) ActiveSessions() int { return len(a.sessions) }
+
+// HasSession reports whether a session for the server is active.
+func (a *RouterAgent) HasSession(server netsim.NodeID) bool {
+	_, ok := a.sessions[server]
+	return ok
+}
+
+// handleControl processes control packets addressed to this router.
+func (a *RouterAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
+	m, ok := p.Payload.(*Message)
+	if !ok || p.Type != netsim.Control {
+		return
+	}
+	if !a.d.authOK(m, p, in) {
+		return
+	}
+	switch m.Kind {
+	case Request:
+		a.openSession(m)
+	case Cancel:
+		a.closeSession(m, true)
+	case PiggybackRequest, PiggybackCancel:
+		// Delivered here when a deploying router is the flood target;
+		// treat as the corresponding message and stop the flood.
+		if m.Kind == PiggybackRequest {
+			a.openSession(m)
+		} else {
+			a.closeSession(m, true)
+		}
+	}
+}
+
+// openSession creates or refreshes the session for m.Server.
+func (a *RouterAgent) openSession(m *Message) {
+	s, ok := a.sessions[m.Server]
+	if !ok {
+		s = &session{
+			server:    m.Server,
+			epoch:     m.Epoch,
+			counts:    map[*netsim.Port]int{},
+			requested: map[*netsim.Port]bool{},
+		}
+		a.sessions[m.Server] = s
+		a.SessionsCreated++
+		a.d.rec(trace.SessionOpened, int(a.Node.ID), -1, int(m.Server), "")
+		if len(a.sessions) == 1 {
+			a.installHook()
+		}
+	} else {
+		s.epoch = m.Epoch
+	}
+	if s.expiry != nil {
+		a.d.sim.Cancel(s.expiry)
+		s.expiry = nil
+	}
+	if life := a.d.Cfg.SessionLifetime; life > 0 {
+		server := m.Server
+		s.expiry = a.d.sim.AfterNamed(life, "hbp-session-expiry", func() {
+			a.closeSession(&Message{Kind: Cancel, Server: server, Epoch: s.epoch}, false)
+		})
+	}
+}
+
+// closeSession tears down the session, optionally forwarding the
+// cancel upstream along the request tree and emitting a progressive
+// frontier report.
+func (a *RouterAgent) closeSession(m *Message, propagate bool) {
+	s, ok := a.sessions[m.Server]
+	if !ok {
+		return
+	}
+	delete(a.sessions, m.Server)
+	a.SessionsClosed++
+	a.d.rec(trace.SessionClosed, int(a.Node.ID), -1, int(m.Server), "")
+	if s.expiry != nil {
+		a.d.sim.Cancel(s.expiry)
+	}
+	if len(a.sessions) == 0 && a.hookRemove != nil {
+		a.hookRemove()
+		a.hookRemove = nil
+	}
+	if !propagate {
+		return
+	}
+	// Forward the cancel across every port we propagated a request on
+	// (captured host ports have requested=true too, but hosts ignore
+	// control payloads; skip them to save messages).
+	for pt := range s.requested {
+		up := pt.Peer().Node()
+		if a.d.isHost(up) {
+			continue
+		}
+		cm := &Message{Kind: Cancel, Server: s.server, Epoch: s.epoch}
+		if a.d.deployed(up) {
+			a.d.sendMsg(a.Node, up.ID, cm)
+		} else {
+			a.floodPiggyback(cm, PiggybackCancel, pt)
+		}
+	}
+	// Progressive scheme (Sec. 6): if this router never propagated the
+	// session upstream, it is the frontier; report identity and
+	// timestamp to the server.
+	if a.d.Cfg.Progressive && s.sentUpstream == 0 {
+		rm := &Message{
+			Kind:      Report,
+			Server:    s.server,
+			Epoch:     s.epoch,
+			Origin:    a.Node.ID,
+			Timestamp: a.d.sim.Now(),
+		}
+		rm.Sign(a.d.Cfg.AuthKey)
+		a.d.rec(trace.ReportSent, int(a.Node.ID), -1, int(s.server), "")
+		a.d.sendMsg(a.Node, s.server, rm)
+	}
+}
+
+// installHook arms router-level input debugging: observe every
+// forwarded packet whose destination has an active session.
+func (a *RouterAgent) installHook() {
+	a.hookRemove = a.Node.AddHook(netsim.ForwardFunc(a.observe))
+}
+
+// observe implements input debugging on the forwarding path.
+func (a *RouterAgent) observe(n *netsim.Node, p *netsim.Packet, in, out *netsim.Port) bool {
+	if p.Type == netsim.Control {
+		return true
+	}
+	s, ok := a.sessions[p.Dst]
+	if !ok || in == nil {
+		return true
+	}
+	s.counts[in]++
+	if s.counts[in] >= a.d.Cfg.PropagateThreshold && !s.requested[in] {
+		s.requested[in] = true
+		a.propagate(s, in)
+	}
+	return true
+}
+
+// propagate extends the session across input port in: block the port
+// if its peer is an end host (the attack host has been reached),
+// otherwise relay the request to the upstream router.
+func (a *RouterAgent) propagate(s *session, in *netsim.Port) {
+	up := in.Peer().Node()
+	if a.d.isHost(up) {
+		// Access router reached: shut the switch port (Sec. 5.2).
+		in.BlockedIngress = true
+		a.Blocks++
+		a.d.recordCapture(Capture{
+			Attacker: up.ID,
+			Server:   s.server,
+			Router:   a.Node.ID,
+			Time:     a.d.sim.Now(),
+		})
+		return
+	}
+	m := &Message{Kind: Request, Server: s.server, Epoch: s.epoch}
+	s.sentUpstream++
+	a.Propagations++
+	a.d.rec(trace.Propagated, int(a.Node.ID), int(up.ID), int(s.server), "")
+	if a.d.deployed(up) {
+		a.d.sendMsg(a.Node, up.ID, m)
+		return
+	}
+	// Deployment gap: bridge it by flooding the request over routing
+	// announcements until deploying routers are reached (Sec. 5.3).
+	a.floodPiggyback(m, PiggybackRequest, in)
+}
+
+// floodPiggyback wraps m as a piggybacked announcement and sends it
+// into the legacy region through port via.
+func (a *RouterAgent) floodPiggyback(m *Message, kind MsgKind, via *netsim.Port) {
+	fm := &Message{
+		Kind:      kind,
+		Server:    m.Server,
+		Epoch:     m.Epoch,
+		Origin:    a.Node.ID,
+		Timestamp: a.d.sim.Now(),
+		FloodID:   a.d.nextFloodID(),
+	}
+	fm.Sign(a.d.Cfg.AuthKey)
+	a.d.rec(trace.Piggybacked, int(a.Node.ID), int(via.Peer().Node().ID), int(m.Server), kind.String())
+	a.d.sendMsg(a.Node, via.Peer().Node().ID, fm)
+}
+
+// LegacyAgent models a non-deploying router: it ignores honeypot
+// sessions but, like any router, relays routing-protocol
+// announcements — so piggybacked requests traverse it to reach
+// deploying routers beyond (Sec. 5.3).
+type LegacyAgent struct {
+	Node *netsim.Node
+	d    *Defense
+	seen map[int64]bool
+
+	Relayed int64
+}
+
+func newLegacyAgent(d *Defense, n *netsim.Node) *LegacyAgent {
+	a := &LegacyAgent{Node: n, d: d, seen: map[int64]bool{}}
+	n.Handler = a.handleControl
+	return a
+}
+
+func (a *LegacyAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
+	m, ok := p.Payload.(*Message)
+	if !ok || p.Type != netsim.Control {
+		return
+	}
+	if m.Kind != PiggybackRequest && m.Kind != PiggybackCancel {
+		return // legacy routers ignore the defense proper
+	}
+	if a.seen[m.FloodID] {
+		return
+	}
+	a.seen[m.FloodID] = true
+	// Relay the announcement to every neighbor except the one it came
+	// from and any end hosts.
+	for _, pt := range a.Node.Ports() {
+		if pt == in {
+			continue
+		}
+		nb := pt.Peer().Node()
+		if a.d.isHost(nb) {
+			continue
+		}
+		a.Relayed++
+		a.d.sendMsg(a.Node, nb.ID, m)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/trace"
+)
+
+// ServerDefense drives honeypot back-propagation from one server of
+// the roaming pool: it triggers session setup when the server's
+// honeypot window collects enough attack packets, tears sessions down
+// at window end, and — in progressive mode — maintains the
+// intermediate-router list of Sec. 6 with the paper's two retention
+// rules (the miss rule and the ρ consecutive-report rule).
+type ServerDefense struct {
+	d  *Defense
+	sa *roaming.ServerAgent
+
+	windowOpen bool
+	epoch      int
+	hpCount    int
+	requested  bool
+
+	intermediates map[netsim.NodeID]*intermediate
+
+	// Stats
+	RequestsSent       int64
+	CancelsSent        int64
+	DirectRequestsSent int64
+	ReportsReceived    int64
+	Rule1Removals      int64
+	RhoRemovals        int64
+}
+
+// intermediate is one entry of the progressive scheme's
+// intermediate-router list.
+type intermediate struct {
+	id netsim.NodeID
+	// tdist is the measured one-way time distance t_A from the router
+	// to the server.
+	tdist float64
+	// consecutive counts consecutive honeypot epochs with a report;
+	// reaching ρ removes the entry.
+	consecutive int
+	// armedEpoch is the last honeypot epoch we sent a direct request
+	// for (-1 if never).
+	armedEpoch int
+	// reportedEpoch is the last honeypot epoch the router reported
+	// for (-1 if never).
+	reportedEpoch int
+	armEvent      *des.Event
+}
+
+func newServerDefense(d *Defense, sa *roaming.ServerAgent) *ServerDefense {
+	s := &ServerDefense{d: d, sa: sa, epoch: -1, intermediates: map[netsim.NodeID]*intermediate{}}
+	sa.OnHoneypotStart = s.onWindowOpen
+	sa.OnHoneypotEnd = s.onWindowClose
+	sa.OnHoneypotPacket = s.onHoneypotPacket
+	// Intercept defense control messages before the roaming agent
+	// counts them as (honeypot) traffic.
+	prev := sa.Node.Handler
+	sa.Node.Handler = func(p *netsim.Packet, in *netsim.Port) {
+		if m, ok := p.Payload.(*Message); ok && p.Type == netsim.Control {
+			s.handleControl(m, p, in)
+			return
+		}
+		prev(p, in)
+	}
+	return s
+}
+
+// Intermediates returns the current intermediate-list size.
+func (s *ServerDefense) Intermediates() int { return len(s.intermediates) }
+
+func (s *ServerDefense) firstHop() netsim.NodeID {
+	return s.sa.Node.Ports()[0].Peer().Node().ID
+}
+
+func (s *ServerDefense) onWindowOpen(epoch int) {
+	s.windowOpen = true
+	s.epoch = epoch
+	s.hpCount = 0
+	s.requested = false
+	// Stale-entry sweep: an entry armed for an earlier epoch that
+	// never reported back has propagated (or its report was lost);
+	// rule 1 removes it.
+	for id, e := range s.intermediates {
+		if e.armedEpoch >= 0 && e.armedEpoch < epoch && e.reportedEpoch < e.armedEpoch {
+			s.removeIntermediate(id, e)
+			s.Rule1Removals++
+		}
+	}
+}
+
+func (s *ServerDefense) onWindowClose(epoch int) {
+	s.windowOpen = false
+	if s.requested {
+		// Tear down the session tree rooted at our first-hop router.
+		s.d.rec(trace.CancelSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
+		s.d.sendMsg(s.sa.Node, s.firstHop(), &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch})
+		s.CancelsSent++
+	}
+	// Direct cancels to intermediates armed for this epoch, so their
+	// pre-seeded sessions close and emit frontier reports.
+	for _, e := range s.intermediates {
+		if e.armedEpoch == epoch {
+			cm := &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch, Direct: true}
+			cm.Sign(s.d.Cfg.AuthKey)
+			s.d.sendMsg(s.sa.Node, e.id, cm)
+			s.CancelsSent++
+		}
+	}
+}
+
+func (s *ServerDefense) onHoneypotPacket(p *netsim.Packet, in *netsim.Port) {
+	if !s.windowOpen {
+		return
+	}
+	s.hpCount++
+	if s.hpCount >= s.d.Cfg.ActivationThreshold && !s.requested {
+		s.requested = true
+		s.d.rec(trace.RequestSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
+		s.d.sendMsg(s.sa.Node, s.firstHop(), &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch})
+		s.RequestsSent++
+	}
+}
+
+// handleControl processes defense control messages addressed to the
+// server (currently only progressive reports).
+func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.Port) {
+	if m.Kind != Report || m.Server != s.sa.Node.ID {
+		return
+	}
+	// Reports travel multi-hop; they must carry a valid tag.
+	if !m.Verify(s.d.Cfg.AuthKey) {
+		s.d.MsgBadAuth++
+		return
+	}
+	if !s.d.Cfg.Progressive {
+		return
+	}
+	s.ReportsReceived++
+	now := s.d.sim.Now()
+	e, ok := s.intermediates[m.Origin]
+	if !ok {
+		e = &intermediate{id: m.Origin, armedEpoch: -1, reportedEpoch: -1}
+		s.intermediates[m.Origin] = e
+	}
+	if m.Epoch > e.reportedEpoch {
+		e.consecutive++
+		e.reportedEpoch = m.Epoch
+	}
+	e.tdist = now - m.Timestamp
+	if e.tdist < 0 {
+		e.tdist = 0
+	}
+	// Rule 2 (ρ): a router that keeps reporting without progress is
+	// dropped to bound the list.
+	if e.consecutive >= s.d.Cfg.Rho {
+		s.removeIntermediate(m.Origin, e)
+		s.RhoRemovals++
+		return
+	}
+	s.scheduleArm(e, m.Epoch)
+}
+
+// scheduleArm plans a direct request to the intermediate so that its
+// session is live t_A + τ before the server's next honeypot window
+// opens (Sec. 6).
+func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
+	if e.armEvent != nil && e.armEvent.Pending() {
+		return
+	}
+	pool := s.d.pool
+	next := pool.NextHoneypotEpoch(s.sa.Node.ID, afterEpoch+1)
+	if next < 0 {
+		return // chain exhausted
+	}
+	open := pool.EpochStartTime(next) + pool.Config().Guard
+	at := open - e.tdist - s.d.Cfg.Tau
+	now := s.d.sim.Now()
+	if at < now {
+		at = now
+	}
+	e.armEvent = s.d.sim.AtNamed(at, "hbp-progressive-arm", func() {
+		if s.intermediates[e.id] != e {
+			return // removed meanwhile
+		}
+		rm := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: next, Direct: true}
+		rm.Sign(s.d.Cfg.AuthKey)
+		s.d.sendMsg(s.sa.Node, e.id, rm)
+		s.DirectRequestsSent++
+		e.armedEpoch = next
+	})
+}
+
+func (s *ServerDefense) removeIntermediate(id netsim.NodeID, e *intermediate) {
+	if e.armEvent != nil {
+		s.d.sim.Cancel(e.armEvent)
+	}
+	delete(s.intermediates, id)
+}

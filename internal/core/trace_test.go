@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTraceNarrative(t *testing.T) {
+	// A full capture run leaves a coherent trace: request before
+	// sessions, sessions before propagations, propagations before the
+	// capture, cancel and session teardown after.
+	h := newHarness(t, 6, poolCfg(2, 1, 10), Config{})
+	h.def.Trace = trace.New(0)
+	target := h.tr.Servers[0].ID
+	atk := h.attackCBR(target, 4e5)
+	h.pool.Start()
+	h.sim.At(0.5, func() { atk.Start() })
+	if err := h.sim.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	log := h.def.Trace
+	counts := log.Count()
+	if counts[trace.RequestSent] == 0 {
+		t.Fatal("no request events")
+	}
+	if counts[trace.SessionOpened] < 6 {
+		t.Fatalf("only %d session-opened events along a 7-router path", counts[trace.SessionOpened])
+	}
+	if counts[trace.Captured] != 1 {
+		t.Fatalf("captured events = %d", counts[trace.Captured])
+	}
+	if counts[trace.SessionClosed] == 0 {
+		t.Fatal("no teardown events")
+	}
+
+	// Ordering: first request < first session < capture < last close.
+	first := func(k trace.Kind) float64 { return log.Filter(k)[0].Time }
+	capAt := first(trace.Captured)
+	if !(first(trace.RequestSent) < first(trace.SessionOpened) &&
+		first(trace.SessionOpened) < capAt) {
+		t.Fatalf("trace out of causal order:\n%s", log.String())
+	}
+	closes := log.Filter(trace.SessionClosed)
+	if closes[len(closes)-1].Time < capAt {
+		t.Fatal("all sessions closed before the capture")
+	}
+	// The capture event names the attacker and its access router.
+	cap := log.Filter(trace.Captured)[0]
+	if cap.Peer != int(h.tr.Leaves[0].ID) {
+		t.Fatalf("capture event peer = %d, want attacker %d", cap.Peer, h.tr.Leaves[0].ID)
+	}
+	if cap.Node != int(h.tr.AccessRouter(h.tr.Leaves[0]).ID) {
+		t.Fatal("capture event node is not the access router")
+	}
+}
+
+func TestTraceRecordsAuthRejections(t *testing.T) {
+	h := newHarness(t, 5, poolCfg(2, 1, 10), Config{})
+	h.def.Trace = trace.New(0)
+	host := h.tr.Leaves[0]
+	access := h.tr.AccessRouter(host)
+	forged := &Message{Kind: Request, Server: h.tr.Servers[0].ID, Epoch: 0}
+	h.pool.Start()
+	h.sim.At(1, func() {
+		host.Send(newCtrlPacket(host.ID, access.ID, forged))
+	})
+	if err := h.sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Trace.Count()[trace.AuthRejected] == 0 {
+		t.Fatal("forgery not traced")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	// With no Trace set, runs must work and record nothing (nil-log
+	// no-op path).
+	h := newHarness(t, 5, poolCfg(2, 1, 10), Config{})
+	target := h.tr.Servers[0].ID
+	atk := h.attackCBR(target, 4e5)
+	h.pool.Start()
+	h.sim.At(0.5, func() { atk.Start() })
+	if err := h.sim.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	if h.def.Trace.Len() != 0 {
+		t.Fatal("nil trace recorded events")
+	}
+	if len(h.def.Captures()) != 1 {
+		t.Fatal("run without trace misbehaved")
+	}
+}

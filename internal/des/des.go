@@ -1,0 +1,227 @@
+// Package des implements a deterministic discrete-event simulation
+// engine: a simulator clock, a binary-heap event queue with stable
+// FIFO ordering for simultaneous events, and helpers for periodic and
+// conditional scheduling.
+//
+// Time is modelled as float64 seconds from the start of the run.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes runs bit-for-bit reproducible for a fixed
+// seed and workload.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. It runs with
+// the simulator clock set to the event's timestamp.
+type Handler func()
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Simulator.At, Simulator.After and friends.
+type Event struct {
+	time      float64
+	seq       uint64
+	index     int // heap index; -1 when not queued
+	handler   Handler
+	cancelled bool
+	name      string
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Name returns the optional debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Pending reports whether the event is still in the queue and will
+// fire unless cancelled.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+// It is not safe for concurrent use; a simulation run is a single
+// logical thread of control, per the usual DES model.
+type Simulator struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	stopped bool
+	// EventLimit, when non-zero, aborts Run with ErrEventLimit after
+	// that many events have fired. It guards against runaway
+	// self-rescheduling loops in tests.
+	EventLimit uint64
+}
+
+// ErrEventLimit is returned by Run and RunUntil when Simulator.EventLimit
+// is exceeded.
+var ErrEventLimit = errors.New("des: event limit exceeded")
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events that have been dispatched.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including
+// cancelled events that have not yet been popped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules h to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it would corrupt causality.
+func (s *Simulator) At(t float64, h Handler) *Event {
+	return s.AtNamed(t, "", h)
+}
+
+// AtNamed is At with a debug label attached to the event.
+func (s *Simulator) AtNamed(t float64, name string, h Handler) *Event {
+	if h == nil {
+		panic("des: nil handler")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event %q at %.9f before now %.9f", name, t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("des: scheduling event %q at non-finite time %v", name, t))
+	}
+	e := &Event{time: t, seq: s.seq, handler: h, name: name}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules h to run d seconds from now. Negative d panics.
+func (s *Simulator) After(d float64, h Handler) *Event {
+	return s.AtNamed(s.now+d, "", h)
+}
+
+// AfterNamed is After with a debug label.
+func (s *Simulator) AfterNamed(d float64, name string, h Handler) *Event {
+	return s.AtNamed(s.now+d, name, h)
+}
+
+// Cancel marks an event so that it will not fire. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil {
+		return
+	}
+	e.cancelled = true
+}
+
+// Every schedules h to run every period seconds, starting at time
+// start. It returns a stop function; calling it prevents all future
+// firings. period must be positive.
+func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
+	if period <= 0 {
+		panic("des: non-positive period")
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		h()
+		if !stopped {
+			pending = s.After(period, tick)
+		}
+	}
+	pending = s.At(start, tick)
+	return func() {
+		stopped = true
+		s.Cancel(pending)
+	}
+}
+
+// Stop makes Run return after the currently dispatching event (if any)
+// completes. Pending events remain queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run dispatches events until the queue is empty, Stop is called, or
+// the event limit is hit.
+func (s *Simulator) Run() error {
+	return s.RunUntil(math.Inf(1))
+}
+
+// RunUntil dispatches events with time <= end, then advances the clock
+// to end (if any event was pending beyond it, the clock still becomes
+// end, never more). It returns ErrEventLimit if the event budget is
+// exhausted.
+func (s *Simulator) RunUntil(end float64) error {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.time > end {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.time
+		s.fired++
+		if s.EventLimit > 0 && s.fired > s.EventLimit {
+			return ErrEventLimit
+		}
+		next.handler()
+	}
+	if !math.IsInf(end, 1) && end > s.now {
+		s.now = end
+	}
+	return nil
+}
+
+// Reset discards all pending events and rewinds the clock to zero.
+func (s *Simulator) Reset() {
+	s.now = 0
+	s.queue = nil
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+}

@@ -1,0 +1,44 @@
+package des_test
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// A tiny simulation: two timers and a periodic tick.
+func ExampleSimulator() {
+	sim := des.New()
+	sim.At(1.5, func() { fmt.Println("event at", sim.Now()) })
+	sim.After(0.5, func() { fmt.Println("event at", sim.Now()) })
+	stop := sim.Every(1, 2, func() { fmt.Println("tick at", sim.Now()) })
+	sim.At(4, func() { stop(); fmt.Println("stopped at", sim.Now()) })
+	if err := sim.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// event at 0.5
+	// tick at 1
+	// event at 1.5
+	// tick at 3
+	// stopped at 4
+}
+
+// Simultaneous events fire in scheduling order, which keeps runs
+// reproducible.
+func ExampleSimulator_RunUntil() {
+	sim := des.New()
+	for i := 1; i <= 3; i++ {
+		i := i
+		sim.At(2, func() { fmt.Println("simultaneous", i) })
+	}
+	if err := sim.RunUntil(10); err != nil {
+		fmt.Println("error:", err)
+	}
+	fmt.Println("clock:", sim.Now())
+	// Output:
+	// simultaneous 1
+	// simultaneous 2
+	// simultaneous 3
+	// clock: 10
+}

@@ -1,0 +1,165 @@
+// Package experiments wires the substrates together into the paper's
+// evaluation scenarios and provides one runner per reproduced table or
+// figure (see DESIGN.md's experiment index). Each runner returns
+// structured results that cmd/figures renders as text tables and the
+// benchmark harness exercises at reduced scale.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/roaming"
+	"repro/internal/topology"
+)
+
+// DefenseKind selects the defense under test.
+type DefenseKind int
+
+const (
+	// NoDefense is the undefended baseline.
+	NoDefense DefenseKind = iota
+	// Pushback is the ACC/Pushback baseline (Sec. 8's comparison).
+	Pushback
+	// HBP is honeypot back-propagation (plain Pushback framework
+	// augmented with honeypot signatures, ACC disabled — Sec. 8.1).
+	HBP
+	// PushbackLevelK is Pushback with level-k (host-count weighted)
+	// max-min sharing, the mitigation comparator of Sec. 2 that fixes
+	// plain Pushback's per-port blindness but remains ineffective
+	// against highly dispersed attackers.
+	PushbackLevelK
+	// StackPiFilter is victim-side filtering on StackPi path marks,
+	// trained online by the roaming-honeypot signature (packets
+	// received during honeypot windows). It drops attack traffic only
+	// at the servers, so the bottleneck still carries it — and mark
+	// collisions drop legitimate traffic as attackers disperse
+	// (Sec. 2's critique).
+	StackPiFilter
+)
+
+func (d DefenseKind) String() string {
+	switch d {
+	case NoDefense:
+		return "no-defense"
+	case Pushback:
+		return "pushback"
+	case HBP:
+		return "honeypot-backprop"
+	case PushbackLevelK:
+		return "pushback-levelk"
+	case StackPiFilter:
+		return "stackpi-filter"
+	default:
+		return fmt.Sprintf("DefenseKind(%d)", int(d))
+	}
+}
+
+// OnOffSpec configures on-off attackers; nil means continuous.
+type OnOffSpec struct {
+	Ton, Toff float64
+}
+
+// TreeConfig is a full tree-scenario specification (Figs. 8, 10, 11,
+// 12).
+type TreeConfig struct {
+	// Topology generates the tree (leaves, link classes, seed).
+	Topology topology.Params
+	// Pool is the roaming-honeypots schedule (N must match
+	// Topology.Servers).
+	Pool roaming.Config
+	// Defense selects the scheme under test.
+	Defense DefenseKind
+	// Progressive enables progressive back-propagation (HBP only).
+	Progressive bool
+	// PushbackTargetUtil overrides the ACC target utilization for the
+	// Pushback baseline; 0 keeps the pushback package default.
+	PushbackTargetUtil float64
+	// REDQueues switches every router egress queue from drop-tail to
+	// RED (the ns-2 Pushback setup runs over RED gateways).
+	REDQueues bool
+	// TraceCap, when non-zero, attaches a structured defense event
+	// log (internal/trace) bounded to that many events (HBP only).
+	TraceCap int
+	// DeployFraction is the fraction of (ISP-granularity) ASes that
+	// deploy HBP; the rest relay piggybacked announcements only. The
+	// victim's own network always deploys. 0 or 1 means full
+	// deployment.
+	DeployFraction float64
+
+	// NumAttackers of the leaves are attack hosts; the rest are
+	// legitimate clients.
+	NumAttackers int
+	// Placement positions the attackers (Sec. 8.4.1).
+	Placement topology.Placement
+	// AttackRate is the per-attacker rate in bits/s.
+	AttackRate float64
+	// OnOff, when non-nil, makes attackers burst instead of flooding.
+	OnOff *OnOffSpec
+
+	// LegitFraction is the total legitimate load as a fraction of the
+	// bottleneck capacity (the paper keeps it at ~0.9).
+	LegitFraction float64
+	// PacketSize is the data packet size in bytes for all sources.
+	PacketSize int
+
+	// Duration, AttackStart and AttackEnd shape the run (the paper:
+	// 100 s runs, attack from 5 s to 95 s).
+	Duration    float64
+	AttackStart float64
+	AttackEnd   float64
+
+	// SampleInterval is the throughput sampling period (default 1 s).
+	SampleInterval float64
+	// Seed drives attacker target choice, spoofing, client jitter.
+	Seed int64
+}
+
+// DefaultTreeConfig returns the Fig. 9-style baseline scenario:
+// 5 servers (k = 3) behind a 10 Mb/s bottleneck, 10 s epochs, 100 s
+// runs with the attack between 5 s and 95 s, 25 evenly placed
+// attackers at 0.1 Mb/s, and clients filling 90% of the bottleneck.
+func DefaultTreeConfig() TreeConfig {
+	topo := topology.DefaultParams()
+	return TreeConfig{
+		Topology: topo,
+		Pool: roaming.Config{
+			N: topo.Servers, K: 3, EpochLen: 10, Guard: 0.3,
+			Epochs: 64, ChainSeed: []byte("tree-scenario"),
+		},
+		Defense: HBP,
+		// ACC aims the aggregate at slightly above the bottleneck so
+		// the baseline is not self-harming under dispersed attackers;
+		// the max–min redistribution (the collateral-damage mechanism)
+		// is unaffected. See EXPERIMENTS.md.
+		PushbackTargetUtil: 1.05,
+		NumAttackers:       25,
+		Placement:          topology.Even,
+		AttackRate:         0.1e6,
+		LegitFraction:      0.9,
+		PacketSize:         500,
+		Duration:           100,
+		AttackStart:        5,
+		AttackEnd:          95,
+		SampleInterval:     1,
+		Seed:               1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c TreeConfig) Validate() error {
+	switch {
+	case c.NumAttackers < 0 || c.NumAttackers >= c.Topology.Leaves:
+		return fmt.Errorf("experiments: %d attackers among %d leaves", c.NumAttackers, c.Topology.Leaves)
+	case c.Pool.N != c.Topology.Servers:
+		return fmt.Errorf("experiments: pool N=%d but topology has %d servers", c.Pool.N, c.Topology.Servers)
+	case c.AttackRate <= 0 && c.NumAttackers > 0:
+		return fmt.Errorf("experiments: non-positive attack rate")
+	case c.LegitFraction <= 0 || c.LegitFraction > 1.5:
+		return fmt.Errorf("experiments: legit fraction %v out of range", c.LegitFraction)
+	case c.PacketSize <= 0:
+		return fmt.Errorf("experiments: non-positive packet size")
+	case c.Duration <= 0 || c.AttackStart < 0 || c.AttackEnd > c.Duration || c.AttackStart >= c.AttackEnd:
+		return fmt.Errorf("experiments: bad run timing (%v, %v, %v)", c.Duration, c.AttackStart, c.AttackEnd)
+	}
+	return c.Pool.Validate()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunTrees executes independent tree scenarios concurrently — each
+// scenario owns a private simulator, network and RNGs, so the runs
+// share nothing — using up to GOMAXPROCS workers. Results align with
+// the input order; the first error aborts remaining work (already
+// started runs finish).
+func RunTrees(cfgs []TreeConfig) ([]*TreeResult, error) {
+	results := make([]*TreeResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	var failed sync.Once
+	abort := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := RunTree(cfgs[i])
+				results[i], errs[i] = r, err
+				if err != nil {
+					failed.Do(func() { close(abort) })
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cfgs {
+		select {
+		case jobs <- i:
+		case <-abort:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// sweep runs one scenario per (row, defense) cell concurrently and
+// returns results indexed [row][defense].
+func sweep(base TreeConfig, rows int, defenses []DefenseKind, customize func(cfg *TreeConfig, row int)) ([][]*TreeResult, error) {
+	var cfgs []TreeConfig
+	for r := 0; r < rows; r++ {
+		for _, d := range defenses {
+			cfg := base
+			cfg.Defense = d
+			customize(&cfg, r)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	flat, err := RunTrees(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*TreeResult, rows)
+	i := 0
+	for r := 0; r < rows; r++ {
+		out[r] = make([]*TreeResult, len(defenses))
+		for c := range defenses {
+			out[r][c] = flat[i]
+			i++
+		}
+	}
+	return out, nil
+}

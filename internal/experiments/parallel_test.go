@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRunTreesMatchesSequential(t *testing.T) {
+	cfg := DefaultTreeConfig()
+	cfg.Topology.Leaves = 50
+	cfg.NumAttackers = 10
+	cfg.AttackRate = 0.25e6
+	cfg.Duration = 50
+	cfg.AttackEnd = 45
+
+	cfgs := []TreeConfig{cfg, cfg, cfg}
+	cfgs[1].Placement = topology.Close
+	cfgs[2].Defense = NoDefense
+
+	par, err := RunTrees(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cfgs {
+		seq, err := RunTree(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].MeanDuringAttack != seq.MeanDuringAttack {
+			t.Fatalf("cfg %d: parallel %.6f != sequential %.6f — runs share state",
+				i, par[i].MeanDuringAttack, seq.MeanDuringAttack)
+		}
+		if len(par[i].Captures) != len(seq.Captures) {
+			t.Fatalf("cfg %d: capture counts differ", i)
+		}
+	}
+}
+
+func TestRunTreesPropagatesErrors(t *testing.T) {
+	good := DefaultTreeConfig()
+	good.Topology.Leaves = 30
+	good.NumAttackers = 5
+	bad := good
+	bad.Pool.N = 99 // invalid: mismatched pool
+	if _, err := RunTrees([]TreeConfig{good, bad, good}); err == nil {
+		t.Fatal("invalid config not reported")
+	}
+}
+
+func TestRunTreesEmpty(t *testing.T) {
+	res, err := RunTrees(nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty input: %v %v", res, err)
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pushback"
+	"repro/internal/roaming"
+	"repro/internal/stackpi"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// TreeResult summarizes one tree-scenario run.
+type TreeResult struct {
+	Config TreeConfig
+	// Throughput is the legitimate goodput fraction of the bottleneck
+	// capacity, sampled once per SampleInterval (the Fig. 8 series).
+	Throughput *metrics.Series
+	// MeanBefore is the mean fraction before the attack starts.
+	MeanBefore float64
+	// MeanDuringAttack is the mean fraction across the attack window
+	// (the y-axis of Figs. 10–12).
+	MeanDuringAttack float64
+	// Captures lists attack hosts stopped by HBP (empty for other
+	// defenses).
+	Captures []core.Capture
+	// CaptureTimes are capture delays relative to the attack start.
+	CaptureTimes []float64
+	// CtrlMessages is the defense's control-message overhead.
+	CtrlMessages int64
+	// Trace is the defense event log when Config.TraceCap > 0.
+	Trace *trace.Log
+	// QueueDrops is the network-wide drop-tail loss count.
+	QueueDrops int64
+}
+
+// RunTree executes one tree scenario end to end.
+func RunTree(cfg TreeConfig) (*TreeResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 1
+	}
+	sim := des.New()
+	tr := topology.NewTree(sim, cfg.Topology)
+	rng := des.NewRNG(cfg.Seed)
+
+	pool, err := roaming.NewPool(sim, tr.Servers, cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+
+	attackHosts, clientHosts := tr.PlaceAttackers(cfg.NumAttackers, cfg.Placement, cfg.Seed)
+
+	if cfg.REDQueues {
+		red := netsim.DefaultREDParams()
+		for i, r := range tr.Routers {
+			for _, pt := range r.Ports() {
+				pt.EnableRED(red, cfg.Seed+int64(i)*131)
+			}
+		}
+	}
+
+	res := &TreeResult{Config: cfg}
+
+	// Server-side agents and the defense under test.
+	var serverAgents []*roaming.ServerAgent
+	switch cfg.Defense {
+	case HBP:
+		for _, s := range tr.Servers {
+			serverAgents = append(serverAgents, roaming.NewServerAgent(pool, s))
+		}
+		def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{Progressive: cfg.Progressive})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DeployFraction > 0 && cfg.DeployFraction < 1 {
+			asOf := tr.PartitionAS()
+			asIDs := map[int]bool{}
+			for _, a := range asOf {
+				asIDs[a] = true
+			}
+			ids := make([]int, 0, len(asIDs))
+			for a := range asIDs {
+				if a != 0 {
+					ids = append(ids, a)
+				}
+			}
+			sort.Ints(ids)
+			drng := des.NewRNG(cfg.Seed + 97)
+			drng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			deployed := map[int]bool{0: true}
+			want := int(cfg.DeployFraction*float64(len(ids)) + 0.5)
+			for i := 0; i < want && i < len(ids); i++ {
+				deployed[ids[i]] = true
+			}
+			def.DeployPerAS(tr.Routers, asOf, deployed)
+			for _, sa := range serverAgents {
+				def.AttachServer(sa)
+			}
+		} else {
+			def.DeployAll(serverAgents)
+		}
+		if cfg.TraceCap > 0 {
+			def.Trace = trace.New(cfg.TraceCap)
+			res.Trace = def.Trace
+		}
+		def.OnCapture = func(c core.Capture) { res.Captures = append(res.Captures, c) }
+		defer func() { res.CtrlMessages = def.MsgSent }()
+	case Pushback, PushbackLevelK:
+		defended := make([]netsim.NodeID, len(tr.Servers))
+		for i, s := range tr.Servers {
+			defended[i] = s.ID
+			s.Handler = func(p *netsim.Packet, in *netsim.Port) {}
+		}
+		pbCfg := pushback.Config{TargetUtil: cfg.PushbackTargetUtil}
+		if cfg.Defense == PushbackLevelK {
+			pbCfg.WeightedShares = true
+		}
+		pb, err := pushback.New(tr.Net, defended, pbCfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Defense == PushbackLevelK {
+			weights := tr.HostWeights()
+			pb.HostWeight = func(pt *netsim.Port) float64 { return weights[pt] }
+		}
+		pb.DeployRouters(tr.Routers)
+		pb.Start()
+		defer func() { res.CtrlMessages = pb.RequestsSent }()
+	case StackPiFilter:
+		// Mark on every router except the victim network's own two
+		// (the usual Pi convention: the victim's AS does not mark, so
+		// the mark is final at its ingress). Servers roam — honeypot
+		// windows are the online training oracle — and the learned
+		// marks are filtered at the bottleneck head, the victim ISP's
+		// ingress firewall.
+		marker := &stackpi.Marker{}
+		var marking []*netsim.Node
+		for _, r := range tr.Routers {
+			if r != tr.Root && r != tr.ServerGW {
+				marking = append(marking, r)
+			}
+		}
+		marker.Deploy(marking)
+		filter := stackpi.NewFilter()
+		for _, s := range tr.Servers {
+			sa := roaming.NewServerAgent(pool, s)
+			serverAgents = append(serverAgents, sa)
+			sa.OnHoneypotPacket = func(p *netsim.Packet, in *netsim.Port) {
+				if p.Type == netsim.Data {
+					filter.Learn(p.Mark)
+				}
+			}
+		}
+		isServer := map[netsim.NodeID]bool{}
+		for _, s := range tr.Servers {
+			isServer[s.ID] = true
+		}
+		tr.Root.AddHook(netsim.ForwardFunc(func(n *netsim.Node, p *netsim.Packet, in, out *netsim.Port) bool {
+			if !isServer[p.Dst] || p.Type != netsim.Data {
+				return true
+			}
+			return filter.Check(p)
+		}))
+		defer func() { res.CtrlMessages = int64(filter.LearnedMarks()) }()
+	case NoDefense:
+		for _, s := range tr.Servers {
+			s.Handler = func(p *netsim.Packet, in *netsim.Port) {}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown defense %v", cfg.Defense)
+	}
+
+	// Legitimate clients: roaming under HBP, uniform-static otherwise
+	// (Sec. 8.3).
+	clientRate := cfg.LegitFraction * cfg.Topology.Bottleneck.Bandwidth / float64(len(clientHosts))
+	clientCfg := traffic.ClientConfig{Rate: clientRate, Size: cfg.PacketSize}
+	var clients []*traffic.Client
+	for _, h := range clientHosts {
+		var c *traffic.Client
+		if cfg.Defense == HBP || cfg.Defense == StackPiFilter {
+			sub, err := pool.Issue(cfg.Pool.Epochs - 1)
+			if err != nil {
+				return nil, err
+			}
+			c = traffic.NewRoamingClient(h, sub, tr.Servers, clientCfg, rng)
+		} else {
+			c = traffic.NewStaticClient(h, tr.Servers, clientCfg, rng)
+		}
+		clients = append(clients, c)
+	}
+
+	// Attackers: spoofed sources drawn from the leaf address space.
+	spoofSpace := make([]netsim.NodeID, len(tr.Leaves))
+	for i, l := range tr.Leaves {
+		spoofSpace[i] = l.ID
+	}
+	atkCfg := traffic.AttackerConfig{Rate: cfg.AttackRate, Size: cfg.PacketSize, SpoofSpace: spoofSpace}
+	type startStopper interface {
+		Start()
+		Stop()
+	}
+	var attackers []startStopper
+	for _, h := range attackHosts {
+		if cfg.OnOff != nil {
+			attackers = append(attackers, traffic.NewOnOffAttacker(h, tr.Servers, atkCfg, cfg.OnOff.Ton, cfg.OnOff.Toff, rng))
+		} else {
+			attackers = append(attackers, traffic.NewAttacker(h, tr.Servers, atkCfg, rng))
+		}
+	}
+
+	mon := metrics.NewBottleneckMonitor(sim, tr.Bottleneck, tr.ServerGW, cfg.SampleInterval)
+
+	// Schedule the run.
+	if cfg.Defense == HBP || cfg.Defense == StackPiFilter {
+		pool.Start()
+	}
+	sim.At(0, func() {
+		for _, c := range clients {
+			c.Start(cfg.Pool.EpochLen)
+		}
+	})
+	sim.At(cfg.AttackStart, func() {
+		for _, a := range attackers {
+			a.Start()
+		}
+	})
+	sim.At(cfg.AttackEnd, func() {
+		for _, a := range attackers {
+			a.Stop()
+		}
+	})
+	if err := sim.RunUntil(cfg.Duration); err != nil {
+		return nil, err
+	}
+
+	res.Throughput = mon.Series()
+	res.MeanBefore = res.Throughput.MeanBetween(1, cfg.AttackStart)
+	res.MeanDuringAttack = res.Throughput.MeanBetween(cfg.AttackStart, cfg.AttackEnd)
+	var capAt []float64
+	for _, c := range res.Captures {
+		capAt = append(capAt, c.Time)
+	}
+	res.CaptureTimes = metrics.CaptureTimes(capAt, cfg.AttackStart)
+	res.QueueDrops = tr.Net.TotalQueueDrops()
+	return res, nil
+}

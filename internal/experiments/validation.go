@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ValidationConfig is a Fig. 6 model-validation point: a string
+// topology with one continuous attacker, basic honeypot
+// back-propagation, and a (m, p, h) setting.
+type ValidationConfig struct {
+	// Hops is the attacker's router-hop distance h (string length).
+	Hops int
+	// EpochLen is m in seconds.
+	EpochLen float64
+	// HoneypotProb is p; it is realized as a pool of PoolSize servers
+	// with k = round((1-p)·PoolSize) active.
+	HoneypotProb float64
+	// PoolSize is N (default 10, giving p granularity of 0.1).
+	PoolSize int
+	// RatePPS is the attack rate in packets/s (the paper's 0.1 Mb/s
+	// ≈ 25 pkt/s at 500 B).
+	RatePPS float64
+	// PacketSize in bytes.
+	PacketSize int
+	// Runs is the number of independent runs averaged (the paper uses
+	// 10).
+	Runs int
+	// Seed bases the per-run seeds.
+	Seed int64
+	// MaxEpochs caps each run's length in epochs (safety).
+	MaxEpochs int
+}
+
+// DefaultValidationConfig mirrors the Fig. 6 setup.
+func DefaultValidationConfig() ValidationConfig {
+	return ValidationConfig{
+		Hops:         10,
+		EpochLen:     100,
+		HoneypotProb: 0.3,
+		PoolSize:     10,
+		RatePPS:      25,
+		PacketSize:   500,
+		Runs:         10,
+		Seed:         1,
+		MaxEpochs:    400,
+	}
+}
+
+// ValidationResult is the measured-vs-model outcome for one point.
+type ValidationResult struct {
+	Config ValidationConfig
+	// MeanCT is the measured average capture time in seconds.
+	MeanCT float64
+	// StdCT is the sample standard deviation.
+	StdCT float64
+	// Model is the Eq. (3) bound for the same parameters.
+	Model analysis.Result
+	// Captured counts runs in which the attacker was captured.
+	Captured int
+}
+
+// RunValidation measures average capture time on the string topology
+// and evaluates Eq. (3) for comparison.
+func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 10
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 400
+	}
+	k := int(float64(cfg.PoolSize)*(1-cfg.HoneypotProb) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= cfg.PoolSize {
+		k = cfg.PoolSize - 1
+	}
+	if cfg.Hops < 1 || cfg.EpochLen <= 0 || cfg.RatePPS <= 0 || cfg.Runs < 1 {
+		return nil, fmt.Errorf("experiments: bad validation config %+v", cfg)
+	}
+
+	var cts []float64
+	captured := 0
+	for run := 0; run < cfg.Runs; run++ {
+		ct, ok, err := oneValidationRun(cfg, k, run)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			captured++
+			cts = append(cts, ct)
+		}
+	}
+	res := &ValidationResult{Config: cfg, Captured: captured}
+	res.MeanCT = mean(cts)
+	res.StdCT = std(cts)
+	res.Model = analysis.BasicContinuous(analysis.Params{
+		M:   cfg.EpochLen,
+		P:   float64(cfg.PoolSize-k) / float64(cfg.PoolSize),
+		R:   cfg.RatePPS,
+		H:   cfg.Hops + 1, // leaf link + string routers
+		Tau: 0.01,
+	})
+	return res, nil
+}
+
+// oneValidationRun returns the capture time of a single run.
+func oneValidationRun(cfg ValidationConfig, k, run int) (float64, bool, error) {
+	sim := des.New()
+	tr := topology.NewString(sim, cfg.Hops, cfg.PoolSize,
+		topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
+	pcfg := roaming.Config{
+		N: cfg.PoolSize, K: k, EpochLen: cfg.EpochLen, Guard: 0.2,
+		Epochs:    cfg.MaxEpochs,
+		ChainSeed: []byte(fmt.Sprintf("validate-%d-%d", cfg.Seed, run)),
+	}
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		return 0, false, err
+	}
+	def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{})
+	if err != nil {
+		return 0, false, err
+	}
+	var agents []*roaming.ServerAgent
+	for _, s := range tr.Servers {
+		agents = append(agents, roaming.NewServerAgent(pool, s))
+	}
+	def.DeployAll(agents)
+
+	// Continuous attacker against a fixed server, spoofing sources.
+	target := tr.Servers[0].ID
+	rng := des.NewRNG(cfg.Seed*1000 + int64(run))
+	host := tr.Leaves[0]
+	atk := &traffic.CBR{
+		Node: host,
+		Rate: cfg.RatePPS * float64(cfg.PacketSize) * 8,
+		Size: cfg.PacketSize,
+		Dest: func() netsim.NodeID { return target },
+		Source: func() netsim.NodeID {
+			return netsim.NodeID(rng.Intn(4096) + 10000)
+		},
+	}
+
+	capturedAt := -1.0
+	def.OnCapture = func(c core.Capture) {
+		if capturedAt < 0 {
+			capturedAt = c.Time
+		}
+		sim.Stop()
+	}
+	pool.Start()
+	// Randomize the attack phase within one epoch so the average is
+	// not locked to the schedule.
+	attackStart := rng.Float64() * cfg.EpochLen
+	sim.At(attackStart, func() { atk.Start() })
+	if err := sim.RunUntil(float64(cfg.MaxEpochs) * cfg.EpochLen); err != nil {
+		return 0, false, err
+	}
+	if capturedAt < 0 {
+		return 0, false, nil
+	}
+	return capturedAt - attackStart, true, nil
+}
+
+// RunValidationProgressive is the Eq. (4) analogue of RunValidation:
+// progressive back-propagation against a continuous attacker whose
+// rate is low enough that a single epoch cannot cover the whole path,
+// so capture time scales with h (unlike basic's epoch-dominated
+// bound).
+func RunValidationProgressive(cfg ValidationConfig) (*ValidationResult, error) {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 10
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 400
+	}
+	k := int(float64(cfg.PoolSize)*(1-cfg.HoneypotProb) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= cfg.PoolSize {
+		k = cfg.PoolSize - 1
+	}
+	var cts []float64
+	captured := 0
+	for run := 0; run < cfg.Runs; run++ {
+		ct, ok, err := oneProgressiveRun(cfg, k, run)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			captured++
+			cts = append(cts, ct)
+		}
+	}
+	res := &ValidationResult{Config: cfg, Captured: captured}
+	res.MeanCT = mean(cts)
+	res.StdCT = std(cts)
+	res.Model = analysis.ProgressiveContinuous(analysis.Params{
+		M:   cfg.EpochLen,
+		P:   float64(cfg.PoolSize-k) / float64(cfg.PoolSize),
+		R:   cfg.RatePPS,
+		H:   cfg.Hops + 1,
+		Tau: 0.01,
+	})
+	return res, nil
+}
+
+func oneProgressiveRun(cfg ValidationConfig, k, run int) (float64, bool, error) {
+	sim := des.New()
+	tr := topology.NewString(sim, cfg.Hops, cfg.PoolSize,
+		topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
+	pcfg := roaming.Config{
+		N: cfg.PoolSize, K: k, EpochLen: cfg.EpochLen, Guard: 0.2,
+		Epochs:    cfg.MaxEpochs,
+		ChainSeed: []byte(fmt.Sprintf("validate-prog-%d-%d", cfg.Seed, run)),
+	}
+	pool, err := roaming.NewPool(sim, tr.Servers, pcfg)
+	if err != nil {
+		return 0, false, err
+	}
+	def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{Progressive: true, Rho: 8})
+	if err != nil {
+		return 0, false, err
+	}
+	var agents []*roaming.ServerAgent
+	for _, s := range tr.Servers {
+		agents = append(agents, roaming.NewServerAgent(pool, s))
+	}
+	def.DeployAll(agents)
+
+	target := tr.Servers[0].ID
+	rng := des.NewRNG(cfg.Seed*4000 + int64(run))
+	host := tr.Leaves[0]
+	atk := &traffic.CBR{
+		Node: host,
+		Rate: cfg.RatePPS * float64(cfg.PacketSize) * 8,
+		Size: cfg.PacketSize,
+		Dest: func() netsim.NodeID { return target },
+		Source: func() netsim.NodeID {
+			return netsim.NodeID(rng.Intn(4096) + 10000)
+		},
+	}
+	capturedAt := -1.0
+	def.OnCapture = func(c core.Capture) {
+		if capturedAt < 0 {
+			capturedAt = c.Time
+		}
+		sim.Stop()
+	}
+	pool.Start()
+	attackStart := rng.Float64() * cfg.EpochLen
+	sim.At(attackStart, func() { atk.Start() })
+	if err := sim.RunUntil(float64(cfg.MaxEpochs) * cfg.EpochLen); err != nil {
+		return 0, false, err
+	}
+	if capturedAt < 0 {
+		return 0, false, nil
+	}
+	return capturedAt - attackStart, true, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}

@@ -1,0 +1,189 @@
+package hashchain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateLengthAndDeterminism(t *testing.T) {
+	c1 := MustGenerate([]byte("seed"), 100)
+	c2 := MustGenerate([]byte("seed"), 100)
+	if c1.Len() != 100 {
+		t.Fatalf("Len = %d", c1.Len())
+	}
+	for i := 0; i < 100; i++ {
+		k1, err := c1.Key(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, _ := c2.Key(i)
+		if k1 != k2 {
+			t.Fatalf("same seed differs at epoch %d", i)
+		}
+	}
+	c3 := MustGenerate([]byte("other"), 100)
+	k1, _ := c1.Key(0)
+	k3, _ := c3.Key(0)
+	if k1 == k3 {
+		t.Fatal("different seeds produced equal keys")
+	}
+}
+
+func TestGenerateRejectsBadLength(t *testing.T) {
+	if _, err := Generate([]byte("x"), 0); err == nil {
+		t.Fatal("length 0 accepted")
+	}
+	if _, err := Generate([]byte("x"), -5); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestKeyBounds(t *testing.T) {
+	c := MustGenerate([]byte("s"), 10)
+	if _, err := c.Key(-1); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+	if _, err := c.Key(10); err == nil {
+		t.Fatal("epoch past chain end accepted")
+	}
+}
+
+func TestBackwardRelation(t *testing.T) {
+	// Defining property: K_i = H(K_{i+1}).
+	c := MustGenerate([]byte("s"), 50)
+	for i := 0; i < 49; i++ {
+		ki, _ := c.Key(i)
+		kn, _ := c.Key(i + 1)
+		if step(kn) != ki {
+			t.Fatalf("K_%d != H(K_%d)", i, i+1)
+		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	c := MustGenerate([]byte("s"), 30)
+	k20, _ := c.Key(20)
+	k5, _ := c.Key(5)
+	got, err := Derive(k20, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k5 {
+		t.Fatal("Derive(20->5) wrong")
+	}
+	same, err := Derive(k20, 20, 20)
+	if err != nil || same != k20 {
+		t.Fatal("Derive(t->t) should be identity")
+	}
+	if _, err := Derive(k5, 5, 20); err == nil {
+		t.Fatal("deriving a future key must fail")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	c := MustGenerate([]byte("s"), 30)
+	anchor, _ := c.Key(3)
+	k25, _ := c.Key(25)
+	if !Verify(k25, 25, anchor, 3) {
+		t.Fatal("genuine key rejected")
+	}
+	var forged Key
+	forged[0] = 0xFF
+	if Verify(forged, 25, anchor, 3) {
+		t.Fatal("forged key accepted")
+	}
+	// Genuine key claimed for the wrong epoch must fail.
+	if Verify(k25, 24, anchor, 3) {
+		t.Fatal("misclaimed epoch accepted")
+	}
+	if Verify(anchor, 3, k25, 25) {
+		t.Fatal("anchor newer than claim must fail")
+	}
+}
+
+func TestVerifyProperty(t *testing.T) {
+	c := MustGenerate([]byte("prop"), 64)
+	f := func(a, b uint8) bool {
+		e1, e2 := int(a)%64, int(b)%64
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		anchor, _ := c.Key(e1)
+		claim, _ := c.Key(e2)
+		return Verify(claim, e2, anchor, e1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveSetProperties(t *testing.T) {
+	c := MustGenerate([]byte("s"), 100)
+	const N, K = 5, 3
+	counts := make([]int, N)
+	for e := 0; e < 100; e++ {
+		key, _ := c.Key(e)
+		set := ActiveSet(key, N, K)
+		if len(set) != K {
+			t.Fatalf("epoch %d: |set| = %d", e, len(set))
+		}
+		seen := map[int]bool{}
+		for _, s := range set {
+			if s < 0 || s >= N {
+				t.Fatalf("epoch %d: server index %d out of range", e, s)
+			}
+			if seen[s] {
+				t.Fatalf("epoch %d: duplicate server %d", e, s)
+			}
+			seen[s] = true
+			counts[s]++
+		}
+	}
+	// Same key -> same set (all parties agree).
+	key, _ := c.Key(7)
+	a, b := ActiveSet(key, N, K), ActiveSet(key, N, K)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ActiveSet not deterministic")
+		}
+	}
+	// Pseudo-randomness sanity: over 100 epochs every server should be
+	// active sometimes and honeypot sometimes (expected active 60).
+	for s, n := range counts {
+		if n < 30 || n > 90 {
+			t.Fatalf("server %d active %d/100 epochs; schedule looks biased", s, n)
+		}
+	}
+}
+
+func TestActiveSetEdgeCases(t *testing.T) {
+	c := MustGenerate([]byte("s"), 1)
+	key, _ := c.Key(0)
+	if got := ActiveSet(key, 4, 0); len(got) != 0 {
+		t.Fatal("k=0 should give empty set")
+	}
+	if got := ActiveSet(key, 4, 4); len(got) != 4 {
+		t.Fatal("k=n should give all servers")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k>n did not panic")
+		}
+	}()
+	ActiveSet(key, 2, 3)
+}
+
+func TestActiveSetVariesAcrossEpochs(t *testing.T) {
+	c := MustGenerate([]byte("s"), 50)
+	distinct := map[[3]int]bool{}
+	for e := 0; e < 50; e++ {
+		key, _ := c.Key(e)
+		set := ActiveSet(key, 5, 3)
+		var arr [3]int
+		copy(arr[:], set)
+		distinct[arr] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct active sets in 50 epochs; schedule not roaming", len(distinct))
+	}
+}

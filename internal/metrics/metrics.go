@@ -1,0 +1,167 @@
+// Package metrics provides the measurement instruments of the
+// evaluation: a bottleneck goodput monitor producing the time series
+// of Fig. 8, a capture-time recorder for the model-validation
+// experiments, and small summary-statistics helpers.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// Series is a sampled time series.
+type Series struct {
+	Times  []float64
+	Values []float64
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// MeanBetween averages samples with t0 <= t < t1; it returns 0 for an
+// empty window.
+func (s *Series) MeanBetween(t0, t1 float64) float64 {
+	sum, n := 0.0, 0
+	for i, t := range s.Times {
+		if t >= t0 && t < t1 {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Min returns the smallest value (0 for empty series).
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ThroughputMonitor samples legitimate-data goodput crossing one port
+// as a fraction of the attached link's capacity — the paper's "client
+// throughput %" at the bottleneck.
+type ThroughputMonitor struct {
+	series   Series
+	port     *netsim.Port
+	interval float64
+	last     int64
+	stop     func()
+}
+
+// NewBottleneckMonitor samples the legitimate goodput arriving at
+// `into` over the given link every interval seconds. Start time is
+// the current simulation time.
+func NewBottleneckMonitor(sim *des.Simulator, link *netsim.Link, into *netsim.Node, interval float64) *ThroughputMonitor {
+	var port *netsim.Port
+	if link.A().Node() == into {
+		port = link.A()
+	} else {
+		port = link.B()
+	}
+	m := &ThroughputMonitor{port: port, interval: interval}
+	m.stop = sim.Every(sim.Now()+interval, interval, func() {
+		cur := port.RxLegitDataBytes
+		delta := cur - m.last
+		m.last = cur
+		frac := float64(delta*8) / (link.Bandwidth * interval)
+		m.series.Times = append(m.series.Times, sim.Now())
+		m.series.Values = append(m.series.Values, frac)
+	})
+	return m
+}
+
+// Stop halts sampling.
+func (m *ThroughputMonitor) Stop() { m.stop() }
+
+// Series returns the samples collected so far. Values are fractions
+// of link capacity in [0, ~1].
+func (m *ThroughputMonitor) Series() *Series { return &m.series }
+
+// CaptureTimes converts absolute capture timestamps into capture
+// times relative to an attack start, dropping events before the
+// attack began.
+func CaptureTimes(captureAt []float64, attackStart float64) []float64 {
+	out := make([]float64, 0, len(captureAt))
+	for _, t := range captureAt {
+		if t >= attackStart {
+			out = append(out, t-attackStart)
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Max returns the largest value (0 for empty input); the paper's
+// multi-attacker capture time CT = max_i CT_i.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) by nearest
+// rank; 0 for empty input.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

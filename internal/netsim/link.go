@@ -1,0 +1,159 @@
+package netsim
+
+import "fmt"
+
+// Link is a full-duplex point-to-point link: two independent
+// directions, each with its own output queue at the sending port.
+type Link struct {
+	// Bandwidth is the transmission rate in bits per second.
+	Bandwidth float64
+	// Delay is the one-way propagation delay in seconds.
+	Delay float64
+
+	a, b *Port
+	net  *Network
+
+	down bool
+	// LostToFailure counts packets destroyed mid-transmission or
+	// transmitted while the link was down.
+	LostToFailure int64
+}
+
+// SetDown fails or restores the link. While down, packets entering
+// transmission are lost (queued packets stay queued only until their
+// turn; in-flight propagation completes — the failure model is "the
+// wire goes dark", matching the common DES convention).
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// A returns the port on the first-connected node.
+func (l *Link) A() *Port { return l.a }
+
+// B returns the port on the second-connected node.
+func (l *Link) B() *Port { return l.b }
+
+// Other returns the far endpoint node relative to n.
+func (l *Link) Other(n *Node) *Node {
+	if l.a.node == n {
+		return l.b.node
+	}
+	return l.a.node
+}
+
+// TxTime returns the serialization delay of a packet of size bytes.
+func (l *Link) TxTime(size int) float64 {
+	return float64(size*8) / l.Bandwidth
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link %v<->%v %.3gbps %.3gs", l.a.node, l.b.node, l.Bandwidth, l.Delay)
+}
+
+// Port is one node's attachment to one link direction pair. Output
+// queueing and transmission happen at the sending port; ingress
+// filtering (the paper's MAC/switch-port capture) happens at the
+// receiving port.
+type Port struct {
+	node *Node
+	link *Link
+	peer *Port
+	q    *outQueue
+	busy bool
+
+	// BlockedIngress, when set, drops every packet arriving at this
+	// port. It models the access-switch port shutdown installed when
+	// intra-AS back-propagation reaches an attack host (Sec. 5.2).
+	BlockedIngress bool
+	// IngressDrops counts packets lost to BlockedIngress.
+	IngressDrops int64
+
+	// Tx/Rx accounting. Rx* counters are updated when a packet is
+	// handed to the node (post ingress filter they are still counted,
+	// pre filter, so blocked ports show arriving load).
+	TxPackets int64
+	TxBytes   int64
+	RxPackets int64
+	RxBytes   int64
+	// RxLegitDataBytes counts ground-truth legitimate data payload
+	// arriving on this port; metrics use it to compute goodput.
+	RxLegitDataBytes int64
+}
+
+// Node returns the owning node.
+func (pt *Port) Node() *Node { return pt.node }
+
+// Link returns the attached link.
+func (pt *Port) Link() *Link { return pt.link }
+
+// Peer returns the port at the far end of the link.
+func (pt *Port) Peer() *Port { return pt.peer }
+
+// Index returns this port's position among its node's ports, the
+// simulator analogue of an interface identifier. Edge-router packet
+// marking uses it.
+func (pt *Port) Index() int {
+	for i, p := range pt.node.ports {
+		if p == pt {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueueLen returns the current output-queue occupancy (both lanes).
+func (pt *Port) QueueLen() int { return pt.q.len() }
+
+// QueueDrops returns cumulative data-lane drop-tail losses.
+func (pt *Port) QueueDrops() int64 { return pt.q.DataDrops }
+
+// QueueEnqueued returns cumulative data-lane accepted packets.
+func (pt *Port) QueueEnqueued() int64 { return pt.q.DataEnqueued }
+
+// SetQueueLimit overrides the data-lane capacity (packets).
+func (pt *Port) SetQueueLimit(pkts int) { pt.q.dataLimit = pkts }
+
+// enqueue accepts a packet for transmission out this port.
+func (pt *Port) enqueue(p *Packet) {
+	priority := pt.node.net.ControlPriority && (p.Type == Control)
+	if !pt.q.push(p, priority) {
+		pt.node.Stats.Drops[DropQueue]++
+		return
+	}
+	if !pt.busy {
+		pt.startTx()
+	}
+}
+
+// startTx begins transmitting the head-of-line packet, scheduling the
+// serialization completion and the propagation-delayed arrival.
+func (pt *Port) startTx() {
+	p := pt.q.pop()
+	if p == nil {
+		pt.busy = false
+		return
+	}
+	pt.busy = true
+	sim := pt.node.net.Sim
+	tx := pt.link.TxTime(p.Size)
+	sim.After(tx, func() {
+		if pt.link.down {
+			pt.link.LostToFailure++
+			pt.startTx()
+			return
+		}
+		pt.TxPackets++
+		pt.TxBytes += int64(p.Size)
+		peer := pt.peer
+		sim.After(pt.link.Delay, func() {
+			peer.RxPackets++
+			peer.RxBytes += int64(p.Size)
+			if p.Legit && p.Type == Data {
+				peer.RxLegitDataBytes += int64(p.Size)
+			}
+			peer.node.receive(p, peer)
+		})
+		pt.startTx()
+	})
+}

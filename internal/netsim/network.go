@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Network owns nodes and links and computes static routes.
+type Network struct {
+	Sim *des.Simulator
+
+	// ControlPriority, when true (the default), gives Control packets
+	// a strict-priority queue lane so defense messages are not starved
+	// by the very flood they are fighting. Disable for ablation.
+	ControlPriority bool
+
+	nodes []*Node
+	links []*Link
+}
+
+// New returns an empty network bound to the given simulator.
+func New(sim *des.Simulator) *Network {
+	return &Network{Sim: sim, ControlPriority: true}
+}
+
+// AddNode creates a node with the given debug name.
+func (nw *Network) AddNode(name string) *Node {
+	n := &Node{ID: NodeID(len(nw.nodes)), Name: name, net: nw}
+	nw.nodes = append(nw.nodes, n)
+	return n
+}
+
+// Nodes returns all nodes, indexed by NodeID.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Node returns the node with the given ID, or nil.
+func (nw *Network) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(nw.nodes) {
+		return nil
+	}
+	return nw.nodes[int(id)]
+}
+
+// Links returns all links in creation order.
+func (nw *Network) Links() []*Link { return nw.links }
+
+// Connect joins two nodes with a full-duplex link. Bandwidth is in
+// bits/s and delay in seconds. Self-links and duplicate parallel links
+// are rejected because static routing cannot disambiguate them.
+func (nw *Network) Connect(a, b *Node, bandwidth, delay float64) *Link {
+	if a == b {
+		panic("netsim: self-link")
+	}
+	if a.PortTo(b) != nil {
+		panic(fmt.Sprintf("netsim: duplicate link %v<->%v", a, b))
+	}
+	if bandwidth <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	if delay < 0 {
+		panic("netsim: negative delay")
+	}
+	l := &Link{Bandwidth: bandwidth, Delay: delay, net: nw}
+	pa := &Port{node: a, link: l, q: newOutQueue()}
+	pb := &Port{node: b, link: l, q: newOutQueue()}
+	pa.peer, pb.peer = pb, pa
+	l.a, l.b = pa, pb
+	a.ports = append(a.ports, pa)
+	b.ports = append(b.ports, pb)
+	nw.links = append(nw.links, l)
+	return l
+}
+
+// ComputeRoutes fills every node's next-hop table with shortest paths
+// (hop count; ties broken by discovery order, which is deterministic).
+// Call it after the topology is final and before traffic starts.
+func (nw *Network) ComputeRoutes() {
+	n := len(nw.nodes)
+	for _, src := range nw.nodes {
+		src.routes = make([]*Port, n)
+	}
+	// BFS from every destination, recording each visited node's parent
+	// port toward the destination.
+	queue := make([]*Node, 0, n)
+	visited := make([]bool, n)
+	for _, dst := range nw.nodes {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = queue[:0]
+		queue = append(queue, dst)
+		visited[dst.ID] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, pt := range cur.ports {
+				nb := pt.peer.node
+				if visited[nb.ID] {
+					continue
+				}
+				visited[nb.ID] = true
+				// nb reaches dst via the port back to cur.
+				nb.routes[dst.ID] = pt.peer
+				queue = append(queue, nb)
+			}
+		}
+	}
+}
+
+// PathHops returns the hop count from a to b (0 for a==b, -1 if
+// unreachable). Routes must be computed.
+func (nw *Network) PathHops(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	cur := nw.Node(a)
+	hops := 0
+	for cur != nil && cur.ID != b {
+		next := cur.NextHop(b)
+		if next == nil {
+			return -1
+		}
+		cur = next.Peer().Node()
+		hops++
+		if hops > len(nw.nodes) {
+			return -1 // routing loop guard
+		}
+	}
+	if cur == nil {
+		return -1
+	}
+	return hops
+}
+
+// Path returns the node sequence from a to b inclusive, or nil if
+// unreachable.
+func (nw *Network) Path(a, b NodeID) []*Node {
+	cur := nw.Node(a)
+	if cur == nil {
+		return nil
+	}
+	path := []*Node{cur}
+	for cur.ID != b {
+		next := cur.NextHop(b)
+		if next == nil {
+			return nil
+		}
+		cur = next.Peer().Node()
+		path = append(path, cur)
+		if len(path) > len(nw.nodes)+1 {
+			return nil
+		}
+	}
+	return path
+}
+
+// TotalQueueDrops sums drop-tail losses over every port.
+func (nw *Network) TotalQueueDrops() int64 {
+	var t int64
+	for _, l := range nw.links {
+		t += l.a.QueueDrops() + l.b.QueueDrops()
+	}
+	return t
+}

@@ -1,0 +1,215 @@
+package netsim
+
+import "fmt"
+
+// ForwardHook intercepts packets a node is about to forward (not
+// locally deliver). Hooks run in registration order; the first hook
+// that returns false drops the packet. The Pushback rate limiter and
+// the honeypot-back-propagation input-debugging recorder are both
+// forward hooks.
+type ForwardHook interface {
+	// Forward observes/filters p, arriving on in (nil when the node
+	// itself originated the packet) and heading for out. Returning
+	// false drops the packet.
+	Forward(n *Node, p *Packet, in, out *Port) bool
+}
+
+// ForwardFunc adapts a function to the ForwardHook interface.
+type ForwardFunc func(n *Node, p *Packet, in, out *Port) bool
+
+// Forward implements ForwardHook.
+func (f ForwardFunc) Forward(n *Node, p *Packet, in, out *Port) bool {
+	return f(n, p, in, out)
+}
+
+// Handler consumes packets locally addressed to a node. in is nil for
+// self-delivery (a node sending to itself).
+type Handler func(p *Packet, in *Port)
+
+// DropReason categorises packet losses for node counters.
+type DropReason int
+
+const (
+	DropQueue DropReason = iota
+	DropTTL
+	DropNoRoute
+	DropHook
+	DropIngressBlocked
+	dropReasonCount
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropQueue:
+		return "queue-overflow"
+	case DropTTL:
+		return "ttl-expired"
+	case DropNoRoute:
+		return "no-route"
+	case DropHook:
+		return "hook-filtered"
+	case DropIngressBlocked:
+		return "ingress-blocked"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// NodeStats aggregates a node's packet accounting.
+type NodeStats struct {
+	Sent      int64
+	Forwarded int64
+	Delivered int64
+	Drops     [dropReasonCount]int64
+}
+
+// TotalDrops sums losses across all reasons.
+func (s *NodeStats) TotalDrops() int64 {
+	var t int64
+	for _, v := range s.Drops {
+		t += v
+	}
+	return t
+}
+
+// Node is a host or router. Hosts have a Handler and typically degree
+// one; routers forward. The distinction is behavioural, not typed.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	net    *Network
+	ports  []*Port
+	routes []*Port // indexed by destination NodeID; nil = unreachable
+
+	// Handler receives locally addressed packets.
+	Handler Handler
+	// hooks intercept forwarded packets.
+	hooks []*hookEntry
+
+	Stats NodeStats
+}
+
+// Network returns the owning network.
+func (n *Node) Network() *Network { return n.net }
+
+// Ports returns the node's attachment points, in attachment order.
+func (n *Node) Ports() []*Port { return n.ports }
+
+// Degree returns the number of attached links.
+func (n *Node) Degree() int { return len(n.ports) }
+
+// AddHook appends a forward hook. Hooks run in registration order.
+// The returned function removes the hook; calling it more than once is
+// harmless.
+func (n *Node) AddHook(h ForwardHook) (remove func()) {
+	entry := &hookEntry{h: h}
+	n.hooks = append(n.hooks, entry)
+	return func() {
+		for i, x := range n.hooks {
+			if x == entry {
+				n.hooks = append(n.hooks[:i], n.hooks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// hookEntry wraps a ForwardHook so that removal works even for
+// non-comparable hook values (e.g. ForwardFunc).
+type hookEntry struct{ h ForwardHook }
+
+// NextHop returns the port used to reach dst, or nil if unreachable.
+// Routes must have been computed (Network.ComputeRoutes).
+func (n *Node) NextHop(dst NodeID) *Port {
+	if int(dst) >= len(n.routes) || dst < 0 {
+		return nil
+	}
+	return n.routes[dst]
+}
+
+// PortTo returns the port directly connecting this node to neighbor,
+// or nil if they are not adjacent.
+func (n *Node) PortTo(neighbor *Node) *Port {
+	for _, pt := range n.ports {
+		if pt.Peer().Node() == neighbor {
+			return pt
+		}
+	}
+	return nil
+}
+
+// Neighbors returns all directly connected nodes.
+func (n *Node) Neighbors() []*Node {
+	out := make([]*Node, 0, len(n.ports))
+	for _, pt := range n.ports {
+		out = append(out, pt.Peer().Node())
+	}
+	return out
+}
+
+// Send originates a packet at this node, stamping Born and a default
+// TTL, then routes it. Packets addressed to the node itself are
+// delivered locally without touching the network.
+func (n *Node) Send(p *Packet) {
+	p.Born = n.net.Sim.Now()
+	if p.TTL == 0 {
+		p.TTL = DefaultTTL
+	}
+	n.Stats.Sent++
+	if p.Dst == n.ID {
+		n.deliver(p, nil)
+		return
+	}
+	n.forward(p, nil)
+}
+
+// receive handles a packet arriving from the wire on port in.
+func (n *Node) receive(p *Packet, in *Port) {
+	if in.BlockedIngress {
+		n.Stats.Drops[DropIngressBlocked]++
+		in.IngressDrops++
+		return
+	}
+	if p.Dst == n.ID {
+		n.deliver(p, in)
+		return
+	}
+	// Forwarding: decrement TTL, expire at zero.
+	p.TTL--
+	if p.TTL <= 0 {
+		n.Stats.Drops[DropTTL]++
+		return
+	}
+	n.forward(p, in)
+}
+
+func (n *Node) deliver(p *Packet, in *Port) {
+	n.Stats.Delivered++
+	if n.Handler != nil {
+		n.Handler(p, in)
+	}
+}
+
+func (n *Node) forward(p *Packet, in *Port) {
+	out := n.NextHop(p.Dst)
+	if out == nil {
+		n.Stats.Drops[DropNoRoute]++
+		return
+	}
+	for _, h := range n.hooks {
+		if !h.h.Forward(n, p, in, out) {
+			n.Stats.Drops[DropHook]++
+			return
+		}
+	}
+	n.Stats.Forwarded++
+	out.enqueue(p)
+}
+
+func (n *Node) String() string {
+	if n.Name != "" {
+		return fmt.Sprintf("%s(#%d)", n.Name, n.ID)
+	}
+	return fmt.Sprintf("node#%d", n.ID)
+}

@@ -1,0 +1,106 @@
+// Package netsim is a packet-level network simulator built on the
+// discrete-event engine in internal/des. It models nodes (hosts and
+// routers), point-to-point links with finite bandwidth and propagation
+// delay, drop-tail output queues with a priority lane for control
+// traffic, static shortest-path routing, and pluggable per-node
+// forwarding hooks. It plays the role ns-2 plays in the paper's
+// evaluation (Sec. 8).
+package netsim
+
+import "fmt"
+
+// NodeID identifies a node in the network. Addresses in this simulator
+// are node IDs; a spoofed packet carries a Src that differs from the
+// originating node.
+type NodeID int
+
+// None is the invalid NodeID, used where "no node" must be expressed.
+const None NodeID = -1
+
+// PacketType classifies simulator packets.
+type PacketType int
+
+const (
+	// Data is bulk payload traffic (legitimate or attack).
+	Data PacketType = iota
+	// Ack is reverse-direction acknowledgement traffic.
+	Ack
+	// Control is defense-plane traffic (honeypot request/cancel,
+	// pushback messages, roaming checkpoints). Control packets use
+	// the priority lane of output queues.
+	Control
+	// Handshake is a connection-setup packet; the roaming-honeypots
+	// blacklist only acts on sources that completed a handshake,
+	// because a handshake cannot be completed with a spoofed source.
+	Handshake
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Control:
+		return "control"
+	case Handshake:
+		return "handshake"
+	default:
+		return fmt.Sprintf("PacketType(%d)", int(t))
+	}
+}
+
+// DefaultTTL is the initial TTL of freshly created packets, matching
+// the common IP default the paper's TTL-authentication check relies on.
+const DefaultTTL = 255
+
+// Packet is the unit of transfer. Packets are passed by pointer and
+// owned by exactly one queue or event at a time; hooks must not retain
+// them past the callback.
+type Packet struct {
+	// Src is the claimed source address. For spoofed attack packets
+	// this is a forged value and differs from TrueSrc.
+	Src NodeID
+	// TrueSrc is the node that actually generated the packet. Defense
+	// code must not read it; it exists for ground-truth metrics and
+	// test assertions.
+	TrueSrc NodeID
+	// Dst is the destination address.
+	Dst NodeID
+	// Size is the wire size in bytes.
+	Size int
+	// Type classifies the packet (data/ack/control/handshake).
+	Type PacketType
+	// TTL decrements at every forwarding node; packets expire at 0.
+	TTL int
+	// Mark is the edge-router marking field (the paper reuses the IP
+	// ID field for destination-end provider marking of diverted
+	// honeypot traffic). Zero means unmarked.
+	Mark int
+	// FlowID groups packets of one transport flow.
+	FlowID int
+	// Seq is a per-flow sequence number.
+	Seq int64
+	// Legit is the ground-truth label used only by metrics.
+	Legit bool
+	// Payload carries control-message bodies (see internal/core and
+	// internal/pushback). It is nil for plain data traffic.
+	Payload any
+	// Born is the creation timestamp (set by Node.Send).
+	Born float64
+}
+
+// Spoofed reports whether the claimed source differs from the true
+// origin. Ground truth only; defenses never call this.
+func (p *Packet) Spoofed() bool { return p.Src != p.TrueSrc }
+
+// Clone returns a shallow copy of the packet. Payloads are shared.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %d->%d (true %d) size=%d ttl=%d seq=%d",
+		p.Type, p.Src, p.Dst, p.TrueSrc, p.Size, p.TTL, p.Seq)
+}

@@ -1,0 +1,87 @@
+package netsim
+
+// outQueue is the output buffering of one port: a drop-tail FIFO for
+// data-plane packets plus a strict-priority lane for control-plane
+// packets. The priority lane models the common practice of protecting
+// routing/defense control traffic from data-plane congestion; the
+// paper's honeypot request/cancel messages ride it. It can be disabled
+// per network (Network.ControlPriority) for ablation.
+type outQueue struct {
+	data []*Packet
+	ctrl []*Packet
+	// dataLimit and ctrlLimit are packet-count capacities. A packet
+	// arriving at a full lane is dropped (drop-tail).
+	dataLimit int
+	ctrlLimit int
+
+	// Drops counts packets lost to queue overflow, by lane.
+	DataDrops int64
+	CtrlDrops int64
+	// REDDrops counts RED early drops (also included in DataDrops).
+	REDDrops int64
+	// Enqueued counts accepted packets, by lane.
+	DataEnqueued int64
+	CtrlEnqueued int64
+
+	// red, when non-nil, applies Random Early Detection to the data
+	// lane before the hard drop-tail limit.
+	red *redState
+}
+
+// DefaultDataQueueLimit mirrors ns-2's default drop-tail queue of 50
+// packets, which the paper's Pushback module inherits.
+const DefaultDataQueueLimit = 50
+
+// DefaultCtrlQueueLimit is generous: control traffic is sparse and
+// must not be lost to its own lane under normal operation.
+const DefaultCtrlQueueLimit = 1000
+
+func newOutQueue() *outQueue {
+	return &outQueue{dataLimit: DefaultDataQueueLimit, ctrlLimit: DefaultCtrlQueueLimit}
+}
+
+// push enqueues p, honouring lane limits. It reports whether the
+// packet was accepted. priority selects the control lane.
+func (q *outQueue) push(p *Packet, priority bool) bool {
+	if priority {
+		if len(q.ctrl) >= q.ctrlLimit {
+			q.CtrlDrops++
+			return false
+		}
+		q.ctrl = append(q.ctrl, p)
+		q.CtrlEnqueued++
+		return true
+	}
+	if q.red != nil && q.red.shouldDrop(len(q.data)) {
+		q.REDDrops++
+		q.DataDrops++
+		return false
+	}
+	if len(q.data) >= q.dataLimit {
+		q.DataDrops++
+		return false
+	}
+	q.data = append(q.data, p)
+	q.DataEnqueued++
+	return true
+}
+
+// pop dequeues the next packet to transmit: control lane first.
+func (q *outQueue) pop() *Packet {
+	if len(q.ctrl) > 0 {
+		p := q.ctrl[0]
+		q.ctrl[0] = nil
+		q.ctrl = q.ctrl[1:]
+		return p
+	}
+	if len(q.data) > 0 {
+		p := q.data[0]
+		q.data[0] = nil
+		q.data = q.data[1:]
+		return p
+	}
+	return nil
+}
+
+// len returns the number of queued packets across both lanes.
+func (q *outQueue) len() int { return len(q.data) + len(q.ctrl) }

@@ -1,0 +1,79 @@
+package netsim
+
+import "repro/internal/des"
+
+// REDParams configures Random Early Detection on a port's data lane.
+// The ns-2 Pushback module the paper builds on runs over RED
+// gateways; this implementation follows Floyd/Jacobson's gentle-less
+// RED: an EWMA of the queue length drives a drop probability that
+// ramps from 0 at MinTh to MaxP at MaxTh, with certain drop above
+// MaxTh, and the inter-drop count correction.
+type REDParams struct {
+	// MinTh and MaxTh are the average-queue thresholds in packets.
+	MinTh, MaxTh float64
+	// MaxP is the drop probability at MaxTh.
+	MaxP float64
+	// Wq is the EWMA weight of each sample (ns-2 default 0.002).
+	Wq float64
+}
+
+// DefaultREDParams mirrors common ns-2 settings for a 50-packet
+// buffer: thresholds at 5/15 packets, 10% max early-drop probability.
+func DefaultREDParams() REDParams {
+	return REDParams{MinTh: 5, MaxTh: 15, MaxP: 0.1, Wq: 0.002}
+}
+
+// redState holds per-queue RED bookkeeping.
+type redState struct {
+	p     REDParams
+	rng   *des.RNG
+	avg   float64
+	count int // packets since the last early drop
+}
+
+// shouldDrop implements the RED arrival decision given the current
+// instantaneous queue length.
+func (r *redState) shouldDrop(qlen int) bool {
+	r.avg = (1-r.p.Wq)*r.avg + r.p.Wq*float64(qlen)
+	switch {
+	case r.avg < r.p.MinTh:
+		r.count = 0
+		return false
+	case r.avg >= r.p.MaxTh:
+		r.count = 0
+		return true
+	default:
+		r.count++
+		pb := r.p.MaxP * (r.avg - r.p.MinTh) / (r.p.MaxTh - r.p.MinTh)
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if r.rng.Float64() < pa {
+			r.count = 0
+			return true
+		}
+		return false
+	}
+}
+
+// EnableRED switches the port's data lane from plain drop-tail to RED
+// with the given parameters. Early drops are counted in REDDrops and
+// included in QueueDrops. The seed keeps runs reproducible.
+func (pt *Port) EnableRED(p REDParams, seed int64) {
+	if p.MaxTh <= p.MinTh || p.MaxP <= 0 || p.Wq <= 0 {
+		panic("netsim: invalid RED parameters")
+	}
+	pt.q.red = &redState{p: p, rng: des.NewRNG(seed)}
+}
+
+// REDDrops returns the number of RED early drops at this port.
+func (pt *Port) REDDrops() int64 { return pt.q.REDDrops }
+
+// AvgQueue returns RED's average queue estimate (0 when RED is off).
+func (pt *Port) AvgQueue() float64 {
+	if pt.q.red == nil {
+		return 0
+	}
+	return pt.q.red.avg
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func redLine(t *testing.T) (*des.Simulator, []*Node, *Port) {
+	t.Helper()
+	sim := des.New()
+	nw := New(sim)
+	a, b, c := nw.AddNode("a"), nw.AddNode("b"), nw.AddNode("c")
+	nw.Connect(a, b, 1e7, 0.001)
+	nw.Connect(b, c, 1e6, 0.001) // bottleneck
+	nw.ComputeRoutes()
+	egress := b.PortTo(c)
+	return sim, []*Node{a, b, c}, egress
+}
+
+func TestREDNoDropsUnderLightLoad(t *testing.T) {
+	sim, nodes, egress := redLine(t)
+	egress.EnableRED(DefaultREDParams(), 1)
+	nodes[2].Handler = func(p *Packet, in *Port) {}
+	// 0.4 Mb/s into a 1 Mb/s link: queue stays near-empty.
+	sim.Every(0, 0.01, func() {
+		nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 500, Type: Data})
+	})
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if egress.REDDrops() != 0 {
+		t.Fatalf("RED dropped %d packets under light load", egress.REDDrops())
+	}
+}
+
+func TestREDDropsEarlyUnderOverload(t *testing.T) {
+	sim, nodes, egress := redLine(t)
+	egress.EnableRED(DefaultREDParams(), 1)
+	received := 0
+	nodes[2].Handler = func(p *Packet, in *Port) { received++ }
+	// 4 Mb/s into 1 Mb/s: sustained overload.
+	sim.Every(0, 0.001, func() {
+		nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 500, Type: Data})
+	})
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if egress.REDDrops() == 0 {
+		t.Fatal("RED never early-dropped under 4x overload")
+	}
+	// RED keeps the average queue near MaxTh instead of pinning the
+	// buffer at its hard limit.
+	if avg := egress.AvgQueue(); avg > 25 {
+		t.Fatalf("average queue %f; RED not controlling the queue", avg)
+	}
+	if egress.QueueDrops() < egress.REDDrops() {
+		t.Fatal("REDDrops must be included in QueueDrops")
+	}
+	if received == 0 {
+		t.Fatal("RED starved the link")
+	}
+}
+
+func TestREDDeterministic(t *testing.T) {
+	run := func() int64 {
+		sim, nodes, egress := redLine(t)
+		egress.EnableRED(DefaultREDParams(), 42)
+		nodes[2].Handler = func(p *Packet, in *Port) {}
+		sim.Every(0, 0.001, func() {
+			nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 500, Type: Data})
+		})
+		if err := sim.RunUntil(5); err != nil {
+			t.Fatal(err)
+		}
+		return egress.REDDrops()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different RED drops: %d vs %d", a, b)
+	}
+}
+
+func TestREDValidation(t *testing.T) {
+	_, _, egress := redLine(t)
+	for i, p := range []REDParams{
+		{MinTh: 10, MaxTh: 5, MaxP: 0.1, Wq: 0.002},
+		{MinTh: 5, MaxTh: 15, MaxP: 0, Wq: 0.002},
+		{MinTh: 5, MaxTh: 15, MaxP: 0.1, Wq: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid RED params accepted", i)
+				}
+			}()
+			egress.EnableRED(p, 1)
+		}()
+	}
+}
+
+func TestREDControlLaneUnaffected(t *testing.T) {
+	sim, nodes, egress := redLine(t)
+	egress.EnableRED(REDParams{MinTh: 0.001, MaxTh: 0.002, MaxP: 1, Wq: 1}, 1) // drop all data
+	gotCtrl := 0
+	nodes[2].Handler = func(p *Packet, in *Port) {
+		if p.Type == Control {
+			gotCtrl++
+		}
+	}
+	sim.At(0, func() {
+		for i := 0; i < 20; i++ {
+			nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 500, Type: Data})
+		}
+		nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 64, Type: Control})
+	})
+	if err := sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	if gotCtrl != 1 {
+		t.Fatalf("control packet hit by RED: delivered %d", gotCtrl)
+	}
+}

@@ -1,0 +1,23 @@
+package pushback_test
+
+import (
+	"fmt"
+
+	"repro/internal/pushback"
+)
+
+// Plain max–min: small demands are satisfied, big ones capped
+// equally — blind to how many hosts hide behind each demand.
+func ExampleMaxMinShare() {
+	shares := pushback.MaxMinShare(30, []float64{5, 100, 100})
+	fmt.Printf("%.1f\n", shares)
+	// Output: [5.0 12.5 12.5]
+}
+
+// Weighted (level-k) max–min: a port fronting 30 clients earns a
+// 30x share over a port fronting one attacker.
+func ExampleWeightedMaxMinShare() {
+	shares := pushback.WeightedMaxMinShare(31, []float64{100, 100}, []float64{1, 30})
+	fmt.Printf("%.1f\n", shares)
+	// Output: [1.0 30.0]
+}

@@ -1,0 +1,119 @@
+// Package pushback implements the ACC/Pushback baseline of Mahajan et
+// al. that the paper compares against (Sec. 2, Sec. 8): routers detect
+// sustained drop-tail congestion on an output link, identify the
+// dominant destination aggregate, rate-limit it locally, and push the
+// limit upstream, dividing it among contributing input ports in
+// max–min fashion. The hop-by-hop max–min division — blind to how many
+// end hosts sit behind each port — is exactly what the paper blames
+// for Pushback's collateral damage with close-in attackers (Sec.
+// 8.4.1).
+package pushback
+
+// MaxMinShare divides a total limit among demands in max–min fashion:
+// repeatedly grant every unsatisfied demand an equal share of what
+// remains; demands below their share keep their demand and release the
+// surplus. The returned slice aligns with demands and sums to
+// min(total, sum(demands)).
+func MaxMinShare(total float64, demands []float64) []float64 {
+	n := len(demands)
+	out := make([]float64, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	remaining := total
+	unsat := make([]int, 0, n)
+	for i, d := range demands {
+		if d > 0 {
+			unsat = append(unsat, i)
+		}
+	}
+	for len(unsat) > 0 && remaining > 1e-12 {
+		share := remaining / float64(len(unsat))
+		progressed := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			if demands[i]-out[i] <= share {
+				// Fully satisfiable: grant the rest of its demand.
+				grant := demands[i] - out[i]
+				out[i] += grant
+				remaining -= grant
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !progressed {
+			// Everyone needs at least the equal share: split evenly.
+			for _, i := range unsat {
+				out[i] += share
+			}
+			remaining -= share * float64(len(unsat))
+			break
+		}
+	}
+	return out
+}
+
+// WeightedMaxMinShare is max–min with per-demand weights: each round
+// grants unsatisfied demands a share proportional to their weight.
+// It models level-k max–min fairness (Yau et al.), which the paper
+// discusses as a fix for plain Pushback's per-port blindness: with
+// weights set to the number of end hosts behind each port, a port
+// fronting a large client population is no longer squeezed to the
+// same share as a port fronting one attacker. Zero or negative
+// weights are treated as weight 1.
+func WeightedMaxMinShare(total float64, demands, weights []float64) []float64 {
+	n := len(demands)
+	out := make([]float64, n)
+	if n == 0 || total <= 0 {
+		return out
+	}
+	w := make([]float64, n)
+	for i := range w {
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		} else {
+			w[i] = 1
+		}
+	}
+	remaining := total
+	unsat := make([]int, 0, n)
+	for i, d := range demands {
+		if d > 0 {
+			unsat = append(unsat, i)
+		}
+	}
+	for len(unsat) > 0 && remaining > 1e-12 {
+		var wsum float64
+		for _, i := range unsat {
+			wsum += w[i]
+		}
+		progressed := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			share := remaining * w[i] / wsum
+			if demands[i]-out[i] <= share {
+				grant := demands[i] - out[i]
+				out[i] += grant
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		// Recompute what was granted this round.
+		var granted float64
+		for i := range out {
+			granted += out[i]
+		}
+		remaining = total - granted
+		unsat = next
+		if !progressed {
+			for _, i := range unsat {
+				out[i] += remaining * w[i] / wsum
+			}
+			break
+		}
+	}
+	return out
+}

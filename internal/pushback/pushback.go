@@ -1,0 +1,206 @@
+package pushback
+
+import (
+	"errors"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// Config tunes the ACC/Pushback deployment.
+type Config struct {
+	// Interval is the ACC control period in seconds (default 1).
+	Interval float64
+	// DropRateThreshold declares an output link congested when its
+	// data-lane drop fraction over one interval exceeds it (default
+	// 0.05).
+	DropRateThreshold float64
+	// TargetUtil is the utilization the rate limit aims the aggregate
+	// at: limit = capacity*TargetUtil − other traffic (default 0.9).
+	TargetUtil float64
+	// FloorFraction bounds the limit from below as a fraction of link
+	// capacity, so an aggregate is never throttled to zero (default
+	// 0.02).
+	FloorFraction float64
+	// MinAggregateShare is the arrival share a destination must hold
+	// on the congested link before being singled out as the
+	// misbehaving aggregate (default 0.3).
+	MinAggregateShare float64
+	// MaxDepth bounds upstream propagation in hops (default 32,
+	// effectively unbounded on the simulated trees).
+	MaxDepth int
+	// ExpiryIntervals is how many refresh-free intervals an upstream
+	// limiter survives (default 3).
+	ExpiryIntervals int
+	// Burst is the token-bucket depth in packets-worth of bytes at
+	// the limit rate (default 0.1 s worth).
+	Burst float64
+	// SustainIntervals is how many consecutive congested intervals a
+	// port must show before ACC installs a limiter (default 2 —
+	// Mahajan's "sustained congestion" requirement; 1 reacts to any
+	// single bad interval).
+	SustainIntervals int
+	// ShareSlack multiplies propagated upstream shares so steady
+	// flows are not capped at exactly their measured rate (default
+	// 1.0 — no slack, the classic Pushback division).
+	ShareSlack float64
+	// WeightedShares switches upstream share division from plain
+	// per-port max-min to host-count-weighted max-min, modelling
+	// level-k max-min fairness (Sec. 2's mitigation comparator).
+	// Requires Deployment.HostWeight.
+	WeightedShares bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 1
+	}
+	if c.DropRateThreshold <= 0 {
+		c.DropRateThreshold = 0.05
+	}
+	if c.TargetUtil <= 0 {
+		c.TargetUtil = 0.9
+	}
+	if c.FloorFraction <= 0 {
+		c.FloorFraction = 0.02
+	}
+	if c.MinAggregateShare <= 0 {
+		c.MinAggregateShare = 0.3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 32
+	}
+	if c.ExpiryIntervals <= 0 {
+		c.ExpiryIntervals = 3
+	}
+	if c.Burst <= 0 {
+		c.Burst = 0.1
+	}
+	if c.SustainIntervals <= 0 {
+		c.SustainIntervals = 2
+	}
+	if c.ShareSlack <= 0 {
+		c.ShareSlack = 1.0
+	}
+}
+
+// request is the pushback control payload: limit the aggregate group
+// Agg to Limit bits/s, propagating at most Depth further hops.
+type request struct {
+	Agg   int
+	Limit float64
+	Depth int
+}
+
+// Deployment runs ACC/Pushback over a network.
+type Deployment struct {
+	Cfg Config
+	sim *des.Simulator
+	net *netsim.Network
+
+	// aggOf maps a defended destination to its aggregate group.
+	// ACC identifies aggregates by destination prefix; a replicated
+	// server pool shares one prefix, so New places every defended
+	// destination in a single group (use NewGroups for several).
+	aggOf     map[netsim.NodeID]int
+	numGroups int
+
+	agents map[netsim.NodeID]*Agent
+	stop   func()
+
+	// HostWeight returns the number of end hosts reachable through a
+	// port (used by WeightedShares). The experiments compute it from
+	// the topology; a real deployment would use the level-k protocol
+	// of Yau et al.
+	HostWeight func(*netsim.Port) float64
+
+	// Stats
+	RequestsSent    int64
+	LimitersCreated int64
+	LimitDrops      int64
+}
+
+// New builds a deployment defending the given destination set as one
+// prefix aggregate.
+func New(nw *netsim.Network, defended []netsim.NodeID, cfg Config) (*Deployment, error) {
+	if len(defended) == 0 {
+		return nil, errors.New("pushback: empty defended set")
+	}
+	return NewGroups(nw, [][]netsim.NodeID{defended}, cfg)
+}
+
+// NewGroups builds a deployment with one aggregate per destination
+// group (prefix).
+func NewGroups(nw *netsim.Network, groups [][]netsim.NodeID, cfg Config) (*Deployment, error) {
+	if nw == nil || len(groups) == 0 {
+		return nil, errors.New("pushback: nil network or empty defended set")
+	}
+	cfg.fillDefaults()
+	d := &Deployment{
+		Cfg:       cfg,
+		sim:       nw.Sim,
+		net:       nw,
+		aggOf:     map[netsim.NodeID]int{},
+		numGroups: len(groups),
+		agents:    map[netsim.NodeID]*Agent{},
+	}
+	for g, ids := range groups {
+		if len(ids) == 0 {
+			return nil, errors.New("pushback: empty aggregate group")
+		}
+		for _, id := range ids {
+			d.aggOf[id] = g
+		}
+	}
+	return d, nil
+}
+
+// DeployRouter activates ACC/Pushback on a router.
+func (d *Deployment) DeployRouter(n *netsim.Node) *Agent {
+	if a, ok := d.agents[n.ID]; ok {
+		return a
+	}
+	a := newAgent(d, n)
+	d.agents[n.ID] = a
+	return a
+}
+
+// DeployRouters activates the scheme on every listed node.
+func (d *Deployment) DeployRouters(ns []*netsim.Node) {
+	for _, n := range ns {
+		d.DeployRouter(n)
+	}
+}
+
+// Start begins the periodic ACC control loop.
+func (d *Deployment) Start() {
+	if d.stop != nil {
+		panic("pushback: already started")
+	}
+	d.stop = d.sim.Every(d.sim.Now()+d.Cfg.Interval, d.Cfg.Interval, func() {
+		for _, a := range d.agents {
+			a.tick()
+		}
+	})
+}
+
+// Stop halts the control loop (installed limiters expire naturally).
+func (d *Deployment) Stop() {
+	if d.stop != nil {
+		d.stop()
+		d.stop = nil
+	}
+}
+
+// Agent returns the router agent for a node, or nil.
+func (d *Deployment) Agent(id netsim.NodeID) *Agent { return d.agents[id] }
+
+// ActiveLimiters counts currently installed rate limiters across all
+// routers.
+func (d *Deployment) ActiveLimiters() int {
+	n := 0
+	for _, a := range d.agents {
+		n += len(a.limiters)
+	}
+	return n
+}

@@ -1,0 +1,352 @@
+package pushback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+func TestMaxMinShareBasics(t *testing.T) {
+	cases := []struct {
+		total   float64
+		demands []float64
+		want    []float64
+	}{
+		// Equal split when all demands exceed the share.
+		{30, []float64{100, 100, 100}, []float64{10, 10, 10}},
+		// Small demand keeps its demand; surplus redistributes.
+		{30, []float64{5, 100, 100}, []float64{5, 12.5, 12.5}},
+		// Total exceeds demand: everyone satisfied.
+		{1000, []float64{5, 10, 15}, []float64{5, 10, 15}},
+		// Zero demand gets nothing.
+		{30, []float64{0, 100}, []float64{0, 30}},
+		// Classic waterfill.
+		{100, []float64{10, 30, 80}, []float64{10, 30, 60}},
+	}
+	for i, c := range cases {
+		got := MaxMinShare(c.total, c.demands)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: len %d", i, len(got))
+		}
+		for j := range got {
+			if math.Abs(got[j]-c.want[j]) > 1e-9 {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMaxMinShareEmpty(t *testing.T) {
+	if got := MaxMinShare(10, nil); len(got) != 0 {
+		t.Fatal("nil demands should give empty result")
+	}
+	got := MaxMinShare(0, []float64{1, 2})
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("zero total must allocate nothing")
+		}
+	}
+}
+
+func TestMaxMinShareProperties(t *testing.T) {
+	f := func(totalRaw uint16, demandsRaw []uint16) bool {
+		total := float64(totalRaw)
+		demands := make([]float64, len(demandsRaw))
+		var sumD float64
+		for i, d := range demandsRaw {
+			demands[i] = float64(d)
+			sumD += float64(d)
+		}
+		shares := MaxMinShare(total, demands)
+		var sumS float64
+		for i, s := range shares {
+			if s < -1e-9 || s > demands[i]+1e-9 {
+				return false // share within [0, demand]
+			}
+			sumS += s
+		}
+		want := math.Min(total, sumD)
+		return math.Abs(sumS-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pbRig: clients/attacker hosts -> access -> mid -> head -bottleneck-> gw -> server.
+type pbRig struct {
+	sim    *des.Simulator
+	nw     *netsim.Network
+	server *netsim.Node
+	gw     *netsim.Node
+	head   *netsim.Node
+	mid    *netsim.Node
+	access []*netsim.Node
+	hosts  []*netsim.Node
+}
+
+// newPBRig builds a 2-level tree: head is the bottleneck router; two
+// access routers hang off mid; hosts split between them.
+func newPBRig(t testing.TB, hostsPerAccess int, bottleneck float64) *pbRig {
+	t.Helper()
+	sim := des.New()
+	nw := netsim.New(sim)
+	r := &pbRig{sim: sim, nw: nw}
+	r.server = nw.AddNode("server")
+	r.gw = nw.AddNode("gw")
+	r.head = nw.AddNode("head")
+	r.mid = nw.AddNode("mid")
+	nw.Connect(r.gw, r.server, 1e8, 0.001)
+	nw.Connect(r.head, r.gw, bottleneck, 0.005) // bottleneck link
+	nw.Connect(r.mid, r.head, 1e8, 0.005)
+	for i := 0; i < 2; i++ {
+		ar := nw.AddNode("access")
+		nw.Connect(ar, r.mid, 1e8, 0.005)
+		r.access = append(r.access, ar)
+		for j := 0; j < hostsPerAccess; j++ {
+			h := nw.AddNode("host")
+			nw.Connect(h, ar, 1e8, 0.001)
+			r.hosts = append(r.hosts, h)
+		}
+	}
+	nw.ComputeRoutes()
+	return r
+}
+
+func flood(node *netsim.Node, dst netsim.NodeID, rate float64, legit bool, sim *des.Simulator) (stop func()) {
+	interval := 1000 * 8 / rate
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		node.Send(&netsim.Packet{Src: node.ID, TrueSrc: node.ID, Dst: dst, Size: 1000, Type: netsim.Data, Legit: legit})
+		sim.After(interval, tick)
+	}
+	sim.At(sim.Now(), tick)
+	return func() { stopped = true }
+}
+
+func TestCongestionInstallsLimiter(t *testing.T) {
+	r := newPBRig(t, 1, 1e6) // 1 Mb/s bottleneck
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	// Two hosts flooding 2 Mb/s each into a 1 Mb/s bottleneck.
+	r.sim.At(0, func() {
+		flood(r.hosts[0], r.server.ID, 2e6, false, r.sim)
+		flood(r.hosts[1], r.server.ID, 2e6, false, r.sim)
+	})
+	if err := r.sim.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	headAgent := d.Agent(r.head.ID)
+	if headAgent.Congestions == 0 {
+		t.Fatal("bottleneck congestion never detected")
+	}
+	if headAgent.Limiter(r.server.ID) == 0 {
+		t.Fatal("no limiter installed at the congested router")
+	}
+	if err := r.sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	// Pushback propagated upstream to mid and the access routers.
+	if d.Agent(r.mid.ID).RequestsReceived == 0 {
+		t.Fatal("pushback did not reach the upstream router")
+	}
+	if d.RequestsSent == 0 || d.LimitDrops == 0 {
+		t.Fatalf("pushback stats empty: sent=%d drops=%d", d.RequestsSent, d.LimitDrops)
+	}
+}
+
+func TestRateLimitingReducesAggregate(t *testing.T) {
+	r := newPBRig(t, 1, 1e6)
+	// SustainIntervals 1 isolates the limiting machinery from the
+	// engage/release oscillation that the sustained-detection default
+	// adds.
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{SustainIntervals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	delivered := 0
+	r.server.Handler = func(p *netsim.Packet, in *netsim.Port) { delivered += p.Size }
+	r.sim.At(0, func() {
+		flood(r.hosts[0], r.server.ID, 4e6, false, r.sim)
+	})
+	if err := r.sim.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	// Without limits the bottleneck alone caps delivery at 1 Mb/s =
+	// 2.5 MB over 20 s. With ACC the aggregate must be squeezed well
+	// below the raw bottleneck capacity.
+	rawCap := 1e6 * 20 / 8
+	if float64(delivered) > 0.95*rawCap {
+		t.Fatalf("delivered %d bytes; rate limiting ineffective (cap %d)", delivered, int(rawCap))
+	}
+	if delivered == 0 {
+		t.Fatal("aggregate throttled to zero; floor not applied")
+	}
+}
+
+func TestLimiterExpiresAfterAttack(t *testing.T) {
+	r := newPBRig(t, 1, 1e6)
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	var stop func()
+	r.sim.At(0, func() { stop = flood(r.hosts[0], r.server.ID, 4e6, false, r.sim) })
+	r.sim.At(10, func() { stop() })
+	if err := r.sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveLimiters() == 0 {
+		t.Fatal("no limiters during attack")
+	}
+	if err := r.sim.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.ActiveLimiters(); n != 0 {
+		t.Fatalf("%d limiters still active 20 s after the attack ended", n)
+	}
+}
+
+func TestMaxMinPunishesSharedPath(t *testing.T) {
+	// The collateral-damage mechanism of Sec. 8.4.1: a legitimate
+	// client sharing its access router (and thus the final rate-limit
+	// bucket) with a high-rate attacker gets squeezed, because
+	// pushback stops at routers and the shared bucket is blind to
+	// which packets are legitimate.
+	r := newPBRig(t, 2, 1e6)
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	var legitBytes int
+	r.server.Handler = func(p *netsim.Packet, in *netsim.Port) {
+		if p.Legit {
+			legitBytes += p.Size
+		}
+	}
+	r.sim.At(0, func() {
+		flood(r.hosts[0], r.server.ID, 0.4e6, true, r.sim) // client at 0.4 Mb/s
+		flood(r.hosts[1], r.server.ID, 4e6, false, r.sim)  // attacker at 4 Mb/s
+	})
+	if err := r.sim.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	// Client alone would deliver 0.4 Mb/s * 30 s / 8 = 1.5 MB. Under
+	// aggregate punishment it must land well below that.
+	ideal := 0.4e6 * 30 / 8
+	if float64(legitBytes) > 0.8*ideal {
+		t.Fatalf("legitimate traffic barely affected (%d of %d); collateral damage mechanism missing", legitBytes, int(ideal))
+	}
+	if legitBytes == 0 {
+		t.Fatal("legitimate traffic fully silenced; floor missing")
+	}
+}
+
+func TestControlMessagesNotLimited(t *testing.T) {
+	r := newPBRig(t, 1, 1e6)
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	got := 0
+	r.server.Handler = func(p *netsim.Packet, in *netsim.Port) {
+		if p.Type == netsim.Control {
+			got++
+		}
+	}
+	r.sim.At(0, func() { flood(r.hosts[0], r.server.ID, 4e6, false, r.sim) })
+	// Control probe every second through the congested path.
+	r.sim.Every(0.5, 1, func() {
+		r.hosts[1].Send(&netsim.Packet{Src: r.hosts[1].ID, TrueSrc: r.hosts[1].ID, Dst: r.server.ID, Size: 64, Type: netsim.Control})
+	})
+	if err := r.sim.RunUntil(15); err != nil {
+		t.Fatal(err)
+	}
+	if got < 14 {
+		t.Fatalf("control packets were rate-limited: %d/15 delivered", got)
+	}
+}
+
+func TestForgedPushbackRequestRejected(t *testing.T) {
+	r := newPBRig(t, 1, 1e6)
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	// A host forges a pushback request to its access router, trying to
+	// throttle the server aggregate to near zero. The request comes
+	// from a non-deploying neighbor (a host), so it must be ignored.
+	req := &request{Agg: 0, Limit: 1, Depth: 0}
+	r.sim.At(1, func() {
+		r.hosts[0].Send(&netsim.Packet{Src: r.hosts[0].ID, TrueSrc: r.hosts[0].ID, Dst: r.access[0].ID, Size: 64, Type: netsim.Control, Payload: req})
+	})
+	if err := r.sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Agent(r.access[0].ID).Limiter(r.server.ID) != 0 {
+		t.Fatal("forged pushback request installed a limiter")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, Config{}); err == nil {
+		t.Fatal("nil args accepted")
+	}
+	sim := des.New()
+	nw := netsim.New(sim)
+	if _, err := New(nw, nil, Config{}); err == nil {
+		t.Fatal("empty defended set accepted")
+	}
+}
+
+func TestSustainedCongestionRequired(t *testing.T) {
+	// A single congested interval (transient burst) must not install
+	// a limiter; sustained overload must.
+	r := newPBRig(t, 1, 1e6)
+	d, err := New(r.nw, []netsim.NodeID{r.server.ID}, Config{SustainIntervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.DeployRouters([]*netsim.Node{r.gw, r.head, r.mid, r.access[0], r.access[1]})
+	d.Start()
+	// One 0.5 s burst at 4 Mb/s into the 1 Mb/s bottleneck: congests
+	// exactly one ACC interval.
+	var stop func()
+	r.sim.At(0.2, func() { stop = flood(r.hosts[0], r.server.ID, 4e6, false, r.sim) })
+	r.sim.At(0.7, func() { stop() })
+	if err := r.sim.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if d.LimitersCreated != 0 {
+		t.Fatalf("transient burst installed %d limiters despite SustainIntervals=3", d.LimitersCreated)
+	}
+	// Sustained overload crosses the streak requirement.
+	r.sim.At(r.sim.Now(), func() { flood(r.hosts[0], r.server.ID, 4e6, false, r.sim) })
+	if err := r.sim.RunUntil(r.sim.Now() + 8); err != nil {
+		t.Fatal(err)
+	}
+	if d.LimitersCreated == 0 {
+		t.Fatal("sustained overload never installed a limiter")
+	}
+}

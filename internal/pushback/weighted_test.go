@@ -1,0 +1,97 @@
+package pushback
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedMaxMinBasics(t *testing.T) {
+	cases := []struct {
+		total            float64
+		demands, weights []float64
+		want             []float64
+	}{
+		// Equal weights degenerate to plain max-min.
+		{30, []float64{100, 100, 100}, []float64{1, 1, 1}, []float64{10, 10, 10}},
+		// A 3x weight earns a 3x share.
+		{40, []float64{100, 100}, []float64{3, 1}, []float64{30, 10}},
+		// Small demand satisfied; surplus redistributes by weight.
+		{40, []float64{5, 100, 100}, []float64{1, 1, 1}, []float64{5, 17.5, 17.5}},
+		// Total exceeds demand: everyone satisfied regardless of
+		// weights.
+		{1000, []float64{5, 10}, []float64{9, 1}, []float64{5, 10}},
+	}
+	for i, c := range cases {
+		got := WeightedMaxMinShare(c.total, c.demands, c.weights)
+		for j := range c.want {
+			if math.Abs(got[j]-c.want[j]) > 1e-6 {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestWeightedMaxMinDefaultsWeights(t *testing.T) {
+	// Zero/negative/missing weights behave as weight 1.
+	got := WeightedMaxMinShare(30, []float64{100, 100, 100}, []float64{0, -5, 0})
+	for _, v := range got {
+		if math.Abs(v-10) > 1e-9 {
+			t.Fatalf("bad default weighting: %v", got)
+		}
+	}
+	got = WeightedMaxMinShare(20, []float64{100, 100}, nil)
+	if math.Abs(got[0]-10) > 1e-9 || math.Abs(got[1]-10) > 1e-9 {
+		t.Fatalf("nil weights: %v", got)
+	}
+}
+
+func TestWeightedMaxMinProperties(t *testing.T) {
+	f := func(totalRaw uint16, raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		total := float64(totalRaw)
+		n := len(raw) / 2
+		demands := make([]float64, n)
+		weights := make([]float64, n)
+		var sumD float64
+		for i := 0; i < n; i++ {
+			demands[i] = float64(raw[i])
+			weights[i] = float64(raw[n+i]%8) + 1
+			sumD += demands[i]
+		}
+		shares := WeightedMaxMinShare(total, demands, weights)
+		var sumS float64
+		for i, s := range shares {
+			if s < -1e-9 || s > demands[i]+1e-6 {
+				return false
+			}
+			sumS += s
+		}
+		want := math.Min(total, sumD)
+		return math.Abs(sumS-want) < 1e-4*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSharesProtectClientHeavyPort(t *testing.T) {
+	// Level-k motivation: one attacker behind port A, thirty clients
+	// behind port B. Plain max-min grants each port half the limit;
+	// the weighted version grants B ~30x more.
+	demands := []float64{4e6, 3e6} // attacker port, client port
+	limit := 2e6
+	plain := MaxMinShare(limit, demands)
+	weighted := WeightedMaxMinShare(limit, demands, []float64{1, 30})
+	if plain[1] > limit*0.55 {
+		t.Fatalf("plain max-min unexpectedly favours the client port: %v", plain)
+	}
+	if weighted[1] < limit*0.9 {
+		t.Fatalf("weighted shares fail to protect the client port: %v", weighted)
+	}
+	if weighted[0] > limit*0.1 {
+		t.Fatalf("weighted shares over-grant the attacker port: %v", weighted)
+	}
+}

@@ -1,0 +1,474 @@
+package roaming
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+func testPool(t *testing.T, cfg Config) (*des.Simulator, *netsim.Network, *Pool) {
+	t.Helper()
+	sim := des.New()
+	nw := netsim.New(sim)
+	servers := make([]*netsim.Node, cfg.N)
+	gw := nw.AddNode("gw")
+	for i := range servers {
+		servers[i] = nw.AddNode("")
+		nw.Connect(gw, servers[i], 1e8, 0.001)
+	}
+	nw.ComputeRoutes()
+	p, err := NewPool(sim, servers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, nw, p
+}
+
+func cfg5of3() Config {
+	return Config{N: 5, K: 3, EpochLen: 10, Guard: 0.5, Epochs: 50, ChainSeed: []byte("t")}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := cfg5of3()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: 0, K: 1, EpochLen: 1, Epochs: 1},
+		{N: 3, K: 0, EpochLen: 1, Epochs: 1},
+		{N: 3, K: 4, EpochLen: 1, Epochs: 1},
+		{N: 3, K: 2, EpochLen: 0, Epochs: 1},
+		{N: 3, K: 2, EpochLen: 1, Guard: 0.6, Epochs: 1},
+		{N: 3, K: 2, EpochLen: 1, Epochs: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHoneypotProbability(t *testing.T) {
+	c := cfg5of3()
+	if got := c.HoneypotProbability(); got != 0.4 {
+		t.Fatalf("p = %v, want 0.4 for N=5,K=3", got)
+	}
+}
+
+func TestPoolSchedule(t *testing.T) {
+	sim, _, p := testPool(t, cfg5of3())
+	var epochs []int
+	var sizes []int
+	p.Subscribe(ListenerFunc(func(e int, active []netsim.NodeID) {
+		epochs = append(epochs, e)
+		sizes = append(sizes, len(active))
+	}))
+	p.Start()
+	if err := sim.RunUntil(35); err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries at t=0,10,20,30 -> epochs 0..3.
+	if len(epochs) != 4 {
+		t.Fatalf("observed %d epochs, want 4 (%v)", len(epochs), epochs)
+	}
+	for i, e := range epochs {
+		if e != i {
+			t.Fatalf("epochs out of order: %v", epochs)
+		}
+		if sizes[i] != 3 {
+			t.Fatalf("active set size %d, want K=3", sizes[i])
+		}
+	}
+	if p.Epoch() != 3 {
+		t.Fatalf("Epoch() = %d", p.Epoch())
+	}
+}
+
+func TestActiveConsistency(t *testing.T) {
+	sim, _, p := testPool(t, cfg5of3())
+	p.Subscribe(ListenerFunc(func(e int, active []netsim.NodeID) {
+		for _, id := range active {
+			if !p.IsActive(id) {
+				t.Errorf("epoch %d: listener set and IsActive disagree", e)
+			}
+		}
+		set, err := p.ActiveSetAt(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != len(active) {
+			t.Errorf("ActiveSetAt size mismatch")
+		}
+		for i := range set {
+			if set[i] != active[i] {
+				t.Errorf("ActiveSetAt differs from broadcast set")
+			}
+		}
+	}))
+	p.Start()
+	if err := sim.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRoams(t *testing.T) {
+	sim, _, p := testPool(t, cfg5of3())
+	distinct := map[string]bool{}
+	p.Subscribe(ListenerFunc(func(e int, active []netsim.NodeID) {
+		key := ""
+		for _, id := range active {
+			key += string(rune('A' + int(id)))
+		}
+		distinct[key] = true
+	}))
+	p.Start()
+	if err := sim.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("only %d distinct active sets over 40 epochs", len(distinct))
+	}
+}
+
+func TestChainExhaustionStopsPool(t *testing.T) {
+	cfg := cfg5of3()
+	cfg.Epochs = 3
+	sim, _, p := testPool(t, cfg)
+	count := 0
+	p.Subscribe(ListenerFunc(func(e int, active []netsim.NodeID) { count++ }))
+	p.Start()
+	if err := sim.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("fired %d epochs, want 3 (chain exhausted)", count)
+	}
+}
+
+func TestNextHoneypotEpoch(t *testing.T) {
+	sim, _, p := testPool(t, cfg5of3())
+	_ = sim
+	s := p.Servers()[0]
+	e := p.NextHoneypotEpoch(s.ID, 0)
+	if e < 0 {
+		t.Fatal("no honeypot epoch found in 50 epochs")
+	}
+	set, _ := p.ActiveSetAt(e)
+	for _, id := range set {
+		if id == s.ID {
+			t.Fatalf("epoch %d reported as honeypot but server is active", e)
+		}
+	}
+	// All epochs before e must have the server active.
+	for i := 0; i < e; i++ {
+		set, _ := p.ActiveSetAt(i)
+		found := false
+		for _, id := range set {
+			if id == s.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("epoch %d earlier than reported first honeypot epoch %d", i, e)
+		}
+	}
+}
+
+func TestServerAgentWindows(t *testing.T) {
+	cfg := cfg5of3()
+	sim, _, p := testPool(t, cfg)
+	agents := make([]*ServerAgent, cfg.N)
+	for i, s := range p.Servers() {
+		agents[i] = NewServerAgent(p, s)
+	}
+	type window struct{ open, close float64 }
+	opens := map[int][]float64{}
+	closes := map[int][]float64{}
+	for i, a := range agents {
+		i, a := i, a
+		a.OnHoneypotStart = func(e int) { opens[i] = append(opens[i], sim.Now()) }
+		a.OnHoneypotEnd = func(e int) { closes[i] = append(closes[i], sim.Now()) }
+	}
+	p.Start()
+	if err := sim.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	sawWindow := false
+	for i := range agents {
+		for j, o := range opens[i] {
+			sawWindow = true
+			// Window opens Guard after an epoch boundary.
+			frac := o - float64(int(o/cfg.EpochLen))*cfg.EpochLen
+			if frac != cfg.Guard {
+				t.Fatalf("server %d window opened at %.3f (offset %.3f), want offset %v", i, o, frac, cfg.Guard)
+			}
+			if j < len(closes[i]) {
+				d := closes[i][j] - o
+				if d <= 0 || d > cfg.EpochLen {
+					t.Fatalf("window duration %v out of range", d)
+				}
+			}
+		}
+	}
+	if !sawWindow {
+		t.Fatal("no honeypot windows over 10 epochs with p=0.4")
+	}
+}
+
+func TestServerAgentServesAndDetects(t *testing.T) {
+	cfg := cfg5of3()
+	cfg.Guard = 0
+	sim, nw, p := testPool(t, cfg)
+	agent := NewServerAgent(p, p.Servers()[0])
+	var honeypotHits int
+	agent.OnHoneypotPacket = func(pk *netsim.Packet, in *netsim.Port) { honeypotHits++ }
+	client := nw.AddNode("client")
+	nw.Connect(client, nw.Nodes()[0], 1e7, 0.001) // attach to gw
+	nw.ComputeRoutes()
+	p.Start()
+
+	target := p.Servers()[0].ID
+	// Send one packet per epoch midpoint for 20 epochs.
+	for e := 0; e < 20; e++ {
+		at := float64(e)*cfg.EpochLen + cfg.EpochLen/2
+		sim.At(at, func() {
+			client.Send(&netsim.Packet{Src: client.ID, TrueSrc: client.ID, Dst: target, Size: 500, Type: netsim.Data, Legit: true})
+		})
+	}
+	if err := sim.RunUntil(220); err != nil {
+		t.Fatal(err)
+	}
+	served := int(agent.Stats.ServedBytes / 500)
+	if served+honeypotHits != 20 {
+		t.Fatalf("served %d + honeypot %d != 20", served, honeypotHits)
+	}
+	if honeypotHits == 0 || served == 0 {
+		t.Fatalf("expected both served and honeypot hits over 20 epochs (served=%d hits=%d)", served, honeypotHits)
+	}
+	if int(agent.Stats.HoneypotPackets) != honeypotHits {
+		t.Fatalf("stats.HoneypotPackets=%d, callback count=%d", agent.Stats.HoneypotPackets, honeypotHits)
+	}
+}
+
+func TestBlacklistRequiresHandshake(t *testing.T) {
+	cfg := cfg5of3()
+	cfg.Guard = 0
+	sim, nw, p := testPool(t, cfg)
+	agent := NewServerAgent(p, p.Servers()[0])
+	client := nw.AddNode("client")
+	nw.Connect(client, nw.Nodes()[0], 1e7, 0.001)
+	nw.ComputeRoutes()
+	p.Start()
+	target := p.Servers()[0].ID
+
+	// Find an epoch where server 0 is a honeypot.
+	hp := p.NextHoneypotEpoch(target, 0)
+	if hp < 0 {
+		t.Fatal("no honeypot epoch")
+	}
+	at := p.EpochStartTime(hp) + cfg.EpochLen/2
+
+	// A spoofed packet (no handshake) hitting the honeypot must NOT
+	// blacklist the claimed source.
+	spoofedAs := netsim.NodeID(9999)
+	sim.At(at, func() {
+		client.Send(&netsim.Packet{Src: spoofedAs, TrueSrc: client.ID, Dst: target, Size: 100, Type: netsim.Data})
+	})
+	// A verified source hitting the honeypot MUST be blacklisted:
+	// handshake first (any time), then honeypot hit.
+	sim.At(1, func() {
+		client.Send(&netsim.Packet{Src: client.ID, TrueSrc: client.ID, Dst: target, Size: 100, Type: netsim.Handshake})
+	})
+	sim.At(at+0.1, func() {
+		client.Send(&netsim.Packet{Src: client.ID, TrueSrc: client.ID, Dst: target, Size: 100, Type: netsim.Data})
+	})
+	if err := sim.RunUntil(at + 5); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Blacklisted(spoofedAs) {
+		t.Fatal("spoofed source blacklisted without handshake verification")
+	}
+	if !agent.Blacklisted(client.ID) {
+		t.Fatal("verified source not blacklisted after hitting honeypot")
+	}
+	// Subsequent packets from the blacklisted source are dropped.
+	before := agent.Stats.ServedBytes
+	sim.At(sim.Now()+1, func() {
+		client.Send(&netsim.Packet{Src: client.ID, TrueSrc: client.ID, Dst: target, Size: 100, Type: netsim.Data})
+	})
+	if err := sim.RunUntil(sim.Now() + 5); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Stats.ServedBytes != before {
+		t.Fatal("blacklisted source was served")
+	}
+	if agent.Stats.BlacklistDrops == 0 {
+		t.Fatal("blacklist drop not counted")
+	}
+}
+
+func TestSpoofedHandshakeDoesNotVerify(t *testing.T) {
+	cfg := cfg5of3()
+	sim, nw, p := testPool(t, cfg)
+	agent := NewServerAgent(p, p.Servers()[0])
+	client := nw.AddNode("client")
+	nw.Connect(client, nw.Nodes()[0], 1e7, 0.001)
+	nw.ComputeRoutes()
+	p.Start()
+	sim.At(1, func() {
+		client.Send(&netsim.Packet{Src: 424242, TrueSrc: client.ID, Dst: p.Servers()[0].ID, Size: 100, Type: netsim.Handshake})
+	})
+	if err := sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Stats.HandshakesVerified != 0 {
+		t.Fatal("spoofed handshake verified")
+	}
+}
+
+func TestSubscription(t *testing.T) {
+	sim, _, p := testPool(t, cfg5of3())
+	_ = sim
+	sub, err := p.Issue(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Horizon() != 20 {
+		t.Fatalf("Horizon = %d", sub.Horizon())
+	}
+	// Client-derived active sets agree with the pool for all covered
+	// epochs.
+	for e := 0; e <= 20; e++ {
+		want, err := p.ActiveSetAt(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sub.ActiveServers(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("epoch %d: subscription derived %v, pool says %v", e, got, want)
+			}
+		}
+	}
+	// Beyond the horizon the subscription must fail.
+	if _, err := sub.ActiveServers(21); err == nil {
+		t.Fatal("expired subscription still derived a set")
+	}
+	if !sub.Expired(21) || sub.Expired(20) {
+		t.Fatal("Expired boundary wrong")
+	}
+}
+
+func TestSubscriptionRenewal(t *testing.T) {
+	_, _, p := testPool(t, cfg5of3())
+	sub, _ := p.Issue(5)
+	k30, err := p.Chain().Key(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Renew(k30, 30); err != nil {
+		t.Fatalf("genuine renewal rejected: %v", err)
+	}
+	if sub.Horizon() != 30 {
+		t.Fatal("horizon not updated")
+	}
+	// Forged renewal must be rejected.
+	var forged [32]byte
+	forged[0] = 1
+	if err := sub.Renew(forged, 40); err == nil {
+		t.Fatal("forged renewal accepted")
+	}
+	if err := sub.Renew(k30, 10); err == nil {
+		t.Fatal("backwards renewal accepted")
+	}
+}
+
+func TestSubscriptionClock(t *testing.T) {
+	_, _, p := testPool(t, cfg5of3())
+	sub, _ := p.Issue(10)
+	if e := sub.EpochAt(25); e != 2 {
+		t.Fatalf("EpochAt(25) = %d, want 2", e)
+	}
+	sub.ClockOffset = -6
+	if e := sub.EpochAt(25); e != 1 {
+		t.Fatalf("EpochAt(25) with -6 offset = %d, want 1", e)
+	}
+	sub.ClockOffset = -100
+	if e := sub.EpochAt(25); e != 0 {
+		t.Fatalf("EpochAt never negative, got %d", e)
+	}
+	sub.Resync()
+	if sub.ClockOffset != 0 {
+		t.Fatal("Resync did not clear offset")
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	sim := des.New()
+	nw := netsim.New(sim)
+	s1 := nw.AddNode("s1")
+	if _, err := NewPool(sim, []*netsim.Node{s1}, cfg5of3()); err == nil {
+		t.Fatal("server count mismatch accepted")
+	}
+	if _, err := NewPool(sim, nil, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	sim, _, p := testPool(t, cfg5of3())
+	_ = sim
+	p.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	p.Start()
+}
+
+func TestActiveAndWindowAccessors(t *testing.T) {
+	cfg := cfg5of3()
+	sim, _, p := testPool(t, cfg)
+	agent := NewServerAgent(p, p.Servers()[0])
+	p.Start()
+	if err := sim.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Active(); len(got) != cfg.K {
+		t.Fatalf("Active() size %d, want %d", len(got), cfg.K)
+	}
+	for _, id := range p.Active() {
+		if !p.IsActive(id) {
+			t.Fatal("Active() and IsActive disagree")
+		}
+	}
+	// Walk to the first honeypot epoch of server 0 and verify the
+	// window accessor flips inside the guarded window.
+	hp := p.NextHoneypotEpoch(p.Servers()[0].ID, 0)
+	if hp < 0 {
+		t.Fatal("no honeypot epoch")
+	}
+	if err := sim.RunUntil(p.EpochStartTime(hp) + cfg.Guard + 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if !agent.InHoneypotWindow() {
+		t.Fatal("InHoneypotWindow false inside a honeypot window")
+	}
+	if err := sim.RunUntil(p.EpochStartTime(hp+1) + cfg.Guard/2); err != nil {
+		t.Fatal(err)
+	}
+	active := false
+	for _, id := range p.Active() {
+		if id == p.Servers()[0].ID {
+			active = true
+		}
+	}
+	if active && agent.InHoneypotWindow() {
+		t.Fatal("window still open while active")
+	}
+}

@@ -1,0 +1,82 @@
+package roaming
+
+import (
+	"repro/internal/hashchain"
+	"repro/internal/netsim"
+)
+
+// RenewRequest asks the subscription service for a later-horizon
+// roaming key (Sec. 4: "when subscription expires ... the client may
+// contact the subscription service to acquire a new key").
+type RenewRequest struct {
+	// Horizon is the epoch the client wants coverage up to.
+	Horizon int
+}
+
+// RenewReply carries the granted key. The client verifies it against
+// its currently held key (the hash chain is its trust anchor), so a
+// forged reply is rejected without any extra PKI.
+type RenewReply struct {
+	Key     hashchain.Key
+	Horizon int
+}
+
+// SubscriptionService answers renewal requests on a host node. The
+// reply is addressed to the claimed source, so — like the handshake —
+// only a genuine requester ever receives it.
+type SubscriptionService struct {
+	Node *netsim.Node
+	pool *Pool
+	// MaxAdvance caps how far past the current epoch a renewal may
+	// reach (trust policy; default 32 epochs).
+	MaxAdvance int
+
+	// Granted counts successful renewals.
+	Granted int64
+	// Rejected counts malformed/over-reach requests.
+	Rejected int64
+}
+
+// NewSubscriptionService attaches the service to a node, taking over
+// its packet handler.
+func NewSubscriptionService(pool *Pool, node *netsim.Node) *SubscriptionService {
+	s := &SubscriptionService{Node: node, pool: pool, MaxAdvance: 32}
+	node.Handler = s.handle
+	return s
+}
+
+func (s *SubscriptionService) handle(p *netsim.Packet, in *netsim.Port) {
+	req, ok := p.Payload.(*RenewRequest)
+	if !ok || p.Type != netsim.Control {
+		return
+	}
+	cur := s.pool.Epoch()
+	if cur < 0 {
+		cur = 0
+	}
+	horizon := req.Horizon
+	if max := cur + s.MaxAdvance; horizon > max {
+		horizon = max
+	}
+	if horizon >= s.pool.Config().Epochs {
+		horizon = s.pool.Config().Epochs - 1
+	}
+	if horizon < cur {
+		s.Rejected++
+		return
+	}
+	key, err := s.pool.Chain().Key(horizon)
+	if err != nil {
+		s.Rejected++
+		return
+	}
+	s.Granted++
+	s.Node.Send(&netsim.Packet{
+		Src:     s.Node.ID,
+		TrueSrc: s.Node.ID,
+		Dst:     p.Src, // the claimed source; spoofers never hear back
+		Size:    96,
+		Type:    netsim.Control,
+		Payload: &RenewReply{Key: key, Horizon: horizon},
+	})
+}

@@ -1,0 +1,20 @@
+package spie_test
+
+import (
+	"fmt"
+
+	"repro/internal/spie"
+)
+
+// Bloom filters never forget an inserted digest (no false negatives);
+// absence answers are exact.
+func ExampleBloom() {
+	b := spie.NewBloom(1<<12, 4)
+	d := spie.DigestFields(10, 2, 1, 99, 500)
+	fmt.Println("before insert:", b.Contains(d))
+	b.Add(d)
+	fmt.Println("after insert:", b.Contains(d))
+	// Output:
+	// before insert: false
+	// after insert: true
+}

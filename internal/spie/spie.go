@@ -1,0 +1,193 @@
+package spie
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Config sizes the per-router digest tables.
+type Config struct {
+	// WindowLen is the duration one Bloom filter covers, in seconds.
+	WindowLen float64
+	// Windows is how many past windows each router retains.
+	Windows int
+	// BloomBits is the size of each window's filter in bits.
+	BloomBits int
+	// BloomHashes is the hash count per filter.
+	BloomHashes int
+}
+
+// DefaultConfig keeps one minute of history in 8 windows of 32 kbit
+// each — deliberately small so the storage-vs-accuracy trade-off is
+// visible at simulation scale.
+func DefaultConfig() Config {
+	return Config{WindowLen: 7.5, Windows: 8, BloomBits: 1 << 15, BloomHashes: 4}
+}
+
+// window is one time slice of a router's digest table.
+type window struct {
+	start float64
+	bloom *Bloom
+}
+
+// table is a router's ring of windows.
+type table struct {
+	cfg  Config
+	ring []*window
+	cur  int
+}
+
+func newTable(cfg Config) *table {
+	t := &table{cfg: cfg, ring: make([]*window, cfg.Windows)}
+	for i := range t.ring {
+		t.ring[i] = &window{start: -1, bloom: NewBloom(cfg.BloomBits, cfg.BloomHashes)}
+	}
+	t.ring[0].start = 0
+	return t
+}
+
+// rotate advances the ring so the current window covers now.
+func (t *table) rotate(now float64) *window {
+	w := t.ring[t.cur]
+	for now >= w.start+t.cfg.WindowLen {
+		next := (t.cur + 1) % len(t.ring)
+		t.ring[next].bloom.Reset()
+		t.ring[next].start = w.start + t.cfg.WindowLen
+		t.cur = next
+		w = t.ring[next]
+	}
+	return w
+}
+
+// record stores a digest at time now.
+func (t *table) record(digest uint64, now float64) {
+	t.rotate(now).bloom.Add(digest)
+}
+
+// contains checks every retained window overlapping [at-slack, at].
+func (t *table) contains(digest uint64, at, slack float64) bool {
+	for _, w := range t.ring {
+		if w.start < 0 {
+			continue
+		}
+		end := w.start + t.cfg.WindowLen
+		if end < at-slack || w.start > at {
+			continue
+		}
+		if w.bloom.Contains(digest) {
+			return true
+		}
+	}
+	return false
+}
+
+// Deployment runs SPIE digest collection on a set of routers.
+type Deployment struct {
+	Cfg Config
+	net *netsim.Network
+
+	tables map[netsim.NodeID]*table
+	// Recorded counts digest insertions (the per-packet work).
+	Recorded int64
+}
+
+// New builds an empty deployment.
+func New(nw *netsim.Network, cfg Config) *Deployment {
+	if cfg.WindowLen <= 0 || cfg.Windows <= 0 {
+		panic("spie: invalid window configuration")
+	}
+	return &Deployment{Cfg: cfg, net: nw, tables: map[netsim.NodeID]*table{}}
+}
+
+// Deploy installs digest collection on the routers.
+func (d *Deployment) Deploy(routers []*netsim.Node) {
+	for _, r := range routers {
+		if _, ok := d.tables[r.ID]; ok {
+			continue
+		}
+		tab := newTable(d.Cfg)
+		d.tables[r.ID] = tab
+		r.AddHook(netsim.ForwardFunc(func(n *netsim.Node, p *netsim.Packet, in, out *netsim.Port) bool {
+			if p.Type == netsim.Data {
+				tab.record(Digest(p), d.net.Sim.Now())
+				d.Recorded++
+			}
+			return true
+		}))
+	}
+}
+
+// Digest computes a packet's SPIE digest over its invariant fields.
+func Digest(p *netsim.Packet) uint64 {
+	return DigestFields(int64(p.Src), int64(p.Dst), p.FlowID, p.Seq, p.Size)
+}
+
+// Observed reports whether router id's table holds the digest near
+// time at (within slack seconds earlier).
+func (d *Deployment) Observed(id netsim.NodeID, digest uint64, at, slack float64) bool {
+	t, ok := d.tables[id]
+	if !ok {
+		return false
+	}
+	return t.contains(digest, at, slack)
+}
+
+// BitsPerRouter returns the storage one router dedicates to digest
+// tables — the overhead the paper's Sec. 2 contrasts against
+// honeypot back-propagation's stateless signature.
+func (d *Deployment) BitsPerRouter() int {
+	return d.Cfg.Windows * d.Cfg.BloomBits
+}
+
+// TracebackResult is the reconstruction of one packet's path.
+type TracebackResult struct {
+	// Path is the router sequence from the victim's first hop to the
+	// source's access router.
+	Path []*netsim.Node
+	// Ambiguous reports that some hop had multiple matching upstream
+	// routers (Bloom false positives); the returned path followed the
+	// first match.
+	Ambiguous bool
+}
+
+// Traceback reconstructs the path of a single packet observed at the
+// victim: starting from the victim's first-hop router it repeatedly
+// asks upstream neighbor routers whether they saw the digest around
+// time at. isHost classifies end hosts (which keep no tables); the
+// walk ends at the router with no matching upstream — the source's
+// access router.
+func (d *Deployment) Traceback(firstHop *netsim.Node, digest uint64, at, slack float64, isHost func(*netsim.Node) bool) (*TracebackResult, error) {
+	if _, ok := d.tables[firstHop.ID]; !ok {
+		return nil, fmt.Errorf("spie: first hop %v keeps no digest table", firstHop)
+	}
+	if !d.Observed(firstHop.ID, digest, at, slack) {
+		return nil, fmt.Errorf("spie: digest not observed at the first hop (expired or never seen)")
+	}
+	res := &TracebackResult{Path: []*netsim.Node{firstHop}}
+	visited := map[netsim.NodeID]bool{firstHop.ID: true}
+	cur := firstHop
+	for {
+		var matches []*netsim.Node
+		for _, nb := range cur.Neighbors() {
+			if visited[nb.ID] || isHost(nb) {
+				continue
+			}
+			if d.Observed(nb.ID, digest, at, slack) {
+				matches = append(matches, nb)
+			}
+		}
+		if len(matches) == 0 {
+			return res, nil
+		}
+		if len(matches) > 1 {
+			res.Ambiguous = true
+		}
+		cur = matches[0]
+		visited[cur.ID] = true
+		res.Path = append(res.Path, cur)
+		if len(res.Path) > len(d.tables)+1 {
+			return nil, fmt.Errorf("spie: traceback walk exceeded table count (loop?)")
+		}
+	}
+}

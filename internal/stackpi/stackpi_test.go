@@ -1,0 +1,177 @@
+package stackpi
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// markedArrival sends one packet from leaf to server and returns the
+// mark it arrives with.
+func markedArrival(t *testing.T, tr *topology.Tree, sim *des.Simulator, leaf *netsim.Node, dst netsim.NodeID) int {
+	t.Helper()
+	got := -1
+	server := tr.Net.Node(dst)
+	old := server.Handler
+	server.Handler = func(p *netsim.Packet, in *netsim.Port) { got = p.Mark }
+	defer func() { server.Handler = old }()
+	sim.At(sim.Now(), func() {
+		leaf.Send(&netsim.Packet{Src: leaf.ID, TrueSrc: leaf.ID, Dst: dst, Size: 100, Type: netsim.Data})
+	})
+	if err := sim.RunUntil(sim.Now() + 2); err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 {
+		t.Fatal("packet not delivered")
+	}
+	return got
+}
+
+func buildMarked(t *testing.T, leaves int) (*des.Simulator, *topology.Tree) {
+	t.Helper()
+	sim := des.New()
+	p := topology.DefaultParams()
+	p.Leaves = leaves
+	tr := topology.NewTree(sim, p)
+	m := &Marker{}
+	m.Deploy(tr.Routers)
+	return sim, tr
+}
+
+func TestSamePathSameMark(t *testing.T) {
+	sim, tr := buildMarked(t, 30)
+	dst := tr.Servers[0].ID
+	leaf := tr.Leaves[0]
+	m1 := markedArrival(t, tr, sim, leaf, dst)
+	m2 := markedArrival(t, tr, sim, leaf, dst)
+	if m1 != m2 {
+		t.Fatalf("same path produced different marks: %x vs %x", m1, m2)
+	}
+	if m1 == 0 {
+		t.Fatal("mark never set")
+	}
+}
+
+func TestMarksMostlyDifferAcrossPaths(t *testing.T) {
+	sim, tr := buildMarked(t, 60)
+	dst := tr.Servers[0].ID
+	marks := map[int][]int{}
+	for i, leaf := range tr.Leaves {
+		m := markedArrival(t, tr, sim, leaf, dst)
+		marks[m] = append(marks[m], i)
+	}
+	// Distinct origins should spread over the mark space: far more
+	// distinct marks than one, though collisions are expected (that
+	// is the scheme's weakness).
+	if len(marks) < 10 {
+		t.Fatalf("only %d distinct marks across 60 paths", len(marks))
+	}
+	// Leaves sharing an access router legitimately share marks; the
+	// test only requires spread, not uniqueness.
+}
+
+func TestSpoofingDoesNotChangeMark(t *testing.T) {
+	// The whole point of path marking: the mark depends on the path,
+	// not the (forgeable) source address.
+	sim, tr := buildMarked(t, 30)
+	dst := tr.Servers[0].ID
+	leaf := tr.Leaves[3]
+	honest := markedArrival(t, tr, sim, leaf, dst)
+	got := -1
+	server := tr.Net.Node(dst)
+	server.Handler = func(p *netsim.Packet, in *netsim.Port) { got = p.Mark }
+	sim.At(sim.Now(), func() {
+		leaf.Send(&netsim.Packet{Src: 4242, TrueSrc: leaf.ID, Dst: dst, Size: 100, Type: netsim.Data})
+	})
+	if err := sim.RunUntil(sim.Now() + 2); err != nil {
+		t.Fatal(err)
+	}
+	if got != honest {
+		t.Fatalf("spoofed packet changed mark: %x vs %x", got, honest)
+	}
+}
+
+func TestFilterLearnsAndDrops(t *testing.T) {
+	f := NewFilter()
+	atk := &netsim.Packet{Mark: 0x1234, Legit: false, Type: netsim.Data}
+	leg := &netsim.Packet{Mark: 0x4321, Legit: true, Type: netsim.Data}
+	if !f.Check(atk) {
+		t.Fatal("unlearned mark dropped")
+	}
+	f.Learn(0x1234)
+	if f.Check(atk) {
+		t.Fatal("learned attack mark passed")
+	}
+	if !f.Check(leg) {
+		t.Fatal("legitimate mark dropped")
+	}
+	if f.LearnedMarks() != 1 {
+		t.Fatalf("LearnedMarks = %d", f.LearnedMarks())
+	}
+	if f.FalsePositiveRate() != 0 {
+		t.Fatalf("FP rate = %v with no collisions", f.FalsePositiveRate())
+	}
+}
+
+func TestFilterCollisionCountsFalsePositive(t *testing.T) {
+	f := NewFilter()
+	f.Learn(0x7)
+	// A legitimate packet that collides with a learned attack mark.
+	if f.Check(&netsim.Packet{Mark: 0x7, Legit: true, Type: netsim.Data}) {
+		t.Fatal("collision passed")
+	}
+	if f.FalsePositives != 1 {
+		t.Fatalf("FP = %d", f.FalsePositives)
+	}
+	if f.FalsePositiveRate() != 1 {
+		t.Fatalf("FP rate = %v", f.FalsePositiveRate())
+	}
+	// An attack packet with an unlearned mark is a false negative.
+	f.Check(&netsim.Packet{Mark: 0x9, Legit: false, Type: netsim.Data})
+	if f.FalseNegatives != 1 {
+		t.Fatalf("FN = %d", f.FalseNegatives)
+	}
+}
+
+func TestAccuracyDegradesWithDispersedAttackers(t *testing.T) {
+	// The paper's Sec. 2 claim: with more dispersed attackers the
+	// filter blacklists more of the mark space and legitimate paths
+	// collide more often.
+	fpRate := func(nAttackers int) float64 {
+		sim, tr := buildMarked(t, 120)
+		dst := tr.Servers[0].ID
+		attackers, clients := tr.PlaceAttackers(nAttackers, topology.Even, 4)
+		f := NewFilter()
+		// Training: learn each attacker's path mark (the oracle phase).
+		for _, a := range attackers {
+			f.Learn(markedArrival(t, tr, sim, a, dst))
+		}
+		// Evaluation: run every client's traffic through the filter.
+		for _, c := range clients {
+			m := markedArrival(t, tr, sim, c, dst)
+			f.Check(&netsim.Packet{Mark: m, Legit: true, Type: netsim.Data})
+		}
+		return f.FalsePositiveRate()
+	}
+	few := fpRate(5)
+	many := fpRate(60)
+	if many < few {
+		t.Fatalf("FP rate fell with more attackers: few=%v many=%v", few, many)
+	}
+	if many == 0 {
+		t.Fatal("60 dispersed attackers among 120 leaves caused zero collisions; marking model suspicious")
+	}
+}
+
+func TestMarkSpaceSaturation(t *testing.T) {
+	f := NewFilter()
+	for i := 0; i < 100; i++ {
+		f.Learn(i)
+	}
+	want := 100.0 / 65536
+	if got := f.MarkSpaceSaturation(); got != want {
+		t.Fatalf("saturation = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,346 @@
+// Package tcp implements a simplified Reno-style reliable transport
+// on top of internal/netsim: slow start, congestion avoidance, fast
+// retransmit on triple duplicate ACKs, retransmission timeouts with
+// Jacobson RTT estimation, and cumulative ACKs. It exists because the
+// paper's service and overhead models are TCP-shaped: spoofed floods
+// degrade TCP throughput by dropping ACKs (Sec. 3), and roaming
+// migrates connections between servers, forcing re-establishment and
+// a return to slow start (Sec. 4 / Sec. 5.3's overhead accounting).
+//
+// The implementation is deliberately compact: segments are fixed-MSS
+// packets counted in units of segments, the three-way handshake is
+// collapsed into the simulator's Handshake packet (whose delivery
+// semantics already model "only a genuine source completes setup"),
+// and there is no flow control (receivers sink data).
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// ack is the payload of ACK packets.
+type ack struct {
+	// Cum is the highest in-order segment received (cumulative).
+	Cum int64
+	// FlowID echoes the data flow the ACK belongs to.
+	FlowID int
+}
+
+// Checkpoint is the per-connection state the roaming-honeypots scheme
+// checkpoints to the client and forwards to the new server on
+// migration (Sec. 4): the resume point of the byte stream. It rides
+// the handshake packet's payload.
+type Checkpoint struct {
+	FlowID int
+	// Cum is the cumulative segment the stream resumes after.
+	Cum int64
+}
+
+// SenderConfig tunes the congestion controller.
+type SenderConfig struct {
+	// MSS is the segment size in bytes (default 500, the experiments'
+	// packet size).
+	MSS int
+	// InitialWindow is the post-(re)establishment cwnd in segments
+	// (default 1, the classic slow-start entry the paper's overhead
+	// argument depends on).
+	InitialWindow float64
+	// MaxWindow caps cwnd in segments (default 64).
+	MaxWindow float64
+	// MinRTO and MaxRTO clamp the retransmission timeout (defaults
+	// 0.2 s and 10 s).
+	MinRTO, MaxRTO float64
+	// AckSize is the ACK packet size in bytes (default 40).
+	AckSize int
+}
+
+func (c *SenderConfig) fillDefaults() {
+	if c.MSS <= 0 {
+		c.MSS = 500
+	}
+	if c.InitialWindow <= 0 {
+		c.InitialWindow = 1
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 64
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 0.2
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 10
+	}
+	if c.AckSize <= 0 {
+		c.AckSize = 40
+	}
+}
+
+// SenderStats aggregates transport accounting.
+type SenderStats struct {
+	// SegmentsSent counts transmissions including retransmissions.
+	SegmentsSent int64
+	// Retransmits counts fast retransmits plus timeout retransmits.
+	Retransmits int64
+	// Timeouts counts RTO firings.
+	Timeouts int64
+	// FastRetransmits counts triple-dupack recoveries.
+	FastRetransmits int64
+	// AckedSegments is the goodput in segments.
+	AckedSegments int64
+	// Migrations counts Retarget calls.
+	Migrations int64
+}
+
+// Sender is one TCP flow's sending side, attached to a host node.
+// Create through an Endpoint so inbound ACKs are dispatched.
+type Sender struct {
+	Cfg  SenderConfig
+	Node *netsim.Node
+	// FlowID identifies the flow end-to-end.
+	FlowID int
+
+	dst netsim.NodeID
+	sim *des.Simulator
+
+	// Reno state, in segment units.
+	cwnd     float64
+	ssthresh float64
+	nextSeq  int64 // next segment to send (1-based)
+	sendMax  int64 // highest segment ever sent
+	cumAcked int64 // highest cumulatively acked segment
+	dupAcks  int
+
+	// RTT estimation (Jacobson/Karels).
+	srtt, rttvar float64
+	rtoBackoff   float64
+	timedSeq     int64
+	timedAt      float64
+
+	rtoTimer *des.Event
+	running  bool
+
+	Stats SenderStats
+}
+
+// Cwnd returns the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Acked returns the cumulative acked segment count.
+func (s *Sender) Acked() int64 { return s.cumAcked }
+
+// GoodputBytes returns acked payload bytes.
+func (s *Sender) GoodputBytes() int64 { return s.cumAcked * int64(s.Cfg.MSS) }
+
+// Target returns the current destination.
+func (s *Sender) Target() netsim.NodeID { return s.dst }
+
+// Start opens the connection: a handshake packet to the destination,
+// then slow start.
+func (s *Sender) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.cwnd = s.Cfg.InitialWindow
+	s.ssthresh = s.Cfg.MaxWindow
+	s.sendHandshake()
+	s.pump()
+	s.armRTO()
+}
+
+// Stop silences the sender (state is kept; Start resumes).
+func (s *Sender) Stop() {
+	s.running = false
+	if s.rtoTimer != nil {
+		s.sim.Cancel(s.rtoTimer)
+	}
+}
+
+// Retarget migrates the connection to a new server: the checkpoint
+// (the cumulative ACK point) carries over, a fresh handshake is sent,
+// and the congestion window re-enters slow start — the paper's
+// migration cost (Sec. 4: "re-establish TCP connections and re-enter
+// TCP slow-start, losing their current TCP throughput").
+func (s *Sender) Retarget(dst netsim.NodeID) {
+	if dst == s.dst {
+		return
+	}
+	s.dst = dst
+	s.Stats.Migrations++
+	s.cwnd = s.Cfg.InitialWindow
+	s.ssthresh = s.Cfg.MaxWindow
+	s.dupAcks = 0
+	// Un-acked in-flight segments are retransmitted to the new server
+	// starting from the checkpoint.
+	s.nextSeq = s.cumAcked + 1
+	s.timedSeq = 0
+	if s.running {
+		s.sendHandshake()
+		s.pump()
+		s.armRTO()
+	}
+}
+
+func (s *Sender) sendHandshake() {
+	s.Node.Send(&netsim.Packet{
+		Src:     s.Node.ID,
+		TrueSrc: s.Node.ID,
+		Dst:     s.dst,
+		Size:    64,
+		Type:    netsim.Handshake,
+		FlowID:  s.FlowID,
+		Legit:   true,
+		Payload: &Checkpoint{FlowID: s.FlowID, Cum: s.cumAcked},
+	})
+}
+
+// pump transmits while the window allows.
+func (s *Sender) pump() {
+	if !s.running {
+		return
+	}
+	for s.nextSeq <= s.cumAcked+int64(s.cwnd) {
+		s.transmit(s.nextSeq)
+		if s.nextSeq > s.sendMax {
+			s.sendMax = s.nextSeq
+		}
+		s.nextSeq++
+	}
+}
+
+func (s *Sender) transmit(seq int64) {
+	s.Stats.SegmentsSent++
+	// Time one segment per window for RTT sampling (Karn's rule:
+	// never a retransmitted one).
+	if s.timedSeq == 0 && seq == s.sendMax+1 {
+		s.timedSeq = seq
+		s.timedAt = s.sim.Now()
+	}
+	s.Node.Send(&netsim.Packet{
+		Src:     s.Node.ID,
+		TrueSrc: s.Node.ID,
+		Dst:     s.dst,
+		Size:    s.Cfg.MSS,
+		Type:    netsim.Data,
+		FlowID:  s.FlowID,
+		Seq:     seq,
+		Legit:   true,
+	})
+}
+
+// handleAck processes a cumulative ACK.
+func (s *Sender) handleAck(a *ack) {
+	if !s.running {
+		return
+	}
+	switch {
+	case a.Cum > s.cumAcked:
+		newly := a.Cum - s.cumAcked
+		s.cumAcked = a.Cum
+		s.Stats.AckedSegments += newly
+		s.dupAcks = 0
+		s.rtoBackoff = 1
+		// RTT sample.
+		if s.timedSeq != 0 && a.Cum >= s.timedSeq {
+			s.rttSample(s.sim.Now() - s.timedAt)
+			s.timedSeq = 0
+		}
+		// Window growth.
+		if s.cwnd < s.ssthresh {
+			s.cwnd += float64(newly) // slow start
+		} else {
+			s.cwnd += float64(newly) / s.cwnd // congestion avoidance
+		}
+		if s.cwnd > s.Cfg.MaxWindow {
+			s.cwnd = s.Cfg.MaxWindow
+		}
+		s.armRTO()
+		s.pump()
+	case a.Cum == s.cumAcked && s.sendMax > s.cumAcked:
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			// Fast retransmit + simplified recovery.
+			s.Stats.FastRetransmits++
+			s.Stats.Retransmits++
+			s.ssthresh = s.cwnd / 2
+			if s.ssthresh < 2 {
+				s.ssthresh = 2
+			}
+			s.cwnd = s.ssthresh
+			s.timedSeq = 0
+			s.transmit(s.cumAcked + 1)
+			s.armRTO()
+		}
+	}
+}
+
+func (s *Sender) rttSample(rtt float64) {
+	if rtt <= 0 {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		return
+	}
+	delta := rtt - s.srtt
+	if delta < 0 {
+		delta = -delta
+	}
+	s.rttvar = 0.75*s.rttvar + 0.25*delta
+	s.srtt = 0.875*s.srtt + 0.125*rtt
+}
+
+func (s *Sender) rto() float64 {
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.Cfg.MinRTO {
+		rto = s.Cfg.MinRTO
+	}
+	if s.rtoBackoff > 1 {
+		rto *= s.rtoBackoff
+	}
+	if rto > s.Cfg.MaxRTO {
+		rto = s.Cfg.MaxRTO
+	}
+	return rto
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.sim.Cancel(s.rtoTimer)
+	}
+	if s.sendMax <= s.cumAcked {
+		return // nothing in flight
+	}
+	s.rtoTimer = s.sim.AfterNamed(s.rto(), "tcp-rto", s.onRTO)
+}
+
+func (s *Sender) onRTO() {
+	if !s.running || s.sendMax <= s.cumAcked {
+		return
+	}
+	s.Stats.Timeouts++
+	s.Stats.Retransmits++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 1
+	s.dupAcks = 0
+	if s.rtoBackoff < 1 {
+		s.rtoBackoff = 1
+	}
+	s.rtoBackoff *= 2 // exponential backoff until new data is acked
+	s.timedSeq = 0
+	s.srtt = 0 // re-estimate after the outage
+	s.transmit(s.cumAcked + 1)
+	s.nextSeq = s.cumAcked + 2
+	s.armRTO()
+}
+
+func (s *Sender) String() string {
+	return fmt.Sprintf("tcp flow %d %v->%v cwnd=%.1f acked=%d", s.FlowID, s.Node.ID, s.dst, s.cwnd, s.cumAcked)
+}

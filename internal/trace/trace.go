@@ -1,0 +1,187 @@
+// Package trace is a lightweight structured event log for simulation
+// runs: defense components record what they did and when, tests
+// assert on the sequence, and examples print it as a narrative.
+// It is deliberately simulator-aware (timestamps come from the caller)
+// and allocation-light (fields are a small fixed struct, no maps).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	// RequestSent: a honeypot request left a node.
+	RequestSent Kind = iota
+	// CancelSent: a cancel left a node.
+	CancelSent
+	// SessionOpened: a router/HSM created a honeypot session.
+	SessionOpened
+	// SessionClosed: a session was torn down (cancel or expiry).
+	SessionClosed
+	// Propagated: input debugging identified an ingress and extended
+	// the session upstream.
+	Propagated
+	// Captured: an attack host's access port was shut.
+	Captured
+	// ReportSent: a progressive frontier report left a router.
+	ReportSent
+	// Piggybacked: a message was bridged over routing announcements.
+	Piggybacked
+	// AuthRejected: a message failed authentication.
+	AuthRejected
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RequestSent:
+		return "request-sent"
+	case CancelSent:
+		return "cancel-sent"
+	case SessionOpened:
+		return "session-opened"
+	case SessionClosed:
+		return "session-closed"
+	case Propagated:
+		return "propagated"
+	case Captured:
+		return "captured"
+	case ReportSent:
+		return "report-sent"
+	case Piggybacked:
+		return "piggybacked"
+	case AuthRejected:
+		return "auth-rejected"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded action.
+type Event struct {
+	// Time is the simulation timestamp.
+	Time float64
+	// Kind classifies the action.
+	Kind Kind
+	// Node is the acting node/AS identifier.
+	Node int
+	// Peer is the other party (upstream node, captured host, ...);
+	// -1 when not applicable.
+	Peer int
+	// Server is the protected server the action concerns; -1 when not
+	// applicable.
+	Server int
+	// Note is an optional free-form annotation.
+	Note string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%8.3f %-15s node=%d", e.Time, e.Kind, e.Node)
+	if e.Peer >= 0 {
+		s += fmt.Sprintf(" peer=%d", e.Peer)
+	}
+	if e.Server >= 0 {
+		s += fmt.Sprintf(" server=%d", e.Server)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Log collects events in emission order. The zero value is unusable;
+// create with New. A nil *Log is safe to record into (no-op), so
+// components can carry an optional tracer without nil checks.
+type Log struct {
+	events []Event
+	// Cap bounds memory; beyond it the earliest events are dropped
+	// (0 = unbounded).
+	Cap int
+
+	dropped int
+}
+
+// New returns an empty log with the given capacity (0 = unbounded).
+func New(capacity int) *Log {
+	return &Log{Cap: capacity}
+}
+
+// Record appends an event. Safe on a nil log.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	if l.Cap > 0 && len(l.events) >= l.Cap {
+		copy(l.events, l.events[1:])
+		l.events = l.events[:len(l.events)-1]
+		l.dropped++
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Dropped returns how many early events were evicted by Cap.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Len returns the current event count.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events of one kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count tallies events per kind.
+func (l *Log) Count() map[Kind]int {
+	m := map[Kind]int{}
+	if l == nil {
+		return m
+	}
+	for _, e := range l.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// String renders the whole log, one event per line.
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndFilter(t *testing.T) {
+	l := New(0)
+	l.Record(Event{Time: 1, Kind: RequestSent, Node: 1, Peer: -1, Server: 5})
+	l.Record(Event{Time: 2, Kind: SessionOpened, Node: 2, Peer: -1, Server: 5})
+	l.Record(Event{Time: 3, Kind: SessionOpened, Node: 3, Peer: -1, Server: 5})
+	l.Record(Event{Time: 4, Kind: Captured, Node: 3, Peer: 9, Server: 5})
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	opened := l.Filter(SessionOpened)
+	if len(opened) != 2 || opened[0].Node != 2 || opened[1].Node != 3 {
+		t.Fatalf("Filter = %+v", opened)
+	}
+	counts := l.Count()
+	if counts[SessionOpened] != 2 || counts[Captured] != 1 {
+		t.Fatalf("Count = %v", counts)
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{Kind: Captured}) // must not panic
+	if l.Len() != 0 || l.Events() != nil || l.Dropped() != 0 {
+		t.Fatal("nil log not inert")
+	}
+	if l.Filter(Captured) != nil {
+		t.Fatal("nil Filter not nil")
+	}
+	if l.String() != "" {
+		t.Fatal("nil String not empty")
+	}
+	if len(l.Count()) != 0 {
+		t.Fatal("nil Count not empty")
+	}
+}
+
+func TestCapEvictsOldest(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Time: float64(i), Kind: Propagated, Node: i})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want cap 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", l.Dropped())
+	}
+	ev := l.Events()
+	if ev[0].Node != 2 || ev[2].Node != 4 {
+		t.Fatalf("wrong retained window: %+v", ev)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for k := RequestSent; k < kindCount; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", k)
+		}
+	}
+	e := Event{Time: 1.5, Kind: Captured, Node: 3, Peer: 9, Server: 5, Note: "x"}
+	s := e.String()
+	for _, want := range []string{"captured", "node=3", "peer=9", "server=5", "x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	l := New(0)
+	l.Record(e)
+	if !strings.Contains(l.String(), "captured") {
+		t.Fatal("log string missing event")
+	}
+}
+
+func TestCountMatchesFilterProperty(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		l := New(0)
+		for i, k := range kinds {
+			l.Record(Event{Time: float64(i), Kind: Kind(int(k) % int(kindCount)), Node: i, Peer: -1, Server: -1})
+		}
+		counts := l.Count()
+		total := 0
+		for k := RequestSent; k < kindCount; k++ {
+			if len(l.Filter(k)) != counts[k] {
+				return false
+			}
+			total += counts[k]
+		}
+		return total == l.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package traffic
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+)
+
+// Attacker is a zombie host flooding one server of the pool with
+// spoofed packets. Per Sec. 8.3, "each attack host picks a server
+// among the [N] servers uniformly at random and keeps on attacking
+// it"; source addresses are forged per packet.
+type Attacker struct {
+	CBR    *CBR
+	Target netsim.NodeID
+}
+
+// AttackerConfig parameterizes attack hosts.
+type AttackerConfig struct {
+	// Rate is the per-attacker sending rate in bits/s.
+	Rate float64
+	// Size is the attack packet size in bytes.
+	Size int
+	// SpoofSpace is the pool of addresses forged sources are drawn
+	// from (typically all leaf IDs); empty disables spoofing.
+	SpoofSpace []netsim.NodeID
+}
+
+// NewAttacker builds an attack source on the given host. The target is
+// drawn uniformly from servers using rng; spoofed sources are drawn
+// per packet.
+func NewAttacker(host *netsim.Node, servers []*netsim.Node, cfg AttackerConfig, rng *des.RNG) *Attacker {
+	target := des.Pick(rng, servers).ID
+	spoofRNG := rng.Split(int64(host.ID))
+	cbr := &CBR{
+		Node:   host,
+		Rate:   cfg.Rate,
+		Size:   cfg.Size,
+		Dest:   func() netsim.NodeID { return target },
+		Legit:  false,
+		Jitter: rng.Split(int64(host.ID) + 1),
+	}
+	if len(cfg.SpoofSpace) > 0 {
+		space := cfg.SpoofSpace
+		cbr.Source = func() netsim.NodeID { return des.Pick(spoofRNG, space) }
+	}
+	return &Attacker{CBR: cbr, Target: target}
+}
+
+// Start begins the flood.
+func (a *Attacker) Start() { a.CBR.Start() }
+
+// Stop halts the flood.
+func (a *Attacker) Stop() { a.CBR.Stop() }
+
+// OnOffAttacker wraps an Attacker in the on/off pattern.
+type OnOffAttacker struct {
+	Attacker *Attacker
+	OnOff    *OnOff
+}
+
+// NewOnOffAttacker builds an on-off attack host.
+func NewOnOffAttacker(host *netsim.Node, servers []*netsim.Node, cfg AttackerConfig, ton, toff float64, rng *des.RNG) *OnOffAttacker {
+	a := NewAttacker(host, servers, cfg, rng)
+	return &OnOffAttacker{Attacker: a, OnOff: &OnOff{CBR: a.CBR, Ton: ton, Toff: toff}}
+}
+
+// Start begins the on/off flood.
+func (o *OnOffAttacker) Start() { o.OnOff.Start() }
+
+// Stop halts it.
+func (o *OnOffAttacker) Stop() { o.OnOff.Stop() }
+
+// Scanner is benign background noise: a host that probes random
+// servers at a low rate (the "non-malicious probing" of the paper's
+// false-positive discussion, Sec. 5.3). Scanners inevitably hit
+// honeypots; the activation threshold exists to keep them from
+// triggering back-propagation.
+type Scanner struct {
+	node    *netsim.Node
+	servers []*netsim.Node
+	rng     *des.RNG
+	// MeanGap is the average spacing between probes in seconds
+	// (exponentially distributed).
+	MeanGap float64
+	// Size is the probe packet size.
+	Size int
+
+	running bool
+	gen     int
+	Sent    int64
+}
+
+// NewScanner builds a benign prober over the server pool.
+func NewScanner(host *netsim.Node, servers []*netsim.Node, meanGap float64, rng *des.RNG) *Scanner {
+	if meanGap <= 0 {
+		panic("traffic: scanner needs a positive mean gap")
+	}
+	return &Scanner{
+		node:    host,
+		servers: servers,
+		rng:     rng.Split(int64(host.ID) + 29),
+		MeanGap: meanGap,
+		Size:    64,
+	}
+}
+
+// Start begins probing.
+func (s *Scanner) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.gen++
+	gen := s.gen
+	sim := s.node.Network().Sim
+	var tick func()
+	tick = func() {
+		if !s.running || s.gen != gen {
+			return
+		}
+		target := des.Pick(s.rng, s.servers)
+		s.Sent++
+		s.node.Send(&netsim.Packet{
+			Src:     s.node.ID,
+			TrueSrc: s.node.ID,
+			Dst:     target.ID,
+			Size:    s.Size,
+			Type:    netsim.Data,
+			Legit:   true, // benign, though it probes indiscriminately
+		})
+		sim.After(s.rng.Exp(s.MeanGap), tick)
+	}
+	sim.After(s.rng.Exp(s.MeanGap), tick)
+}
+
+// Stop halts probing.
+func (s *Scanner) Stop() { s.running = false }
+
+// Follower is the adaptive attacker of Sec. 7.3: it has somehow
+// learned the roaming schedule and stops sending d_follow seconds
+// after its target enters a honeypot epoch, resuming when the target
+// becomes active again. It subscribes to pool epoch events as the
+// schedule oracle.
+type Follower struct {
+	Attacker *Attacker
+	// Dfollow is the reaction delay after a honeypot epoch starts.
+	Dfollow float64
+
+	pool    *roaming.Pool
+	sim     *des.Simulator
+	started bool
+}
+
+// NewFollower builds a follower attack host tracking the pool
+// schedule.
+func NewFollower(host *netsim.Node, pool *roaming.Pool, cfg AttackerConfig, dfollow float64, rng *des.RNG) *Follower {
+	a := NewAttacker(host, pool.Servers(), cfg, rng)
+	f := &Follower{Attacker: a, Dfollow: dfollow, pool: pool, sim: host.Network().Sim}
+	pool.Subscribe(f)
+	return f
+}
+
+// Start arms the follower; actual emission follows the schedule.
+func (f *Follower) Start() {
+	f.started = true
+	// If the target is currently active (or no epoch has begun yet),
+	// attack immediately; otherwise wait for the next activation.
+	if f.pool.Epoch() < 0 || f.pool.IsActive(f.Attacker.Target) {
+		f.Attacker.Start()
+	}
+}
+
+// Stop disarms the follower.
+func (f *Follower) Stop() {
+	f.started = false
+	f.Attacker.Stop()
+}
+
+// EpochStart implements roaming.Listener.
+func (f *Follower) EpochStart(epoch int, active []netsim.NodeID) {
+	if !f.started {
+		return
+	}
+	targetActive := false
+	for _, id := range active {
+		if id == f.Attacker.Target {
+			targetActive = true
+			break
+		}
+	}
+	if targetActive {
+		f.Attacker.Start()
+		return
+	}
+	// Target just became a honeypot: keep sending for Dfollow, then
+	// go quiet for the rest of the epoch.
+	f.sim.After(f.Dfollow, func() {
+		if f.started && !f.pool.IsActive(f.Attacker.Target) {
+			f.Attacker.Stop()
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package traffic
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+)
+
+// Client is a legitimate end host. In roaming mode it derives the
+// active set per epoch from its subscription key and, per Sec. 8.3,
+// "selects one of the active servers uniformly at random and directs
+// its traffic into it" at the start of each epoch, completing a
+// handshake with every new server (which both establishes the
+// connection after migration and feeds the handshake-verified
+// blacklist). In static mode (the paper's Pushback and no-defense
+// runs) it picks one of the N servers uniformly once.
+type Client struct {
+	CBR *CBR
+
+	sub      *roaming.Subscription
+	servers  []*netsim.Node
+	rng      *des.RNG
+	epochLen float64
+	roamMode bool
+
+	target   netsim.NodeID
+	switches int64
+	// Handshakes counts connection setups (initial + migrations).
+	Handshakes int64
+	// Renewals counts accepted subscription renewals.
+	Renewals int64
+
+	// renewalService, when enabled, is contacted when the
+	// subscription nears its horizon (Sec. 4's re-keying path).
+	renewalService netsim.NodeID
+	renewalEnabled bool
+	renewPending   bool
+
+	stopEpochs func()
+	started    bool
+}
+
+// EnableRenewal points the client at a subscription service so its
+// key is refreshed before it expires. It takes over the host's packet
+// handler to receive replies (roaming data clients otherwise only
+// send).
+func (c *Client) EnableRenewal(service netsim.NodeID) {
+	if !c.roamMode {
+		panic("traffic: renewal only applies to roaming clients")
+	}
+	c.renewalService = service
+	c.renewalEnabled = true
+	prev := c.CBR.Node.Handler
+	c.CBR.Node.Handler = func(p *netsim.Packet, in *netsim.Port) {
+		if rep, ok := p.Payload.(*roaming.RenewReply); ok && p.Type == netsim.Control {
+			c.renewPending = false
+			if err := c.sub.Renew(rep.Key, rep.Horizon); err == nil {
+				c.Renewals++
+			}
+			return
+		}
+		if prev != nil {
+			prev(p, in)
+		}
+	}
+}
+
+// ClientConfig parameterizes legitimate clients.
+type ClientConfig struct {
+	// Rate is the client's sending rate in bits/s.
+	Rate float64
+	// Size is the data packet size in bytes.
+	Size int
+}
+
+// NewRoamingClient builds a client that follows the roaming schedule
+// through the given subscription.
+func NewRoamingClient(host *netsim.Node, sub *roaming.Subscription, servers []*netsim.Node, cfg ClientConfig, rng *des.RNG) *Client {
+	c := &Client{
+		sub:      sub,
+		servers:  servers,
+		rng:      rng.Split(int64(host.ID)),
+		roamMode: true,
+	}
+	c.CBR = &CBR{
+		Node:   host,
+		Rate:   cfg.Rate,
+		Size:   cfg.Size,
+		Dest:   func() netsim.NodeID { return c.target },
+		Legit:  true,
+		Jitter: rng.Split(int64(host.ID) + 7),
+	}
+	return c
+}
+
+// NewStaticClient builds a non-roaming client that spreads load by
+// picking one of the servers uniformly at creation.
+func NewStaticClient(host *netsim.Node, servers []*netsim.Node, cfg ClientConfig, rng *des.RNG) *Client {
+	c := &Client{
+		servers:  servers,
+		rng:      rng.Split(int64(host.ID)),
+		roamMode: false,
+	}
+	c.CBR = &CBR{
+		Node:   host,
+		Rate:   cfg.Rate,
+		Size:   cfg.Size,
+		Dest:   func() netsim.NodeID { return c.target },
+		Legit:  true,
+		Jitter: rng.Split(int64(host.ID) + 7),
+	}
+	return c
+}
+
+// Target returns the server the client currently addresses.
+func (c *Client) Target() netsim.NodeID { return c.target }
+
+// Switches returns how many times the client migrated servers.
+func (c *Client) Switches() int64 { return c.switches }
+
+// Start begins sending. Roaming clients align re-targeting with epoch
+// boundaries per their own (possibly offset) clock; epochLen comes
+// from the subscription's schedule.
+func (c *Client) Start(epochLen float64) {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.epochLen = epochLen
+	sim := c.CBR.Node.Network().Sim
+	if !c.roamMode {
+		c.retarget(des.Pick(c.rng, c.servers).ID)
+		c.CBR.Start()
+		return
+	}
+	// Epoch boundaries as seen by the client's clock: the true
+	// boundary shifted by its clock offset (negative offset = client
+	// sees the boundary late). Loose synchronization bounds this by δ,
+	// which the pool guard absorbs.
+	c.pickActive()
+	c.CBR.Start()
+	now := sim.Now()
+	next := (float64(int(now/epochLen))+1)*epochLen - c.sub.ClockOffset
+	if next <= now {
+		next += epochLen
+	}
+	c.stopEpochs = sim.Every(next, epochLen, c.pickActive)
+}
+
+// Stop halts the client.
+func (c *Client) Stop() {
+	c.started = false
+	if c.stopEpochs != nil {
+		c.stopEpochs()
+	}
+	c.CBR.Stop()
+}
+
+func (c *Client) pickActive() {
+	sim := c.CBR.Node.Network().Sim
+	epoch := c.sub.EpochAt(sim.Now())
+	// Proactive re-keying: when within two epochs of the horizon, ask
+	// the subscription service for an extension.
+	if c.renewalEnabled && !c.renewPending && epoch+2 > c.sub.Horizon() {
+		c.renewPending = true
+		c.CBR.Node.Send(&netsim.Packet{
+			Src:     c.CBR.Node.ID,
+			TrueSrc: c.CBR.Node.ID,
+			Dst:     c.renewalService,
+			Size:    64,
+			Type:    netsim.Control,
+			Legit:   true,
+			Payload: &roaming.RenewRequest{Horizon: c.sub.Horizon() + 16},
+		})
+	}
+	if c.sub.Expired(epoch) {
+		// Without a renewal path the client freezes on its last
+		// target (the paper's client would re-contact the service).
+		return
+	}
+	active, err := c.sub.ActiveServers(epoch)
+	if err != nil || len(active) == 0 {
+		return
+	}
+	c.retarget(des.Pick(c.rng, active))
+}
+
+func (c *Client) retarget(id netsim.NodeID) {
+	if id == c.target {
+		return
+	}
+	prev := c.target
+	c.target = id
+	if prev != 0 || c.Handshakes > 0 {
+		c.switches++
+	}
+	// Connection setup / checkpoint-resume with the new server: a
+	// handshake packet that also feeds the server's verified-source
+	// set (Sec. 4 connection migration).
+	c.Handshakes++
+	c.CBR.Node.Send(&netsim.Packet{
+		Src:     c.CBR.Node.ID,
+		TrueSrc: c.CBR.Node.ID,
+		Dst:     id,
+		Size:    64,
+		Type:    netsim.Handshake,
+		Legit:   true,
+	})
+}

@@ -1,0 +1,160 @@
+// Package traffic provides the workload agents of the paper's
+// evaluation: constant-bit-rate sources, on-off and follower attack
+// hosts with source-address spoofing, and roaming-aware legitimate
+// clients that track the active-server schedule through their
+// subscription keys.
+package traffic
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// CBR is a constant-bit-rate packet source attached to a node. The
+// destination and claimed source are re-evaluated per packet, which
+// lets clients re-target on roaming and attackers spoof per packet.
+type CBR struct {
+	Node *netsim.Node
+	// Rate is the sending rate in bits/s.
+	Rate float64
+	// Size is the packet size in bytes.
+	Size int
+	// Dest returns the destination for the next packet. Required.
+	Dest func() netsim.NodeID
+	// Source returns the claimed source for the next packet; nil
+	// means the true node ID (no spoofing).
+	Source func() netsim.NodeID
+	// Legit is the ground-truth label stamped on packets.
+	Legit bool
+	// Type is the packet type (default Data).
+	Type netsim.PacketType
+	// FlowID tags the flow.
+	FlowID int
+	// Jitter, if non-nil, supplies a phase offset in [0, interval) for
+	// the first packet, de-synchronizing large source populations.
+	Jitter *des.RNG
+	// Poisson, if non-nil, draws inter-packet gaps from an
+	// exponential distribution with mean Interval() instead of the
+	// constant spacing — a Poisson arrival process at the same average
+	// rate, for robustness studies with non-CBR workloads.
+	Poisson *des.RNG
+
+	// Sent counts packets emitted.
+	Sent int64
+
+	running bool
+	gen     int // generation counter invalidates stale timers
+	seq     int64
+}
+
+// Interval returns the inter-packet gap implied by Rate and Size.
+func (c *CBR) Interval() float64 { return float64(c.Size*8) / c.Rate }
+
+// Running reports whether the source is emitting.
+func (c *CBR) Running() bool { return c.running }
+
+// Start begins (or resumes) emission at the current simulation time.
+// Starting a running source is a no-op.
+func (c *CBR) Start() {
+	if c.running {
+		return
+	}
+	if c.Dest == nil {
+		panic("traffic: CBR without Dest")
+	}
+	if c.Rate <= 0 || c.Size <= 0 {
+		panic("traffic: CBR needs positive rate and size")
+	}
+	c.running = true
+	c.gen++
+	gen := c.gen
+	first := 0.0
+	if c.Jitter != nil {
+		first = c.Jitter.Uniform(0, c.Interval())
+	}
+	sim := c.Node.Network().Sim
+	var tick func()
+	tick = func() {
+		if !c.running || c.gen != gen {
+			return
+		}
+		c.emit()
+		gap := c.Interval()
+		if c.Poisson != nil {
+			gap = c.Poisson.Exp(gap)
+		}
+		sim.After(gap, tick)
+	}
+	sim.After(first, tick)
+}
+
+// Stop halts emission. The source can be restarted.
+func (c *CBR) Stop() { c.running = false }
+
+func (c *CBR) emit() {
+	src := c.Node.ID
+	if c.Source != nil {
+		src = c.Source()
+	}
+	typ := c.Type
+	c.seq++
+	c.Sent++
+	c.Node.Send(&netsim.Packet{
+		Src:     src,
+		TrueSrc: c.Node.ID,
+		Dst:     c.Dest(),
+		Size:    c.Size,
+		Type:    typ,
+		FlowID:  c.FlowID,
+		Seq:     c.seq,
+		Legit:   c.Legit,
+	})
+}
+
+// OnOff alternates a CBR source between on-bursts of Ton seconds and
+// silences of Toff seconds, the low-rate attack pattern of Sec. 6 /
+// Sec. 7.3.
+type OnOff struct {
+	CBR *CBR
+	// Ton and Toff are the burst and silence durations in seconds.
+	Ton, Toff float64
+
+	running bool
+	gen     int
+}
+
+// Start begins the on/off cycle with an on-burst now.
+func (o *OnOff) Start() {
+	if o.running {
+		return
+	}
+	if o.Ton <= 0 || o.Toff < 0 {
+		panic("traffic: OnOff needs positive Ton and non-negative Toff")
+	}
+	o.running = true
+	o.gen++
+	gen := o.gen
+	sim := o.CBR.Node.Network().Sim
+	var on, off func()
+	on = func() {
+		if !o.running || o.gen != gen {
+			return
+		}
+		o.CBR.Start()
+		sim.After(o.Ton, off)
+	}
+	off = func() {
+		if !o.running || o.gen != gen {
+			return
+		}
+		o.CBR.Stop()
+		sim.After(o.Toff, on)
+	}
+	on()
+}
+
+// Stop halts the cycle and the underlying source.
+func (o *OnOff) Stop() {
+	o.running = false
+	o.CBR.Stop()
+}

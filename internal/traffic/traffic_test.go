@@ -1,0 +1,414 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+)
+
+// rig is a tiny star network: hosts and servers all hang off one hub.
+type rig struct {
+	sim     *des.Simulator
+	nw      *netsim.Network
+	hub     *netsim.Node
+	servers []*netsim.Node
+	hosts   []*netsim.Node
+}
+
+func newRig(t testing.TB, nServers, nHosts int) *rig {
+	t.Helper()
+	sim := des.New()
+	nw := netsim.New(sim)
+	r := &rig{sim: sim, nw: nw, hub: nw.AddNode("hub")}
+	for i := 0; i < nServers; i++ {
+		s := nw.AddNode("server")
+		nw.Connect(r.hub, s, 1e8, 0.001)
+		r.servers = append(r.servers, s)
+	}
+	for i := 0; i < nHosts; i++ {
+		h := nw.AddNode("host")
+		nw.Connect(r.hub, h, 1e8, 0.001)
+		r.hosts = append(r.hosts, h)
+	}
+	nw.ComputeRoutes()
+	return r
+}
+
+func TestCBRRate(t *testing.T) {
+	r := newRig(t, 1, 1)
+	received := 0
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) { received++ }
+	cbr := &CBR{
+		Node: r.hosts[0],
+		Rate: 1e5, // 100 kb/s
+		Size: 500, // 4000 bits -> 25 pkt/s
+		Dest: func() netsim.NodeID { return r.servers[0].ID },
+	}
+	r.sim.At(0, func() { cbr.Start() })
+	if err := r.sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	// 25 pkt/s for 10 s = 250 +/- 1 boundary packet.
+	if received < 248 || received > 252 {
+		t.Fatalf("received %d packets, want ~250", received)
+	}
+	if math.Abs(cbr.Interval()-0.04) > 1e-12 {
+		t.Fatalf("Interval = %v, want 0.04", cbr.Interval())
+	}
+}
+
+func TestCBRStartStopRestart(t *testing.T) {
+	r := newRig(t, 1, 1)
+	received := 0
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) { received++ }
+	cbr := &CBR{Node: r.hosts[0], Rate: 8e4, Size: 100, // 100 pkt/s
+		Dest: func() netsim.NodeID { return r.servers[0].ID }}
+	r.sim.At(0, func() { cbr.Start() })
+	r.sim.At(1, func() { cbr.Stop() })
+	r.sim.At(2, func() { cbr.Start() })
+	r.sim.At(3, func() { cbr.Stop() })
+	if err := r.sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	// Two 1-second bursts at 100 pkt/s.
+	if received < 195 || received > 205 {
+		t.Fatalf("received %d, want ~200", received)
+	}
+	// Double start must not double the rate.
+	received = 0
+	r.sim.At(r.sim.Now(), func() { cbr.Start(); cbr.Start() })
+	stopAt := r.sim.Now() + 1
+	r.sim.At(stopAt, func() { cbr.Stop() })
+	if err := r.sim.RunUntil(stopAt + 1); err != nil {
+		t.Fatal(err)
+	}
+	if received > 105 {
+		t.Fatalf("double Start doubled the rate: %d pkts in 1s", received)
+	}
+}
+
+func TestCBRSpoofing(t *testing.T) {
+	r := newRig(t, 1, 1)
+	var srcs []netsim.NodeID
+	var trueSrcs []netsim.NodeID
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) {
+		srcs = append(srcs, p.Src)
+		trueSrcs = append(trueSrcs, p.TrueSrc)
+	}
+	rng := des.NewRNG(1)
+	space := []netsim.NodeID{100, 200, 300}
+	cbr := &CBR{Node: r.hosts[0], Rate: 8e4, Size: 100,
+		Dest:   func() netsim.NodeID { return r.servers[0].ID },
+		Source: func() netsim.NodeID { return des.Pick(rng, space) }}
+	r.sim.At(0, func() { cbr.Start() })
+	if err := r.sim.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) == 0 {
+		t.Fatal("no packets")
+	}
+	distinct := map[netsim.NodeID]bool{}
+	for i, s := range srcs {
+		if s != 100 && s != 200 && s != 300 {
+			t.Fatalf("spoofed src %d outside space", s)
+		}
+		distinct[s] = true
+		if trueSrcs[i] != r.hosts[0].ID {
+			t.Fatal("TrueSrc lost")
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatal("spoofing not varying")
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	r := newRig(t, 1, 1)
+	for i, c := range []*CBR{
+		{Node: r.hosts[0], Rate: 1, Size: 1}, // nil Dest
+		{Node: r.hosts[0], Rate: 0, Size: 1, Dest: func() netsim.NodeID { return 0 }},
+		{Node: r.hosts[0], Rate: 1, Size: 0, Dest: func() netsim.NodeID { return 0 }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid CBR.Start did not panic", i)
+				}
+			}()
+			c.Start()
+		}()
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	r := newRig(t, 1, 1)
+	received := 0
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) { received++ }
+	cbr := &CBR{Node: r.hosts[0], Rate: 8e4, Size: 100, // 100 pkt/s
+		Dest: func() netsim.NodeID { return r.servers[0].ID }}
+	oo := &OnOff{CBR: cbr, Ton: 1, Toff: 3}
+	r.sim.At(0, func() { oo.Start() })
+	if err := r.sim.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	// 25% duty cycle over 20s at 100 pkt/s = ~500.
+	if received < 450 || received > 550 {
+		t.Fatalf("received %d, want ~500 at 25%% duty", received)
+	}
+	oo.Stop()
+	n := received
+	if err := r.sim.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	// Packets emitted at the exact RunUntil boundary may still be in
+	// flight; anything beyond that means the cycle kept running.
+	if received > n+2 {
+		t.Fatalf("OnOff kept sending after Stop: %d extra packets", received-n)
+	}
+}
+
+func TestAttackerTargetsOneServer(t *testing.T) {
+	r := newRig(t, 5, 3)
+	counts := map[netsim.NodeID]int{}
+	for _, s := range r.servers {
+		s := s
+		s.Handler = func(p *netsim.Packet, in *netsim.Port) { counts[s.ID]++ }
+	}
+	rng := des.NewRNG(3)
+	leafIDs := []netsim.NodeID{r.hosts[0].ID, r.hosts[1].ID, r.hosts[2].ID}
+	var atk []*Attacker
+	for _, h := range r.hosts {
+		a := NewAttacker(h, r.servers, AttackerConfig{Rate: 8e4, Size: 100, SpoofSpace: leafIDs}, rng)
+		atk = append(atk, a)
+	}
+	r.sim.At(0, func() {
+		for _, a := range atk {
+			a.Start()
+		}
+	})
+	if err := r.sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	// Every attacker keeps a single target.
+	targets := map[netsim.NodeID]bool{}
+	for _, a := range atk {
+		targets[a.Target] = true
+	}
+	total := 0
+	for id, n := range counts {
+		if !targets[id] && n > 0 {
+			t.Fatalf("server %d got packets but is no attacker's target", id)
+		}
+		total += n
+	}
+	if total < 500 {
+		t.Fatalf("attack volume too low: %d", total)
+	}
+}
+
+func TestFollowerGoesQuietDuringHoneypot(t *testing.T) {
+	r := newRig(t, 5, 1)
+	cfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0, Epochs: 60, ChainSeed: []byte("f")}
+	pool, err := roaming.NewPool(r.sim, r.servers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := des.NewRNG(4)
+	f := NewFollower(r.hosts[0], pool, AttackerConfig{Rate: 8e4, Size: 100}, 0.5, rng)
+	target := f.Attacker.Target
+
+	// Log arrival times at the target.
+	var arrivals []float64
+	for _, s := range r.servers {
+		if s.ID == target {
+			s.Handler = func(p *netsim.Packet, in *netsim.Port) { arrivals = append(arrivals, r.sim.Now()) }
+		}
+	}
+	pool.Start()
+	r.sim.At(0.1, func() { f.Start() })
+	if err := r.sim.RunUntil(600); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) == 0 {
+		t.Fatal("follower never attacked")
+	}
+	// During honeypot epochs of the target, arrivals must only occur
+	// within d_follow (+small propagation slack) of the epoch start.
+	violations := 0
+	for _, at := range arrivals {
+		epoch := int(at / cfg.EpochLen)
+		set, _ := pool.ActiveSetAt(epoch)
+		active := false
+		for _, id := range set {
+			if id == target {
+				active = true
+			}
+		}
+		if !active {
+			offset := at - float64(epoch)*cfg.EpochLen
+			if offset > f.Dfollow+0.1 {
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d follower packets deep inside honeypot epochs", violations)
+	}
+	f.Stop()
+}
+
+func TestRoamingClientFollowsSchedule(t *testing.T) {
+	r := newRig(t, 5, 1)
+	cfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.5, Epochs: 40, ChainSeed: []byte("c")}
+	pool, err := roaming.NewPool(r.sim, r.servers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make(map[netsim.NodeID]*roaming.ServerAgent)
+	for _, s := range r.servers {
+		agents[s.ID] = roaming.NewServerAgent(pool, s)
+	}
+	sub, err := pool.Issue(39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := des.NewRNG(9)
+	client := NewRoamingClient(r.hosts[0], sub, r.servers, ClientConfig{Rate: 8e4, Size: 100}, rng)
+	pool.Start()
+	r.sim.At(0.01, func() { client.Start(cfg.EpochLen) })
+	if err := r.sim.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	// A schedule-following client must never hit a honeypot window.
+	var honeypotHits int64
+	var served int64
+	for _, a := range agents {
+		honeypotHits += a.Stats.HoneypotPackets
+		served += a.Stats.ServedBytes
+	}
+	if honeypotHits != 0 {
+		t.Fatalf("legitimate client hit honeypots %d times", honeypotHits)
+	}
+	if served == 0 {
+		t.Fatal("client was never served")
+	}
+	if client.Switches() == 0 {
+		t.Fatal("client never migrated over 30 epochs")
+	}
+	if client.Handshakes < client.Switches() {
+		t.Fatal("fewer handshakes than migrations")
+	}
+}
+
+func TestStaticClientSticksToOneServer(t *testing.T) {
+	r := newRig(t, 5, 1)
+	rng := des.NewRNG(2)
+	client := NewStaticClient(r.hosts[0], r.servers, ClientConfig{Rate: 8e4, Size: 100}, rng)
+	counts := map[netsim.NodeID]int{}
+	for _, s := range r.servers {
+		s := s
+		s.Handler = func(p *netsim.Packet, in *netsim.Port) {
+			if p.Type == netsim.Data {
+				counts[s.ID]++
+			}
+		}
+	}
+	r.sim.At(0, func() { client.Start(10) })
+	if err := r.sim.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for _, n := range counts {
+		if n > 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("static client spread over %d servers", nonZero)
+	}
+	if client.Switches() != 0 {
+		t.Fatal("static client migrated")
+	}
+}
+
+func TestClientClockOffsetWithinGuardIsSafe(t *testing.T) {
+	// Loose synchronization: a client whose clock is off by less than
+	// the pool guard must still never hit a honeypot window.
+	r := newRig(t, 5, 1)
+	cfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.5, Epochs: 40, ChainSeed: []byte("g")}
+	pool, err := roaming.NewPool(r.sim, r.servers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int64
+	for _, s := range r.servers {
+		a := roaming.NewServerAgent(pool, s)
+		a.OnHoneypotPacket = func(p *netsim.Packet, in *netsim.Port) { hits++ }
+	}
+	sub, _ := pool.Issue(39)
+	sub.ClockOffset = 0.3 // within guard minus propagation
+	rng := des.NewRNG(11)
+	client := NewRoamingClient(r.hosts[0], sub, r.servers, ClientConfig{Rate: 8e4, Size: 100}, rng)
+	pool.Start()
+	r.sim.At(0.01, func() { client.Start(cfg.EpochLen) })
+	if err := r.sim.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("skewed-but-in-bound client hit honeypots %d times", hits)
+	}
+}
+
+func TestPoissonCBRMeanRate(t *testing.T) {
+	r := newRig(t, 1, 1)
+	received := 0
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) { received++ }
+	cbr := &CBR{
+		Node: r.hosts[0], Rate: 8e4, Size: 100, // mean 100 pkt/s
+		Dest:    func() netsim.NodeID { return r.servers[0].ID },
+		Poisson: des.NewRNG(7),
+	}
+	r.sim.At(0, func() { cbr.Start() })
+	if err := r.sim.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	// Mean 2000 packets; Poisson sd ~45, allow 5 sigma.
+	if received < 1775 || received > 2225 {
+		t.Fatalf("Poisson source delivered %d packets in 20s, want ~2000", received)
+	}
+	// Gaps must actually vary (not CBR in disguise): count distinct
+	// inter-arrival gaps indirectly via burstiness — re-run capturing
+	// times.
+}
+
+func TestPoissonRoamingClientStillSafe(t *testing.T) {
+	// A bursty (Poisson) legitimate client must still never hit
+	// honeypots: the guard absorbs in-flight packets regardless of the
+	// arrival process.
+	r := newRig(t, 5, 1)
+	cfg := roaming.Config{N: 5, K: 3, EpochLen: 10, Guard: 0.5, Epochs: 40, ChainSeed: []byte("poisson")}
+	pool, err := roaming.NewPool(r.sim, r.servers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int64
+	for _, s := range r.servers {
+		a := roaming.NewServerAgent(pool, s)
+		a.OnHoneypotPacket = func(p *netsim.Packet, in *netsim.Port) { hits++ }
+	}
+	sub, _ := pool.Issue(39)
+	rng := des.NewRNG(11)
+	client := NewRoamingClient(r.hosts[0], sub, r.servers, ClientConfig{Rate: 8e4, Size: 100}, rng)
+	client.CBR.Poisson = des.NewRNG(13)
+	pool.Start()
+	r.sim.At(0.01, func() { client.Start(cfg.EpochLen) })
+	if err := r.sim.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("Poisson client hit honeypots %d times", hits)
+	}
+}

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// TestSoakLargeScenario is a long-running robustness check at
+// paper-like scale: a 500-leaf tree, 60 attackers, 150 simulated
+// seconds. It asserts global invariants rather than specific numbers.
+// Skipped under -short.
+func TestSoakLargeScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := experiments.DefaultTreeConfig()
+	cfg.Topology.Leaves = 500
+	cfg.NumAttackers = 60
+	cfg.AttackRate = 0.05e6
+	cfg.Duration = 150
+	cfg.AttackEnd = 140
+	cfg.Pool.Epochs = 100
+	cfg.Placement = topology.Even
+	cfg.TraceCap = 100000
+
+	r, err := experiments.RunTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput samples are sane fractions.
+	for i, v := range r.Throughput.Values {
+		if v < 0 || v > 1.05 {
+			t.Fatalf("sample %d out of range: %v", i, v)
+		}
+	}
+	// Every capture is a distinct leaf (never a router or server).
+	seen := map[netsim.NodeID]bool{}
+	for _, c := range r.Captures {
+		if seen[c.Attacker] {
+			t.Fatalf("host %d captured twice", c.Attacker)
+		}
+		seen[c.Attacker] = true
+	}
+	if len(r.Captures) > cfg.NumAttackers {
+		t.Fatalf("captured %d > %d attackers (false positive)", len(r.Captures), cfg.NumAttackers)
+	}
+	// At this rate and duration the vast majority must be captured.
+	if len(r.Captures) < cfg.NumAttackers*9/10 {
+		t.Fatalf("captured only %d of %d over 14 epochs", len(r.Captures), cfg.NumAttackers)
+	}
+	// Recovery at scale: final third above the attack trough.
+	trough := r.Throughput.MeanBetween(cfg.AttackStart, cfg.AttackStart+15)
+	late := r.Throughput.MeanBetween(100, 140)
+	if late < trough {
+		t.Fatalf("no recovery at scale: trough %.3f late %.3f", trough, late)
+	}
+}
