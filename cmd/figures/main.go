@@ -63,9 +63,10 @@ func main() {
 		"eq4":        func() (*experiments.Table, error) { return experiments.ExtEq4(scale) },
 		"deployment": func() (*experiments.Table, error) { return experiments.ExtDeployment(scale) },
 		"onoff":      func() (*experiments.Table, error) { return experiments.ExtOnOffValidation(scale) },
+		"faults":     func() (*experiments.Table, error) { return experiments.ExtFaults(scale) },
 	}
 	order := []string{"5", "6", "7", "8", "9", "10", "11", "12"}
-	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff"}
+	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults"}
 
 	var selected []string
 	switch *fig {

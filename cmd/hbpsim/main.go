@@ -33,6 +33,9 @@ func main() {
 	duration := flag.Float64("duration", 100, "run length in seconds")
 	epoch := flag.Float64("epoch", 10, "roaming epoch length m in seconds")
 	seed := flag.Int64("seed", 1, "scenario seed")
+	reliable := flag.Bool("reliable", false, "use the ack+lease control plane (hbp only)")
+	loss := flag.Float64("loss", 0, "control-packet loss probability on every link [0,1)")
+	crashRate := flag.Float64("crash-rate", 0, "router crash/restart cycles per 100 s of run")
 	flag.Parse()
 
 	cfg := experiments.DefaultTreeConfig()
@@ -48,6 +51,16 @@ func main() {
 	cfg.REDQueues = *red
 	cfg.DeployFraction = *deployFrac
 	cfg.Seed = *seed
+	cfg.Reliable = *reliable
+	if *loss > 0 {
+		cfg.Faults = experiments.ControlLossPlan(cfg.Seed, *loss)
+	}
+	if *crashRate > 0 {
+		cfg.FaultCrashes = int(*crashRate * cfg.Duration / 100)
+		if cfg.FaultCrashes == 0 {
+			cfg.FaultCrashes = 1
+		}
+	}
 	cfg.TraceCap = 0
 	if *showTrace {
 		cfg.TraceCap = 2000
@@ -117,6 +130,18 @@ func main() {
 		fmt.Printf(" (last at +%.1f s after attack start)", max)
 	}
 	fmt.Printf("\ncontrol messages: %d, queue drops: %d\n", res.CtrlMessages, res.QueueDrops)
+	if cfg.Defense == experiments.HBP {
+		plane := "fire-and-forget"
+		if *reliable {
+			plane = "ack+lease"
+		}
+		fmt.Printf("control plane (%s): retrans %d, give-ups %d, acks rx %d, lease expiries %d, sessions lost to crash %d, open at end %d\n",
+			plane, res.Ctrl.Retransmissions, res.Ctrl.GiveUps, res.Ctrl.AcksReceived,
+			res.Ctrl.LeaseExpiries, res.Ctrl.SessionsLostToCrash, res.OpenSessionsAtEnd)
+	}
+	if cfg.Faults != nil || cfg.FaultCrashes > 0 {
+		fmt.Printf("faults: %d packets lost to noise, %d to outages\n", res.FaultLossCount, res.FaultOutageCount)
+	}
 	if *showTrace && res.Trace != nil {
 		fmt.Printf("\ndefense event log (%d events, %d evicted):\n%s", res.Trace.Len(), res.Trace.Dropped(), res.Trace.String())
 	}

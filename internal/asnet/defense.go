@@ -105,7 +105,10 @@ type Defense struct {
 	// IngressLookups counts ingress identifications (the per-packet
 	// work of the marking/tunneling mechanism).
 	IngressLookups int64
-	floodSeq       int64
+	// LeaseExpiries counts sessions closed by their lease rather than
+	// an explicit cancel — the self-healing path for lost teardowns.
+	LeaseExpiries int64
+	floodSeq      int64
 }
 
 // NewDefense builds a defense over the graph. epochLen feeds default
@@ -233,7 +236,8 @@ func (h *HSM) openSession(s *Server, epoch int) {
 	if sess.expiry != nil {
 		h.d.g.Sim.Cancel(sess.expiry)
 	}
-	sess.expiry = h.d.g.Sim.AfterNamed(h.d.Cfg.SessionLifetime, "asnet-session-expiry", func() {
+	sess.expiry = h.d.g.Sim.AfterNamed(h.d.Cfg.SessionLifetime, "asnet-session-lease", func() {
+		h.d.LeaseExpiries++
 		h.closeSession(s, false)
 	})
 }
@@ -245,10 +249,12 @@ func (h *HSM) closeSession(s *Server, propagate bool) {
 	if !ok {
 		return
 	}
-	// A stub AS holding an in-progress intra-AS traceback retains the
-	// session until it completes (Sec. 5.1); the capture path removes
-	// it.
-	if sess.intraAS && !h.as.Transit {
+	// A stub AS holding an in-progress intra-AS traceback refuses
+	// cancels until it completes (Sec. 5.1). Lease-driven closes pass:
+	// the lease was extended past the traceback when it started, so by
+	// the time it fires the retention is moot and honoring it would
+	// leak the session.
+	if sess.intraAS && !h.as.Transit && propagate {
 		return
 	}
 	delete(h.sessions, s)
@@ -297,6 +303,18 @@ func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
 			return
 		}
 		sess.intraAS = true
+		// Stub-AS retention (Sec. 5.1) expressed as a lease extension:
+		// the session must outlive the in-progress traceback, not just
+		// the honeypot epoch, so re-arm its lease past the traceback's
+		// completion with slack.
+		if sess.expiry != nil {
+			sim.Cancel(sess.expiry)
+		}
+		s2 := s
+		sess.expiry = sim.AfterNamed(h.d.Cfg.IntraASTime*1.5, "asnet-session-lease", func() {
+			h.d.LeaseExpiries++
+			h.closeSession(s2, false)
+		})
 		sim.After(h.d.Cfg.IntraASTime, func() {
 			if origin.captured {
 				return

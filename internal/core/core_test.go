@@ -80,7 +80,7 @@ func TestMessageSignVerify(t *testing.T) {
 }
 
 func TestMsgKindStrings(t *testing.T) {
-	for k := Request; k <= PiggybackCancel; k++ {
+	for k := Request; k <= Ack; k++ {
 		if k.String() == "" {
 			t.Fatal("empty kind name")
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/des"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/roaming"
 	"repro/internal/trace"
@@ -36,6 +37,25 @@ type Config struct {
 	// AuthKey is the shared key authenticating multi-hop messages.
 	// Required when Progressive or partial deployment is used.
 	AuthKey []byte
+
+	// Reliable enables the fault-tolerant control plane: Request,
+	// Cancel and Report carry sequence numbers, receivers ack them,
+	// senders retransmit with exponential backoff, and sessions become
+	// lease-based (a Request carries a lease that the router expires if
+	// not refreshed). The paper assumes control messages always arrive;
+	// this is the deviation that lets the defense keep converging over
+	// a lossy, crashing infrastructure. Off by default so the idealized
+	// model stays reproducible.
+	Reliable bool
+	// AckTimeout is the initial retransmission timeout in seconds
+	// (default 0.25).
+	AckTimeout float64
+	// RetryBackoff multiplies the timeout after each attempt
+	// (default 2).
+	RetryBackoff float64
+	// MaxRetries bounds retransmissions per message; after the budget
+	// the sender gives up and counts it (default 5).
+	MaxRetries int
 }
 
 func (c *Config) fillDefaults(epochLen float64) {
@@ -56,6 +76,15 @@ func (c *Config) fillDefaults(epochLen float64) {
 	}
 	if len(c.AuthKey) == 0 {
 		c.AuthKey = []byte("hbp-shared-defense-key")
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 0.25
+	}
+	if c.RetryBackoff <= 1 {
+		c.RetryBackoff = 2
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
 	}
 }
 
@@ -100,6 +129,13 @@ type Defense struct {
 	MsgSent    int64
 	MsgBadAuth int64
 	floodSeq   int64
+
+	// Ctrl aggregates the reliable control plane's counters.
+	Ctrl metrics.ControlStats
+	// ctrlSeq allocates sequence numbers for reliable transfers.
+	ctrlSeq int64
+	// pending tracks unacked reliable transfers by sequence number.
+	pending map[int64]*pendingSend
 }
 
 // New builds a defense instance. isHost must classify end hosts
@@ -118,6 +154,7 @@ func New(nw *netsim.Network, pool *roaming.Pool, isHost func(*netsim.Node) bool,
 		routers: map[netsim.NodeID]*RouterAgent{},
 		legacy:  map[netsim.NodeID]*LegacyAgent{},
 		servers: map[netsim.NodeID]*ServerDefense{},
+		pending: map[int64]*pendingSend{},
 	}, nil
 }
 
@@ -191,6 +228,47 @@ func (d *Defense) DeployAll(serverAgents []*roaming.ServerAgent) {
 	for _, sa := range serverAgents {
 		d.AttachServer(sa)
 	}
+}
+
+// CrashRouter fails a router: the node blackholes traffic and flushes
+// its queues (netsim), every honeypot session and in-flight
+// retransmission it owned is lost, and its forwarding hook is removed.
+// Wire it to a fault plan's OnCrash hook (internal/faults).
+func (d *Defense) CrashRouter(n *netsim.Node) {
+	n.SetDown(true)
+	if a, ok := d.routers[n.ID]; ok {
+		d.Ctrl.SessionsLostToCrash += int64(a.crash())
+		d.rec(trace.RouterCrashed, int(n.ID), -1, -1, "")
+	}
+	d.abandonPending(func(ps *pendingSend) bool { return ps.from == n })
+}
+
+// RestartRouter brings a crashed router back with a clean agent: the
+// paper's session state lives in RAM, so a power cycle re-registers an
+// empty RouterAgent (cumulative stats carry over for accounting).
+func (d *Defense) RestartRouter(n *netsim.Node) {
+	n.SetDown(false)
+	old, ok := d.routers[n.ID]
+	if !ok {
+		return
+	}
+	a := newRouterAgent(d, n)
+	a.SessionsCreated = old.SessionsCreated
+	a.SessionsClosed = old.SessionsClosed
+	a.Propagations = old.Propagations
+	a.Blocks = old.Blocks
+	d.routers[n.ID] = a
+	d.rec(trace.RouterRestarted, int(n.ID), -1, -1, "")
+}
+
+// OpenSessions counts live honeypot sessions across all deployed
+// routers — a leak indicator when measured after the last epoch.
+func (d *Defense) OpenSessions() int {
+	open := 0
+	for _, a := range d.routers {
+		open += a.ActiveSessions()
+	}
+	return open
 }
 
 // Captures returns all captures so far, in time order.

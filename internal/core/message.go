@@ -41,6 +41,13 @@ const (
 	PiggybackRequest
 	// PiggybackCancel is the flooded form of Cancel.
 	PiggybackCancel
+	// Ack acknowledges receipt of a sequenced control message. The
+	// reliable control plane (Config.Reliable) retransmits Request,
+	// Cancel and Report until the matching Ack arrives or the retry
+	// budget is exhausted — the paper assumes an idealized control
+	// channel; this is the deviation that survives real loss (see
+	// DESIGN.md, "Failure model").
+	Ack
 )
 
 func (k MsgKind) String() string {
@@ -55,6 +62,8 @@ func (k MsgKind) String() string {
 		return "piggyback-request"
 	case PiggybackCancel:
 		return "piggyback-cancel"
+	case Ack:
+		return "ack"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -78,6 +87,15 @@ type Message struct {
 	Timestamp float64
 	// FloodID deduplicates piggyback floods.
 	FloodID int64
+	// Seq is the reliable control plane's sequence number: non-zero
+	// asks the receiver for an Ack; an Ack message carries the Seq it
+	// acknowledges. Zero (fire-and-forget) requests nothing.
+	Seq int64
+	// Lease, on Request, is how long the receiver may keep the session
+	// without a refresh before expiring it; 0 falls back to the
+	// receiver's configured SessionLifetime. The stub-AS retention rule
+	// of internal/asnet is the same mechanism with a longer lease.
+	Lease float64
 	// Tag authenticates multi-hop messages (HMAC-SHA256 over the
 	// canonical encoding). Hop-by-hop messages may omit it and rely
 	// on the TTL-255 adjacency check instead.
@@ -90,7 +108,7 @@ const CtrlPacketSize = 64
 
 // encode produces the canonical byte representation covered by Tag.
 func (m *Message) encode() []byte {
-	buf := make([]byte, 0, 64)
+	buf := make([]byte, 0, 80)
 	var tmp [8]byte
 	put := func(v uint64) {
 		binary.BigEndian.PutUint64(tmp[:], v)
@@ -106,8 +124,10 @@ func (m *Message) encode() []byte {
 	}
 	put(uint64(int64(m.Origin)))
 	put(uint64(int64(m.FloodID)))
-	// Timestamp is authenticated at millisecond resolution.
+	put(uint64(int64(m.Seq)))
+	// Timestamp and Lease are authenticated at millisecond resolution.
 	put(uint64(int64(m.Timestamp * 1e3)))
+	put(uint64(int64(m.Lease * 1e3)))
 	return buf
 }
 

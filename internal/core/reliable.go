@@ -1,0 +1,118 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// pendingSend is one reliable control transfer in flight: the message,
+// where it is going, and the retransmission timer that fires until an
+// Ack with the matching sequence number arrives or the retry budget is
+// exhausted.
+type pendingSend struct {
+	seq      int64
+	from     *netsim.Node
+	to       netsim.NodeID
+	server   netsim.NodeID
+	m        *Message
+	attempts int // transmissions so far (1 after the initial send)
+	timer    *des.Timer
+}
+
+// sendReliable transmits m from a node to a destination. When the
+// reliable control plane is enabled the message carries a sequence
+// number and is retransmitted with exponential backoff until acked;
+// otherwise this is plain fire-and-forget (the paper's idealized
+// control channel). sign re-signs the message (after the sequence
+// number is assigned, since the tag covers it); server associates the
+// transfer with a session so teardown can abandon stale retries.
+func (d *Defense) sendReliable(from *netsim.Node, to netsim.NodeID, m *Message, sign bool, server netsim.NodeID) {
+	if !d.Cfg.Reliable {
+		if sign {
+			m.Sign(d.Cfg.AuthKey)
+		}
+		d.sendMsg(from, to, m)
+		return
+	}
+	d.ctrlSeq++
+	m.Seq = d.ctrlSeq
+	if sign {
+		m.Sign(d.Cfg.AuthKey)
+	}
+	ps := &pendingSend{seq: m.Seq, from: from, to: to, server: server, m: m, attempts: 1}
+	d.pending[ps.seq] = ps
+	d.sendMsg(from, to, m)
+	ps.timer = d.sim.AfterFuncNamed(d.Cfg.AckTimeout, "hbp-retransmit", func() {
+		d.retransmit(ps)
+	})
+}
+
+// retransmit handles one ack-timeout expiry for ps.
+func (d *Defense) retransmit(ps *pendingSend) {
+	if d.pending[ps.seq] != ps {
+		return // completed or abandoned meanwhile
+	}
+	if ps.from.Down() {
+		// The sender crashed after this timer was armed; its
+		// retransmission state died with it.
+		delete(d.pending, ps.seq)
+		return
+	}
+	if ps.attempts > d.Cfg.MaxRetries {
+		delete(d.pending, ps.seq)
+		d.Ctrl.GiveUps++
+		return
+	}
+	ps.attempts++
+	d.Ctrl.Retransmissions++
+	d.rec(trace.Retransmitted, int(ps.from.ID), int(ps.to), int(ps.server), ps.m.Kind.String())
+	d.sendMsg(ps.from, ps.to, ps.m)
+	// Exponential backoff: timeout doubles (RetryBackoff^k) with every
+	// attempt so a congested control channel is not made worse.
+	rto := d.Cfg.AckTimeout
+	for i := 1; i < ps.attempts; i++ {
+		rto *= d.Cfg.RetryBackoff
+	}
+	ps.timer.Reset(rto)
+}
+
+// handleAck completes the pending transfer acknowledged by m. Late or
+// duplicate acks are harmless no-ops.
+func (d *Defense) handleAck(m *Message) {
+	d.Ctrl.AcksReceived++
+	ps, ok := d.pending[m.Seq]
+	if !ok {
+		return
+	}
+	ps.timer.Stop()
+	delete(d.pending, m.Seq)
+}
+
+// maybeAck returns an Ack for a sequenced message, after it has been
+// authenticated and processed. Hop-by-hop acks ride the TTL-255
+// adjacency check; acks crossing multiple hops (direct requests,
+// reports) carry an HMAC tag like any multi-hop message.
+func (d *Defense) maybeAck(n *netsim.Node, m *Message, p *netsim.Packet) {
+	if m.Seq == 0 || m.Kind == Ack {
+		return
+	}
+	am := &Message{Kind: Ack, Server: m.Server, Epoch: m.Epoch, Origin: n.ID, Seq: m.Seq}
+	if p.TTL != netsim.DefaultTTL {
+		am.Sign(d.Cfg.AuthKey)
+	}
+	d.Ctrl.AcksSent++
+	d.sendMsg(n, p.Src, am)
+}
+
+// abandonPending stops and forgets every pending transfer for which
+// match returns true, without counting a give-up (the caller knows
+// they are moot: the session closed or the sender crashed).
+func (d *Defense) abandonPending(match func(*pendingSend) bool) {
+	for seq, ps := range d.pending {
+		if match(ps) {
+			ps.timer.Stop()
+			delete(d.pending, seq)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -63,6 +65,9 @@ func (a *RouterAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
 		return
 	}
 	switch m.Kind {
+	case Ack:
+		a.d.handleAck(m)
+		return
 	case Request:
 		a.openSession(m)
 	case Cancel:
@@ -76,6 +81,10 @@ func (a *RouterAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
 			a.closeSession(m, true)
 		}
 	}
+	// Processing is idempotent (a duplicate Request refreshes, a
+	// duplicate Cancel is a no-op), so acking after the fact is safe
+	// even for retransmitted duplicates.
+	a.d.maybeAck(a.Node, m, p)
 }
 
 // openSession creates or refreshes the session for m.Server.
@@ -101,9 +110,20 @@ func (a *RouterAgent) openSession(m *Message) {
 		a.d.sim.Cancel(s.expiry)
 		s.expiry = nil
 	}
-	if life := a.d.Cfg.SessionLifetime; life > 0 {
+	// Lease-based expiry: the Request's lease (falling back to the
+	// configured lifetime) bounds how long the session may live without
+	// a refresh. A lost Cancel or a dead downstream neighbor therefore
+	// self-heals instead of leaking the session past the honeypot
+	// epoch.
+	life := m.Lease
+	if life <= 0 {
+		life = a.d.Cfg.SessionLifetime
+	}
+	if life > 0 {
 		server := m.Server
-		s.expiry = a.d.sim.AfterNamed(life, "hbp-session-expiry", func() {
+		s.expiry = a.d.sim.AfterNamed(life, "hbp-session-lease", func() {
+			a.d.Ctrl.LeaseExpiries++
+			a.d.rec(trace.LeaseExpired, int(a.Node.ID), -1, int(server), "")
 			a.closeSession(&Message{Kind: Cancel, Server: server, Epoch: s.epoch}, false)
 		})
 	}
@@ -127,20 +147,33 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 		a.hookRemove()
 		a.hookRemove = nil
 	}
+	// Any still-retrying transfer for this session (an unacked Request
+	// to a dead neighbor, say) is moot now — stop it before arming the
+	// cancel wave below.
+	a.d.abandonPending(func(ps *pendingSend) bool {
+		return ps.from == a.Node && ps.server == s.server
+	})
 	if !propagate {
 		return
 	}
 	// Forward the cancel across every port we propagated a request on
 	// (captured host ports have requested=true too, but hosts ignore
-	// control payloads; skip them to save messages).
+	// control payloads; skip them to save messages). Port order is
+	// fixed so sequence numbers — and therefore event ordering — stay
+	// identical across runs.
+	ports := make([]*netsim.Port, 0, len(s.requested))
 	for pt := range s.requested {
+		ports = append(ports, pt)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i].Index() < ports[j].Index() })
+	for _, pt := range ports {
 		up := pt.Peer().Node()
 		if a.d.isHost(up) {
 			continue
 		}
 		cm := &Message{Kind: Cancel, Server: s.server, Epoch: s.epoch}
 		if a.d.deployed(up) {
-			a.d.sendMsg(a.Node, up.ID, cm)
+			a.d.sendReliable(a.Node, up.ID, cm, false, s.server)
 		} else {
 			a.floodPiggyback(cm, PiggybackCancel, pt)
 		}
@@ -156,10 +189,27 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 			Origin:    a.Node.ID,
 			Timestamp: a.d.sim.Now(),
 		}
-		rm.Sign(a.d.Cfg.AuthKey)
 		a.d.rec(trace.ReportSent, int(a.Node.ID), -1, int(s.server), "")
-		a.d.sendMsg(a.Node, s.server, rm)
+		a.d.sendReliable(a.Node, s.server, rm, true, s.server)
 	}
+}
+
+// crash wipes the agent's state the way a power loss would: sessions
+// and their lease timers are gone, input debugging stops. It returns
+// the number of sessions lost.
+func (a *RouterAgent) crash() int {
+	lost := len(a.sessions)
+	for server, s := range a.sessions {
+		if s.expiry != nil {
+			a.d.sim.Cancel(s.expiry)
+		}
+		delete(a.sessions, server)
+	}
+	if a.hookRemove != nil {
+		a.hookRemove()
+		a.hookRemove = nil
+	}
+	return lost
 }
 
 // installHook arms router-level input debugging: observe every
@@ -202,12 +252,12 @@ func (a *RouterAgent) propagate(s *session, in *netsim.Port) {
 		})
 		return
 	}
-	m := &Message{Kind: Request, Server: s.server, Epoch: s.epoch}
+	m := &Message{Kind: Request, Server: s.server, Epoch: s.epoch, Lease: a.d.Cfg.SessionLifetime}
 	s.sentUpstream++
 	a.Propagations++
 	a.d.rec(trace.Propagated, int(a.Node.ID), int(up.ID), int(s.server), "")
 	if a.d.deployed(up) {
-		a.d.sendMsg(a.Node, up.ID, m)
+		a.d.sendReliable(a.Node, up.ID, m, false, s.server)
 		return
 	}
 	// Deployment gap: bridge it by flooding the request over routing

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/roaming"
@@ -98,18 +100,23 @@ func (s *ServerDefense) onWindowClose(epoch int) {
 	if s.requested {
 		// Tear down the session tree rooted at our first-hop router.
 		s.d.rec(trace.CancelSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
-		s.d.sendMsg(s.sa.Node, s.firstHop(), &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch})
+		s.d.sendReliable(s.sa.Node, s.firstHop(), &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch}, false, s.sa.Node.ID)
 		s.CancelsSent++
 	}
 	// Direct cancels to intermediates armed for this epoch, so their
-	// pre-seeded sessions close and emit frontier reports.
-	for _, e := range s.intermediates {
+	// pre-seeded sessions close and emit frontier reports. Sorted by
+	// router ID so sequence numbering is reproducible.
+	ids := make([]netsim.NodeID, 0, len(s.intermediates))
+	for id, e := range s.intermediates {
 		if e.armedEpoch == epoch {
-			cm := &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch, Direct: true}
-			cm.Sign(s.d.Cfg.AuthKey)
-			s.d.sendMsg(s.sa.Node, e.id, cm)
-			s.CancelsSent++
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cm := &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch, Direct: true}
+		s.d.sendReliable(s.sa.Node, id, cm, true, s.sa.Node.ID)
+		s.CancelsSent++
 	}
 }
 
@@ -121,14 +128,26 @@ func (s *ServerDefense) onHoneypotPacket(p *netsim.Packet, in *netsim.Port) {
 	if s.hpCount >= s.d.Cfg.ActivationThreshold && !s.requested {
 		s.requested = true
 		s.d.rec(trace.RequestSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
-		s.d.sendMsg(s.sa.Node, s.firstHop(), &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch})
+		m := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch, Lease: s.d.Cfg.SessionLifetime}
+		s.d.sendReliable(s.sa.Node, s.firstHop(), m, false, s.sa.Node.ID)
 		s.RequestsSent++
 	}
 }
 
 // handleControl processes defense control messages addressed to the
-// server (currently only progressive reports).
+// server: progressive reports and, under the reliable control plane,
+// acks for the server's own requests and cancels.
 func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.Port) {
+	if m.Kind == Ack {
+		// Hop-by-hop acks (from the first-hop router) pass the TTL-255
+		// adjacency check; acks from farther away need a valid tag.
+		if p.TTL != netsim.DefaultTTL && !m.Verify(s.d.Cfg.AuthKey) {
+			s.d.MsgBadAuth++
+			return
+		}
+		s.d.handleAck(m)
+		return
+	}
 	if m.Kind != Report || m.Server != s.sa.Node.ID {
 		return
 	}
@@ -137,6 +156,7 @@ func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.P
 		s.d.MsgBadAuth++
 		return
 	}
+	s.d.maybeAck(s.sa.Node, m, p)
 	if !s.d.Cfg.Progressive {
 		return
 	}
@@ -187,9 +207,8 @@ func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
 		if s.intermediates[e.id] != e {
 			return // removed meanwhile
 		}
-		rm := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: next, Direct: true}
-		rm.Sign(s.d.Cfg.AuthKey)
-		s.d.sendMsg(s.sa.Node, e.id, rm)
+		rm := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: next, Direct: true, Lease: s.d.Cfg.SessionLifetime}
+		s.d.sendReliable(s.sa.Node, e.id, rm, true, s.sa.Node.ID)
 		s.DirectRequestsSent++
 		e.armedEpoch = next
 	})

@@ -179,6 +179,55 @@ func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
 	}
 }
 
+// Timer is a cancellable, reschedulable one-shot timer created by
+// AfterFunc. Retransmission logic uses it: arm, then Stop on ack or
+// Reset with a backed-off delay on timeout.
+type Timer struct {
+	sim *Simulator
+	h   Handler
+	e   *Event
+}
+
+// AfterFunc schedules h to run d seconds from now and returns a Timer
+// that can stop or reschedule it. Unlike a bare Event, the Timer keeps
+// the handler, so Reset can re-arm after the event has fired.
+func (s *Simulator) AfterFunc(d float64, h Handler) *Timer {
+	return s.AfterFuncNamed(d, "", h)
+}
+
+// AfterFuncNamed is AfterFunc with a debug label on the underlying
+// events.
+func (s *Simulator) AfterFuncNamed(d float64, name string, h Handler) *Timer {
+	if h == nil {
+		panic("des: nil handler")
+	}
+	t := &Timer{sim: s, h: h}
+	t.e = s.AtNamed(s.now+d, name, h)
+	return t
+}
+
+// Stop cancels the pending firing. It reports whether it actually
+// prevented one; stopping a timer that already fired (or was already
+// stopped) is a safe no-op returning false.
+func (t *Timer) Stop() bool {
+	if t.e == nil || !t.e.Pending() {
+		return false
+	}
+	t.sim.Cancel(t.e)
+	return true
+}
+
+// Reset re-arms the timer to fire d seconds from now, cancelling any
+// pending firing first. It works whether or not the timer has already
+// fired, which is what a retransmission loop needs.
+func (t *Timer) Reset(d float64) {
+	t.Stop()
+	t.e = t.sim.AtNamed(t.sim.Now()+d, t.e.Name(), t.h)
+}
+
+// Pending reports whether a firing is scheduled.
+func (t *Timer) Pending() bool { return t.e != nil && t.e.Pending() }
+
 // Stop makes Run return after the currently dispatching event (if any)
 // completes. Pending events remain queued.
 func (s *Simulator) Stop() { s.stopped = true }

@@ -405,3 +405,98 @@ func TestUniformRange(t *testing.T) {
 		}
 	}
 }
+
+func TestAfterFuncTimer(t *testing.T) {
+	sim := New()
+	fired := 0
+	tm := sim.AfterFunc(1, func() { fired++ })
+	if !tm.Pending() {
+		t.Fatal("freshly armed timer not pending")
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	// Reset after firing re-arms with the same handler.
+	tm.Reset(2)
+	if !tm.Pending() {
+		t.Fatal("Reset did not re-arm a fired timer")
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 || sim.Now() != 3 {
+		t.Fatalf("fired=%d now=%v, want 2 at t=3", fired, sim.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	sim := New()
+	fired := 0
+	tm := sim.AfterFunc(1, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	// Stop after firing is a safe no-op returning false.
+	tm.Reset(1)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing reported true")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+}
+
+func TestTimerResetWhilePending(t *testing.T) {
+	sim := New()
+	var at float64
+	tm := sim.AfterFunc(1, func() { at = sim.Now() })
+	sim.At(0.5, func() { tm.Reset(3) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3.5 {
+		t.Fatalf("reset timer fired at %v, want 3.5", at)
+	}
+}
+
+func TestCancelFiredEventNoOp(t *testing.T) {
+	// Regression: cancelling an event that already fired must be a safe
+	// no-op — it must not panic, corrupt the queue, or affect later
+	// events sharing the heap.
+	sim := New()
+	order := []int{}
+	e1 := sim.At(1, func() { order = append(order, 1) })
+	sim.At(2, func() { order = append(order, 2) })
+	if err := sim.RunUntil(1.5); err != nil {
+		t.Fatal(err)
+	}
+	sim.Cancel(e1) // already fired
+	sim.Cancel(e1) // twice, still a no-op
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if e1.Pending() {
+		t.Fatal("cancelled fired event reported pending")
+	}
+}

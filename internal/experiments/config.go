@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/roaming"
 	"repro/internal/topology"
 )
@@ -85,6 +86,25 @@ type TreeConfig struct {
 	// victim's own network always deploys. 0 or 1 means full
 	// deployment.
 	DeployFraction float64
+	// Reliable enables the fault-tolerant control plane (HBP only):
+	// acked, retransmitted control messages and lease-based sessions.
+	Reliable bool
+	// SessionLifetime overrides the HBP router-session lease in
+	// seconds; 0 keeps the default (two epochs), negative disables
+	// expiry entirely — the paper's idealized teardown-by-cancel-only
+	// model.
+	SessionLifetime float64
+	// Faults, when non-nil and active, is injected into the run:
+	// per-link loss, link outages, and router crash/restarts. Crashes
+	// wipe the router's HBP sessions; restarts re-register a clean
+	// agent.
+	Faults *faults.Plan
+	// FaultCrashes adds that many seeded random router crash/restart
+	// cycles inside the attack window. They are drawn in RunTree (the
+	// router IDs are topology-dependent) and merged into Faults.
+	FaultCrashes int
+	// FaultRestartAfter is the crash downtime in seconds (default 5).
+	FaultRestartAfter float64
 
 	// NumAttackers of the leaves are attack hosts; the rest are
 	// legitimate clients.
@@ -160,6 +180,8 @@ func (c TreeConfig) Validate() error {
 		return fmt.Errorf("experiments: non-positive packet size")
 	case c.Duration <= 0 || c.AttackStart < 0 || c.AttackEnd > c.Duration || c.AttackStart >= c.AttackEnd:
 		return fmt.Errorf("experiments: bad run timing (%v, %v, %v)", c.Duration, c.AttackStart, c.AttackEnd)
+	case c.Faults != nil && (c.Faults.Loss.Prob < 0 || c.Faults.Loss.Prob >= 1):
+		return fmt.Errorf("experiments: fault loss probability %v out of [0,1)", c.Faults.Loss.Prob)
 	}
 	return c.Pool.Validate()
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/pushback"
@@ -34,6 +35,17 @@ type TreeResult struct {
 	CaptureTimes []float64
 	// CtrlMessages is the defense's control-message overhead.
 	CtrlMessages int64
+	// Ctrl aggregates the reliable control plane's counters (HBP only;
+	// zero when Config.Reliable is off).
+	Ctrl metrics.ControlStats
+	// OpenSessionsAtEnd counts router sessions still live when the run
+	// ends — the session-leak indicator under lost cancels and crashes
+	// (HBP only).
+	OpenSessionsAtEnd int
+	// FaultLossCount / FaultOutageCount are packets destroyed by the
+	// injected fault plan (random loss / link outages).
+	FaultLossCount   int64
+	FaultOutageCount int64
 	// Trace is the defense event log when Config.TraceCap > 0.
 	Trace *trace.Log
 	// QueueDrops is the network-wide drop-tail loss count.
@@ -70,14 +82,16 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 
 	res := &TreeResult{Config: cfg}
 
-	// Server-side agents and the defense under test.
+	// Server-side agents and the defense under test. hbpDef escapes the
+	// switch so the fault injector can wire crash hooks to it.
+	var hbpDef *core.Defense
 	var serverAgents []*roaming.ServerAgent
 	switch cfg.Defense {
 	case HBP:
 		for _, s := range tr.Servers {
 			serverAgents = append(serverAgents, roaming.NewServerAgent(pool, s))
 		}
-		def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{Progressive: cfg.Progressive})
+		def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{Progressive: cfg.Progressive, Reliable: cfg.Reliable, SessionLifetime: cfg.SessionLifetime})
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +127,12 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 			res.Trace = def.Trace
 		}
 		def.OnCapture = func(c core.Capture) { res.Captures = append(res.Captures, c) }
-		defer func() { res.CtrlMessages = def.MsgSent }()
+		hbpDef = def
+		defer func() {
+			res.CtrlMessages = def.MsgSent
+			res.Ctrl = def.Ctrl
+			res.OpenSessionsAtEnd = def.OpenSessions()
+		}()
 	case Pushback, PushbackLevelK:
 		defended := make([]netsim.NodeID, len(tr.Servers))
 		for i, s := range tr.Servers {
@@ -177,6 +196,41 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		}
 	default:
 		return nil, fmt.Errorf("experiments: unknown defense %v", cfg.Defense)
+	}
+
+	// Fault plan: installed after the defense so router crashes can be
+	// wired into its session cleanup. For non-HBP defenses crashes fall
+	// back to bare node blackholing.
+	if cfg.FaultCrashes > 0 {
+		plan := faults.Plan{Seed: cfg.Seed + 2000}
+		if cfg.Faults != nil {
+			plan = *cfg.Faults
+		}
+		// Crash mid-tree routers only: the root and the server gateway
+		// are single points whose loss disconnects the scenario rather
+		// than stressing the defense.
+		var ids []netsim.NodeID
+		for _, r := range tr.Routers {
+			if r != tr.Root && r != tr.ServerGW {
+				ids = append(ids, r.ID)
+			}
+		}
+		restart := cfg.FaultRestartAfter
+		if restart <= 0 {
+			restart = 5
+		}
+		plan.Crashes = append(plan.Crashes,
+			faults.RandomCrashes(plan.Seed+7, ids, cfg.FaultCrashes, cfg.AttackStart, cfg.AttackEnd, restart)...)
+		cfg.Faults = &plan
+	}
+	var inj *faults.Injector
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		var hooks faults.Hooks
+		if hbpDef != nil {
+			hooks.OnCrash = hbpDef.CrashRouter
+			hooks.OnRestart = hbpDef.RestartRouter
+		}
+		inj = faults.Apply(sim, tr.Net, *cfg.Faults, hooks)
 	}
 
 	// Legitimate clients: roaming under HBP, uniform-static otherwise
@@ -251,5 +305,9 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 	}
 	res.CaptureTimes = metrics.CaptureTimes(capAt, cfg.AttackStart)
 	res.QueueDrops = tr.Net.TotalQueueDrops()
+	if inj != nil {
+		res.FaultLossCount = inj.LostToNoise()
+		res.FaultOutageCount = inj.LostToFailure()
+	}
 	return res, nil
 }

@@ -1,0 +1,275 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// chainNet builds h0 — r0 — r1 — h1 and returns the network plus the
+// endpoints. Generous bandwidth so queues never interfere.
+func chainNet(sim *des.Simulator) (*netsim.Network, *netsim.Node, *netsim.Node) {
+	nw := netsim.New(sim)
+	h0 := nw.AddNode("h0")
+	r0 := nw.AddNode("r0")
+	r1 := nw.AddNode("r1")
+	h1 := nw.AddNode("h1")
+	nw.Connect(h0, r0, 1e9, 0.001)
+	nw.Connect(r0, r1, 1e9, 0.001)
+	nw.Connect(r1, h1, 1e9, 0.001)
+	nw.ComputeRoutes()
+	return nw, h0, h1
+}
+
+func blast(sim *des.Simulator, from, to *netsim.Node, n int, gap float64) {
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(float64(i)*gap, func() {
+			from.Send(&netsim.Packet{Src: from.ID, Dst: to.ID, Size: 1000, Type: netsim.Data})
+		})
+	}
+}
+
+func TestBernoulliLossIsDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		sim := des.New()
+		nw, h0, h1 := chainNet(sim)
+		inj := Apply(sim, nw, Plan{Seed: 7, Loss: LossSpec{Prob: 0.2}}, Hooks{})
+		blast(sim, h0, h1, 500, 0.001)
+		sim.Run()
+		return h1.Stats.Delivered, inj.LostToNoise()
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("non-deterministic fault run: (%d,%d) vs (%d,%d)", d1, l1, d2, l2)
+	}
+	if l1 == 0 {
+		t.Fatal("expected some random loss at p=0.2")
+	}
+	if d1+l1 != 500 {
+		t.Fatalf("packet conservation broken: delivered %d + lost %d != 500", d1, l1)
+	}
+	// At p=0.2 per link over 3 hops, the end-to-end delivery rate is
+	// 0.8^3 = 51%; allow a wide band.
+	if d1 < 150 || d1 > 400 {
+		t.Fatalf("delivered %d outside plausible band for p=0.2 over 3 hops", d1)
+	}
+}
+
+func TestCtrlOnlyLossSparesData(t *testing.T) {
+	sim := des.New()
+	nw, h0, h1 := chainNet(sim)
+	inj := Apply(sim, nw, Plan{Seed: 3, Loss: LossSpec{Prob: 0.5, CtrlOnly: true}}, Hooks{})
+	blast(sim, h0, h1, 200, 0.001)
+	sim.Run()
+	if h1.Stats.Delivered != 200 {
+		t.Fatalf("ctrl-only loss dropped data packets: delivered %d", h1.Stats.Delivered)
+	}
+	if inj.LostToNoise() != 0 {
+		t.Fatalf("ctrl-only loss destroyed %d packets with no control traffic", inj.LostToNoise())
+	}
+}
+
+func TestGilbertElliottBurstLoss(t *testing.T) {
+	run := func() (int64, int64) {
+		sim := des.New()
+		nw, h0, h1 := chainNet(sim)
+		inj := Apply(sim, nw, Plan{Seed: 11, Burst: &GilbertElliott{
+			PGoodBad: 0.05, PBadGood: 0.2, LossGood: 0.0, LossBad: 0.8,
+		}}, Hooks{})
+		blast(sim, h0, h1, 500, 0.001)
+		sim.Run()
+		return h1.Stats.Delivered, inj.LostToNoise()
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("non-deterministic GE run: (%d,%d) vs (%d,%d)", d1, l1, d2, l2)
+	}
+	if l1 == 0 {
+		t.Fatal("expected bursty loss to destroy packets")
+	}
+	if d1+l1 != 500 {
+		t.Fatalf("packet conservation broken: %d + %d != 500", d1, l1)
+	}
+}
+
+// TestCtrlOnlyGEChainIgnoresData pins the CtrlOnly semantics of the
+// Gilbert–Elliott model: the chain runs over the control-packet
+// sequence only, so interleaved data traffic neither advances the
+// state nor suffers loss. With PGoodBad=1 and LossBad=1 the model
+// deterministically drops every control packet (the transition is
+// drawn before the loss, so the first control packet already sees the
+// bad state) while all data packets survive.
+func TestCtrlOnlyGEChainIgnoresData(t *testing.T) {
+	sim := des.New()
+	nw, h0, h1 := chainNet(sim)
+	inj := Apply(sim, nw, Plan{Seed: 5, Burst: &GilbertElliott{
+		PGoodBad: 1.0, PBadGood: 0.0, LossGood: 0.0, LossBad: 1.0, CtrlOnly: true,
+	}}, Hooks{})
+	// Interleave: data at even slots, control at odd slots.
+	for i := 0; i < 100; i++ {
+		i := i
+		typ := netsim.Data
+		if i%2 == 1 {
+			typ = netsim.Control
+		}
+		sim.At(float64(i)*0.001, func() {
+			h0.Send(&netsim.Packet{Src: h0.ID, Dst: h1.ID, Size: 100, Type: typ})
+		})
+	}
+	sim.Run()
+	// 50 data packets all delivered; every control packet dies on the
+	// first hop.
+	if h1.Stats.Delivered != 50 {
+		t.Fatalf("delivered %d, want 50 (all data, no control)", h1.Stats.Delivered)
+	}
+	if inj.LostToNoise() != 50 {
+		t.Fatalf("lost %d, want 50 control packets", inj.LostToNoise())
+	}
+}
+
+func TestDownWindowBlocksTraffic(t *testing.T) {
+	sim := des.New()
+	nw, h0, h1 := chainNet(sim)
+	// Take the middle link (r0—r1, creation index 1) down for the
+	// middle of the run.
+	Apply(sim, nw, Plan{Windows: []DownWindow{{Link: 1, Start: 0.05, End: 0.15}}}, Hooks{})
+	blast(sim, h0, h1, 200, 0.001) // last send at t=0.199
+	sim.Run()
+	inj := nw.Links()[1].LostToFailure
+	if inj == 0 {
+		t.Fatal("expected packets destroyed during the outage window")
+	}
+	if h1.Stats.Delivered == 0 {
+		t.Fatal("expected packets outside the window to get through")
+	}
+	if h1.Stats.Delivered+inj != 200 {
+		t.Fatalf("conservation broken: delivered %d + failed %d != 200", h1.Stats.Delivered, inj)
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	sim := des.New()
+	nw, h0, h1 := chainNet(sim)
+	r0 := nw.Node(1)
+	var crashed, restarted []netsim.NodeID
+	inj := Apply(sim, nw, Plan{
+		Crashes: []Crash{{Node: r0.ID, At: 0.05, RestartAfter: 0.05}},
+	}, Hooks{
+		OnCrash:   func(n *netsim.Node) { crashed = append(crashed, n.ID) },
+		OnRestart: func(n *netsim.Node) { restarted = append(restarted, n.ID) },
+	})
+	blast(sim, h0, h1, 200, 0.001)
+	sim.Run()
+	if inj.CrashesInjected != 1 || inj.RestartsInjected != 1 {
+		t.Fatalf("injected %d crashes / %d restarts, want 1/1", inj.CrashesInjected, inj.RestartsInjected)
+	}
+	if len(crashed) != 1 || crashed[0] != r0.ID {
+		t.Fatalf("OnCrash hooks fired for %v, want [%d]", crashed, r0.ID)
+	}
+	if len(restarted) != 1 || restarted[0] != r0.ID {
+		t.Fatalf("OnRestart hooks fired for %v, want [%d]", restarted, r0.ID)
+	}
+	if r0.Down() {
+		t.Fatal("router still down after restart")
+	}
+	down := r0.Stats.Drops[netsim.DropNodeDown]
+	if down == 0 {
+		t.Fatal("expected packets blackholed during the crash")
+	}
+	if h1.Stats.Delivered+down != 200 {
+		t.Fatalf("conservation broken: delivered %d + blackholed %d != 200", h1.Stats.Delivered, down)
+	}
+}
+
+func TestPermanentCrashNeverRestarts(t *testing.T) {
+	sim := des.New()
+	nw, h0, h1 := chainNet(sim)
+	r0 := nw.Node(1)
+	inj := Apply(sim, nw, Plan{Crashes: []Crash{{Node: r0.ID, At: 0.01}}}, Hooks{})
+	blast(sim, h0, h1, 50, 0.001)
+	sim.Run()
+	if inj.RestartsInjected != 0 {
+		t.Fatal("RestartAfter<=0 must mean no restart")
+	}
+	if !r0.Down() {
+		t.Fatal("router should stay down")
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	sim := des.New()
+	nw, _, _ := chainNet(sim)
+	bad := []Plan{
+		{Loss: LossSpec{Prob: 1.5}},
+		{Loss: LossSpec{Prob: -0.1}},
+		{Windows: []DownWindow{{Link: 99, Start: 0, End: 1}}},
+		{Windows: []DownWindow{{Link: 0, Start: 1, End: 1}}},
+		{Crashes: []Crash{{Node: 999, At: 0}}},
+		{Crashes: []Crash{{Node: 0, At: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(nw); err == nil {
+			t.Errorf("plan %d: Validate accepted an invalid plan", i)
+		}
+	}
+	good := Plan{Loss: LossSpec{Prob: 0.1}, Windows: []DownWindow{{Link: 0, Start: 0, End: 1}}}
+	if err := good.Validate(nw); err != nil {
+		t.Errorf("Validate rejected a valid plan: %v", err)
+	}
+}
+
+func TestActive(t *testing.T) {
+	var p Plan
+	if p.Active() {
+		t.Fatal("zero plan must be inactive")
+	}
+	for _, q := range []Plan{
+		{Loss: LossSpec{Prob: 0.01}},
+		{Burst: &GilbertElliott{}},
+		{Windows: []DownWindow{{}}},
+		{Crashes: []Crash{{}}},
+	} {
+		if !q.Active() {
+			t.Fatalf("plan %+v should be active", q)
+		}
+	}
+}
+
+func TestRandomCrashesDeterministic(t *testing.T) {
+	routers := []netsim.NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+	a := RandomCrashes(42, routers, 3, 1.0, 9.0, 0.5)
+	b := RandomCrashes(42, routers, 3, 1.0, 9.0, 0.5)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 crashes, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different crash %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatal("crashes not sorted by time")
+		}
+	}
+	seen := map[netsim.NodeID]bool{}
+	for _, c := range a {
+		if seen[c.Node] {
+			t.Fatalf("router %d crashed twice", c.Node)
+		}
+		seen[c.Node] = true
+		if c.At < 1.0 || c.At >= 9.0 {
+			t.Fatalf("crash time %v outside [1,9)", c.At)
+		}
+	}
+	if got := RandomCrashes(1, routers, 99, 0, 1, 0); len(got) != len(routers) {
+		t.Fatalf("n clamped to routers: want %d, got %d", len(routers), len(got))
+	}
+	if got := RandomCrashes(1, routers, 0, 0, 1, 0); got != nil {
+		t.Fatal("n=0 must return nil")
+	}
+}

@@ -5,12 +5,51 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/des"
 	"repro/internal/netsim"
 )
+
+// ControlStats aggregates control-plane reliability counters: what the
+// ack/retransmission machinery and the lease-based session expiry did
+// during a run. internal/core embeds one; experiments surface it next
+// to capture times so the cost of surviving faults is visible.
+type ControlStats struct {
+	// AcksSent counts acknowledgements emitted by receivers.
+	AcksSent int64
+	// AcksReceived counts acknowledgements delivered to senders
+	// (including late duplicates for already-completed transfers).
+	AcksReceived int64
+	// Retransmissions counts re-sent control messages.
+	Retransmissions int64
+	// GiveUps counts messages abandoned after the retry budget.
+	GiveUps int64
+	// LeaseExpiries counts sessions closed because their lease ran out
+	// without a refresh — the self-healing path for lost cancels and
+	// dead downstream neighbors.
+	LeaseExpiries int64
+	// SessionsLostToCrash counts honeypot sessions wiped by router
+	// crashes.
+	SessionsLostToCrash int64
+}
+
+// Add accumulates o into s.
+func (s *ControlStats) Add(o ControlStats) {
+	s.AcksSent += o.AcksSent
+	s.AcksReceived += o.AcksReceived
+	s.Retransmissions += o.Retransmissions
+	s.GiveUps += o.GiveUps
+	s.LeaseExpiries += o.LeaseExpiries
+	s.SessionsLostToCrash += o.SessionsLostToCrash
+}
+
+func (s ControlStats) String() string {
+	return fmt.Sprintf("acks %d/%d (sent/rcvd), retransmissions %d, give-ups %d, lease expiries %d, sessions lost to crash %d",
+		s.AcksSent, s.AcksReceived, s.Retransmissions, s.GiveUps, s.LeaseExpiries, s.SessionsLostToCrash)
+}
 
 // Series is a sampled time series.
 type Series struct {

@@ -157,3 +157,16 @@ func TestStatProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestControlStatsAddAndString(t *testing.T) {
+	a := ControlStats{AcksSent: 1, AcksReceived: 2, Retransmissions: 3, GiveUps: 4, LeaseExpiries: 5, SessionsLostToCrash: 6}
+	b := ControlStats{AcksSent: 10, Retransmissions: 30, SessionsLostToCrash: 60}
+	a.Add(b)
+	want := ControlStats{AcksSent: 11, AcksReceived: 2, Retransmissions: 33, GiveUps: 4, LeaseExpiries: 5, SessionsLostToCrash: 66}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -29,20 +29,48 @@ func TestLinkFailureDropsTraffic(t *testing.T) {
 	}
 }
 
+func TestSendIntoDownLinkCounted(t *testing.T) {
+	// A packet sent into an already-down link must not vanish silently:
+	// it is charged to the link's LostToFailure and to the sending
+	// node's DropLinkDown counter.
+	sim, _, nodes := line(t, 2, 1e6, 0.001)
+	delivered := 0
+	nodes[1].Handler = func(p *Packet, in *Port) { delivered++ }
+	link := nodes[0].PortTo(nodes[1]).Link()
+	sim.At(0, func() {
+		link.SetDown(true)
+		for i := 0; i < 3; i++ {
+			nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[1].ID, Size: 100, Type: Data})
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered %d through a down link", delivered)
+	}
+	if link.LostToFailure != 3 {
+		t.Fatalf("LostToFailure = %d, want 3", link.LostToFailure)
+	}
+	if got := nodes[0].Stats.Drops[DropLinkDown]; got != 3 {
+		t.Fatalf("DropLinkDown = %d, want 3", got)
+	}
+}
+
 func TestLinkFailureDoesNotWedgeQueue(t *testing.T) {
-	// Packets queued behind a failure must drain (and be lost) so the
+	// Packets queued before a failure must drain (and be lost) so the
 	// port resumes cleanly after restoration.
 	sim, _, nodes := line(t, 2, 8e5, 0.001) // 100 pkt/s of 1000 B
 	delivered := 0
 	nodes[1].Handler = func(p *Packet, in *Port) { delivered++ }
 	link := nodes[0].PortTo(nodes[1]).Link()
 	sim.At(0, func() {
-		link.SetDown(true)
 		for i := 0; i < 20; i++ {
 			nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[1].ID, Size: 1000, Type: Data})
 		}
 	})
-	sim.At(0.05, func() { link.SetDown(false) }) // ~5 tx slots lost
+	sim.At(0.015, func() { link.SetDown(true) })
+	sim.At(0.055, func() { link.SetDown(false) }) // ~4 tx slots lost
 	if err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -54,5 +82,86 @@ func TestLinkFailureDoesNotWedgeQueue(t *testing.T) {
 	}
 	if delivered+int(link.LostToFailure) != 20 {
 		t.Fatalf("conservation broken: %d delivered + %d lost != 20", delivered, link.LostToFailure)
+	}
+}
+
+func TestLinkLossHook(t *testing.T) {
+	// A scripted Loss hook destroys exactly the packets it selects,
+	// counted in LostToNoise, and sees the transmitting port.
+	sim, _, nodes := line(t, 2, 1e6, 0.001)
+	delivered := 0
+	nodes[1].Handler = func(p *Packet, in *Port) { delivered++ }
+	link := nodes[0].PortTo(nodes[1]).Link()
+	seen := 0
+	link.Loss = func(p *Packet, from *Port) bool {
+		if from.Node() != nodes[0] {
+			t.Errorf("loss hook saw transmitting port of %v", from.Node())
+		}
+		seen++
+		return seen%2 == 1 // drop every other packet
+	}
+	sim.At(0, func() {
+		for i := 0; i < 10; i++ {
+			nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[1].ID, Size: 100, Type: Data})
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 5 || link.LostToNoise != 5 {
+		t.Fatalf("delivered=%d LostToNoise=%d, want 5/5", delivered, link.LostToNoise)
+	}
+}
+
+func TestNodeCrashBlackholesAndFlushes(t *testing.T) {
+	// A crashed node drops packets routed through it and loses its
+	// queued packets; restart resumes forwarding.
+	sim, _, nodes := line(t, 3, 8e5, 0.001)
+	delivered := 0
+	nodes[2].Handler = func(p *Packet, in *Port) { delivered++ }
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 1000, Type: Data})
+		}
+	}
+	sim.At(0, func() { send(5) })
+	// Crash the middle node while its egress queue still holds packets.
+	sim.At(0.025, func() { nodes[1].SetDown(true) })
+	sim.At(1, func() { send(3) }) // blackholed at node 1
+	sim.At(2, func() { nodes[1].SetDown(false) })
+	sim.At(3, func() { send(2) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered >= 7 {
+		t.Fatalf("delivered %d, crash lost nothing", delivered)
+	}
+	if delivered < 2 {
+		t.Fatal("node did not recover after restart")
+	}
+	if nodes[1].Stats.Drops[DropNodeDown] == 0 {
+		t.Fatal("crash losses not counted")
+	}
+	if nodes[1].Down() {
+		t.Fatal("node should be restored")
+	}
+}
+
+func TestCrashedNodeCannotSend(t *testing.T) {
+	sim, _, nodes := line(t, 2, 1e6, 0.001)
+	delivered := 0
+	nodes[1].Handler = func(p *Packet, in *Port) { delivered++ }
+	nodes[0].SetDown(true)
+	sim.At(0, func() {
+		nodes[0].Send(&Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[1].ID, Size: 100, Type: Data})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("crashed node transmitted a packet")
+	}
+	if nodes[0].Stats.Drops[DropNodeDown] != 1 {
+		t.Fatalf("DropNodeDown = %d, want 1", nodes[0].Stats.Drops[DropNodeDown])
 	}
 }

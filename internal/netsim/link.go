@@ -14,9 +14,22 @@ type Link struct {
 	net  *Network
 
 	down bool
-	// LostToFailure counts packets destroyed mid-transmission or
-	// transmitted while the link was down.
+	// LostToFailure counts packets lost to the link being down: those
+	// destroyed mid-transmission, those whose transmission completed
+	// while the link was down, and those sent into a link that was
+	// already down at enqueue time.
 	LostToFailure int64
+
+	// Loss, when non-nil, is consulted once per packet at the end of
+	// its serialization (after the down check); returning true destroys
+	// the packet. from is the transmitting port, so direction-dependent
+	// loss models (e.g. per-direction Gilbert–Elliott state) can key on
+	// it. internal/faults installs these hooks; they must be
+	// deterministic functions of (packet order, seeded RNG) for runs to
+	// stay reproducible.
+	Loss func(p *Packet, from *Port) bool
+	// LostToNoise counts packets destroyed by the Loss hook.
+	LostToNoise int64
 }
 
 // SetDown fails or restores the link. While down, packets entering
@@ -116,6 +129,14 @@ func (pt *Port) SetQueueLimit(pkts int) { pt.q.dataLimit = pkts }
 
 // enqueue accepts a packet for transmission out this port.
 func (pt *Port) enqueue(p *Packet) {
+	if pt.link.down {
+		// Sent into a dead link: lost immediately, and — unlike the
+		// silent vanishing of queued-then-destroyed packets — charged
+		// to both the link and the sending node.
+		pt.link.LostToFailure++
+		pt.node.Stats.Drops[DropLinkDown]++
+		return
+	}
 	priority := pt.node.net.ControlPriority && (p.Type == Control)
 	if !pt.q.push(p, priority) {
 		pt.node.Stats.Drops[DropQueue]++
@@ -140,6 +161,11 @@ func (pt *Port) startTx() {
 	sim.After(tx, func() {
 		if pt.link.down {
 			pt.link.LostToFailure++
+			pt.startTx()
+			return
+		}
+		if pt.link.Loss != nil && pt.link.Loss(p, pt) {
+			pt.link.LostToNoise++
 			pt.startTx()
 			return
 		}

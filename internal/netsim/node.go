@@ -35,6 +35,14 @@ const (
 	DropNoRoute
 	DropHook
 	DropIngressBlocked
+	// DropLinkDown counts packets sent into a link that was already
+	// down at enqueue time (mid-transmission destructions are charged
+	// to the link's LostToFailure only, since the sender already paid
+	// the serialization).
+	DropLinkDown
+	// DropNodeDown counts packets arriving at (or flushed from) a
+	// crashed node.
+	DropNodeDown
 	dropReasonCount
 )
 
@@ -50,6 +58,10 @@ func (r DropReason) String() string {
 		return "hook-filtered"
 	case DropIngressBlocked:
 		return "ingress-blocked"
+	case DropLinkDown:
+		return "link-down"
+	case DropNodeDown:
+		return "node-down"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -87,8 +99,29 @@ type Node struct {
 	// hooks intercept forwarded packets.
 	hooks []*hookEntry
 
+	down bool
+
 	Stats NodeStats
 }
+
+// SetDown crashes or restores the node. A crashed node blackholes
+// every packet addressed to or routed through it and its output
+// queues are flushed at crash time (in-RAM state does not survive a
+// power cycle); packets already serializing on the wire still reach
+// the peer. Restoring only revives forwarding — any agent state lost
+// in the crash is the owning subsystem's problem (see
+// core.Defense.CrashRouter).
+func (n *Node) SetDown(down bool) {
+	if down && !n.down {
+		for _, pt := range n.ports {
+			n.Stats.Drops[DropNodeDown] += int64(pt.q.flush())
+		}
+	}
+	n.down = down
+}
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
 
 // Network returns the owning network.
 func (n *Node) Network() *Network { return n.net }
@@ -152,6 +185,10 @@ func (n *Node) Neighbors() []*Node {
 // TTL, then routes it. Packets addressed to the node itself are
 // delivered locally without touching the network.
 func (n *Node) Send(p *Packet) {
+	if n.down {
+		n.Stats.Drops[DropNodeDown]++
+		return
+	}
 	p.Born = n.net.Sim.Now()
 	if p.TTL == 0 {
 		p.TTL = DefaultTTL
@@ -166,6 +203,10 @@ func (n *Node) Send(p *Packet) {
 
 // receive handles a packet arriving from the wire on port in.
 func (n *Node) receive(p *Packet, in *Port) {
+	if n.down {
+		n.Stats.Drops[DropNodeDown]++
+		return
+	}
 	if in.BlockedIngress {
 		n.Stats.Drops[DropIngressBlocked]++
 		in.IngressDrops++

@@ -85,3 +85,11 @@ func (q *outQueue) pop() *Packet {
 
 // len returns the number of queued packets across both lanes.
 func (q *outQueue) len() int { return len(q.data) + len(q.ctrl) }
+
+// flush discards every queued packet (a node crash) and returns how
+// many were lost. Drop counters are the caller's responsibility.
+func (q *outQueue) flush() int {
+	n := len(q.data) + len(q.ctrl)
+	q.data, q.ctrl = nil, nil
+	return n
+}

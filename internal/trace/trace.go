@@ -33,6 +33,16 @@ const (
 	Piggybacked
 	// AuthRejected: a message failed authentication.
 	AuthRejected
+	// Retransmitted: a reliable control message timed out waiting for
+	// its ack and was re-sent.
+	Retransmitted
+	// LeaseExpired: a session lease ran out without a refresh and the
+	// session self-healed closed.
+	LeaseExpired
+	// RouterCrashed: a fault-plan crash wiped a router's sessions.
+	RouterCrashed
+	// RouterRestarted: a crashed router came back with clean state.
+	RouterRestarted
 	kindCount
 )
 
@@ -56,6 +66,14 @@ func (k Kind) String() string {
 		return "piggybacked"
 	case AuthRejected:
 		return "auth-rejected"
+	case Retransmitted:
+		return "retransmitted"
+	case LeaseExpired:
+		return "lease-expired"
+	case RouterCrashed:
+		return "router-crashed"
+	case RouterRestarted:
+		return "router-restarted"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
@@ -56,5 +57,71 @@ func TestSoakLargeScenario(t *testing.T) {
 	late := r.Throughput.MeanBetween(100, 140)
 	if late < trough {
 		t.Fatalf("no recovery at scale: trough %.3f late %.3f", trough, late)
+	}
+}
+
+// TestSoakChaos is the fault-cocktail soak: a mid-size reliable HBP
+// run under simultaneous Bernoulli loss, Gilbert–Elliott control
+// bursts, a scheduled link outage, and random router crash/restart
+// cycles. It asserts invariants (in-range samples, no duplicate or
+// false-positive captures, a mostly complete capture set, bounded
+// give-ups) and that the whole cocktail is deterministic. Skipped
+// under -short.
+func TestSoakChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	run := func() *experiments.TreeResult {
+		cfg := experiments.DefaultTreeConfig()
+		cfg.Topology.Leaves = 200
+		cfg.NumAttackers = 30
+		cfg.AttackRate = 0.1e6
+		cfg.Reliable = true
+		cfg.Faults = &faults.Plan{
+			Seed: cfg.Seed + 42,
+			Loss: faults.LossSpec{Prob: 0.01},
+			Burst: &faults.GilbertElliott{
+				PGoodBad: 0.002, PBadGood: 0.2, LossBad: 0.8, CtrlOnly: true,
+			},
+			Windows: []faults.DownWindow{{Link: 3, Start: 30, End: 40}},
+		}
+		cfg.FaultCrashes = 5
+		cfg.FaultRestartAfter = 4
+		r, err := experiments.RunTree(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := run()
+	for i, v := range r.Throughput.Values {
+		if v < 0 || v > 1.05 {
+			t.Fatalf("sample %d out of range: %v", i, v)
+		}
+	}
+	seen := map[netsim.NodeID]bool{}
+	for _, c := range r.Captures {
+		if seen[c.Attacker] {
+			t.Fatalf("host %d captured twice", c.Attacker)
+		}
+		seen[c.Attacker] = true
+	}
+	if len(r.Captures) > 30 {
+		t.Fatalf("captured %d > 30 attackers (false positive)", len(r.Captures))
+	}
+	if len(r.Captures) < 30*8/10 {
+		t.Fatalf("captured only %d of 30 under chaos", len(r.Captures))
+	}
+	if r.FaultLossCount == 0 {
+		t.Fatal("fault plan injected no loss")
+	}
+	if r.Ctrl.GiveUps > r.Ctrl.Retransmissions {
+		t.Fatalf("give-ups %d exceed retransmissions %d", r.Ctrl.GiveUps, r.Ctrl.Retransmissions)
+	}
+	r2 := run()
+	if len(r.Captures) != len(r2.Captures) || r.Ctrl != r2.Ctrl ||
+		r.FaultLossCount != r2.FaultLossCount || r.FaultOutageCount != r2.FaultOutageCount {
+		t.Fatalf("chaos run not deterministic:\n%+v %d\n%+v %d",
+			r.Ctrl, len(r.Captures), r2.Ctrl, len(r2.Captures))
 	}
 }
