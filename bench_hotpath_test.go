@@ -1,0 +1,17 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/benchhot"
+)
+
+// The BenchmarkHotPath* family tracks the zero-allocation refactor of
+// the simulation hot path (event slab + typed link events + packet
+// pool). Bodies live in internal/benchhot so cmd/benchhotpath can run
+// the identical code and emit BENCH_hotpath.json.
+
+func BenchmarkHotPathFig8(b *testing.B)       { benchhot.Fig8(b) }
+func BenchmarkHotPathForwarding(b *testing.B) { benchhot.Forwarding(b) }
+func BenchmarkHotPathEventQueue(b *testing.B) { benchhot.EventQueue(b) }
+func BenchmarkHotPathTypedEvent(b *testing.B) { benchhot.TypedEvent(b) }

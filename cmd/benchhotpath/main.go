@@ -1,0 +1,110 @@
+// Command benchhotpath measures the simulation hot path and writes
+// BENCH_hotpath.json: ns/op, B/op, allocs/op (and events/sec for the
+// Fig. 8 scenario) for each BenchmarkHotPath* body, next to the
+// recorded pre-refactor baseline so the trajectory is visible in one
+// file. CI runs it on every push and uploads the result.
+//
+// Usage: go run ./cmd/benchhotpath [-o BENCH_hotpath.json] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchhot"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Iterations   int     `json:"iterations,omitempty"`
+}
+
+// baseline holds the numbers measured immediately before the
+// zero-allocation refactor (container/heap events with per-event
+// pointer allocations, per-hop closures, slice-shift queues, literal
+// packets), on the same reduced-scale scenarios. They are fixed
+// reference points, not remeasured.
+var baseline = map[string]Result{
+	"Fig8":       {NsPerOp: 732450818, BytesPerOp: 226626661, AllocsPerOp: 5388025},
+	"Forwarding": {NsPerOp: 2916, BytesPerOp: 2504, AllocsPerOp: 63},
+	"EventQueue": {NsPerOp: 61.28, BytesPerOp: 64, AllocsPerOp: 1},
+}
+
+type report struct {
+	Note      string            `json:"note"`
+	Go        string            `json:"go"`
+	Generated string            `json:"generated_by"`
+	Baseline  map[string]Result `json:"baseline"`
+	Current   map[string]Result `json:"current"`
+}
+
+func measure(f func(*testing.B)) Result {
+	r := testing.Benchmark(f)
+	out := Result{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+	if ev, ok := r.Extra["events/sec"]; ok {
+		out.EventsPerSec = ev
+	}
+	return out
+}
+
+func main() {
+	testing.Init() // registers test.* flags so benchtime can be set
+	outPath := flag.String("o", "BENCH_hotpath.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
+	flag.Parse()
+	// testing.Benchmark honours the package-level benchtime flag.
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhotpath:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Note: "simulation hot-path trajectory: baseline = pre-refactor " +
+			"(pointer events, per-hop closures, literal packets); " +
+			"current = event slab + typed link events + packet pool",
+		Go:        runtime.Version(),
+		Generated: "go run ./cmd/benchhotpath",
+		Baseline:  baseline,
+		Current: map[string]Result{
+			"Fig8":       measure(benchhot.Fig8),
+			"Forwarding": measure(benchhot.Forwarding),
+			"EventQueue": measure(benchhot.EventQueue),
+			"TypedEvent": measure(benchhot.TypedEvent),
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchhotpath:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhotpath:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent"} {
+		cur := rep.Current[name]
+		if base, ok := baseline[name]; ok {
+			fmt.Printf("  %-11s %14.1f ns/op (was %14.1f)  %8d allocs/op (was %8d)\n",
+				name, cur.NsPerOp, base.NsPerOp, cur.AllocsPerOp, base.AllocsPerOp)
+		} else {
+			fmt.Printf("  %-11s %14.1f ns/op                        %8d allocs/op\n",
+				name, cur.NsPerOp, cur.AllocsPerOp)
+		}
+	}
+}

@@ -196,7 +196,7 @@ type hsmSession struct {
 	// intraAS marks that local-origin traffic was seen and intra-AS
 	// traceback is running (stub ASes retain their session for it).
 	intraAS bool
-	expiry  *des.Event
+	expiry  des.Event
 }
 
 // HSM is an AS's honeypot session manager.
@@ -233,9 +233,7 @@ func (h *HSM) openSession(s *Server, epoch int) {
 	} else {
 		sess.epoch = epoch
 	}
-	if sess.expiry != nil {
-		h.d.g.Sim.Cancel(sess.expiry)
-	}
+	h.d.g.Sim.Cancel(sess.expiry)
 	sess.expiry = h.d.g.Sim.AfterNamed(h.d.Cfg.SessionLifetime, "asnet-session-lease", func() {
 		h.d.LeaseExpiries++
 		h.closeSession(s, false)
@@ -258,9 +256,7 @@ func (h *HSM) closeSession(s *Server, propagate bool) {
 		return
 	}
 	delete(h.sessions, s)
-	if sess.expiry != nil {
-		h.d.g.Sim.Cancel(sess.expiry)
-	}
+	h.d.g.Sim.Cancel(sess.expiry)
 	if !propagate {
 		return
 	}
@@ -307,9 +303,7 @@ func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
 		// the session must outlive the in-progress traceback, not just
 		// the honeypot epoch, so re-arm its lease past the traceback's
 		// completion with slack.
-		if sess.expiry != nil {
-			sim.Cancel(sess.expiry)
-		}
+		sim.Cancel(sess.expiry)
 		s2 := s
 		sess.expiry = sim.AfterNamed(h.d.Cfg.IntraASTime*1.5, "asnet-session-lease", func() {
 			h.d.LeaseExpiries++

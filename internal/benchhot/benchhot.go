@@ -1,0 +1,136 @@
+// Package benchhot holds the simulator hot-path benchmark bodies.
+// They are ordinary functions taking *testing.B so the same code backs
+// both the root-package BenchmarkHotPath* targets (`go test -bench
+// HotPath`) and cmd/benchhotpath, which runs them through
+// testing.Benchmark and writes BENCH_hotpath.json.
+//
+// The three micro targets isolate the layers of the zero-allocation
+// refactor — event scheduling (closure and typed), per-packet
+// forwarding — and Fig8 is the end-to-end scenario the acceptance
+// numbers are quoted on.
+package benchhot
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// fig8Config is the reduced-scale Fig. 8 HBP scenario used by the
+// root BenchmarkFig8 (kept identical so numbers stay comparable).
+func fig8Config() experiments.TreeConfig {
+	cfg := experiments.DefaultTreeConfig()
+	cfg.Topology.Leaves = 40
+	cfg.NumAttackers = 8
+	cfg.AttackRate = 0.4e6
+	cfg.Duration = 50
+	cfg.AttackEnd = 45
+	cfg.Defense = experiments.HBP
+	return cfg
+}
+
+// Fig8 runs the throughput-over-time scenario for HBP once per
+// iteration, reporting allocations and the simulator's events/sec.
+func Fig8(b *testing.B) {
+	cfg := fig8Config()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		r, err := experiments.RunTree(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Throughput.Len() == 0 {
+			b.Fatal("no samples")
+		}
+		events += r.EventsFired
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// Forwarding measures steady-state per-packet cost over a 10-hop
+// path using pooled packets (20 events per op: serialization +
+// propagation at each hop).
+func Forwarding(b *testing.B) {
+	sim := des.New()
+	tr := topology.NewString(sim, 10, 1, topology.LinkClass{Bandwidth: 1e9, Delay: 0.0001})
+	received := 0
+	tr.Servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) { received++ }
+	host := tr.Leaves[0]
+	dst := tr.Servers[0].ID
+	send := func() {
+		p := host.NewPacket()
+		*p = netsim.Packet{Src: host.ID, TrueSrc: host.ID, Dst: dst, Size: 500, Type: netsim.Data}
+		host.Send(p)
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm the event slab and packet pool
+		send()
+	}
+	received = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
+	if received != b.N {
+		b.Fatalf("received %d of %d", received, b.N)
+	}
+}
+
+// EventQueue measures raw discrete-event throughput with closure
+// handlers (a single func value rescheduled, the pre-refactor idiom).
+func EventQueue(b *testing.B) {
+	sim := des.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.After(0.001, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sim.At(0, tick)
+	if err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type typedState struct {
+	sim   *des.Simulator
+	n     int
+	limit int
+}
+
+func typedTick(a, _ any, _ uint8) {
+	st := a.(*typedState)
+	st.n++
+	if st.n < st.limit {
+		st.sim.ScheduleTyped(st.sim.Now()+0.001, typedTick, st, nil, 0)
+	}
+}
+
+// TypedEvent measures the typed-event path the link layer uses:
+// a package-level dispatch function with pointer operands, no
+// closures captured per event.
+func TypedEvent(b *testing.B) {
+	sim := des.New()
+	st := &typedState{sim: sim, limit: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sim.ScheduleTyped(0, typedTick, st, nil, 0)
+	if err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if st.n != b.N {
+		b.Fatalf("fired %d of %d ticks", st.n, b.N)
+	}
+}

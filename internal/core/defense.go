@@ -294,8 +294,13 @@ func (d *Defense) recordCapture(c Capture) {
 	}
 }
 
-// rec appends a trace event with the current timestamp.
+// rec appends a trace event with the current timestamp. It returns
+// before touching the simulator clock when no sink is attached, so
+// untraced runs pay nothing per event.
 func (d *Defense) rec(kind trace.Kind, node, peer, server int, note string) {
+	if !d.Trace.Enabled() {
+		return
+	}
 	d.Trace.Record(trace.Event{
 		Time:   d.sim.Now(),
 		Kind:   kind,
@@ -310,14 +315,16 @@ func (d *Defense) rec(kind trace.Kind, node, peer, server int, note string) {
 // node (hop-by-hop when adjacent; routed when Direct/Report).
 func (d *Defense) sendMsg(from *netsim.Node, to netsim.NodeID, m *Message) {
 	d.MsgSent++
-	from.Send(&netsim.Packet{
+	pp := from.NewPacket()
+	*pp = netsim.Packet{
 		Src:     from.ID,
 		TrueSrc: from.ID,
 		Dst:     to,
 		Size:    CtrlPacketSize,
 		Type:    netsim.Control,
 		Payload: m,
-	})
+	}
+	from.Send(pp)
 }
 
 // authOK validates an incoming control message per Sec. 5.3: messages

@@ -22,7 +22,7 @@ type session struct {
 	// sentUpstream counts propagations; zero at cancel time makes
 	// this router a progressive-scheme frontier.
 	sentUpstream int
-	expiry       *des.Event
+	expiry       des.Event
 }
 
 // RouterAgent runs honeypot back-propagation on one router.
@@ -106,10 +106,8 @@ func (a *RouterAgent) openSession(m *Message) {
 	} else {
 		s.epoch = m.Epoch
 	}
-	if s.expiry != nil {
-		a.d.sim.Cancel(s.expiry)
-		s.expiry = nil
-	}
+	a.d.sim.Cancel(s.expiry)
+	s.expiry = des.Event{}
 	// Lease-based expiry: the Request's lease (falling back to the
 	// configured lifetime) bounds how long the session may live without
 	// a refresh. A lost Cancel or a dead downstream neighbor therefore
@@ -140,9 +138,7 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 	delete(a.sessions, m.Server)
 	a.SessionsClosed++
 	a.d.rec(trace.SessionClosed, int(a.Node.ID), -1, int(m.Server), "")
-	if s.expiry != nil {
-		a.d.sim.Cancel(s.expiry)
-	}
+	a.d.sim.Cancel(s.expiry)
 	if len(a.sessions) == 0 && a.hookRemove != nil {
 		a.hookRemove()
 		a.hookRemove = nil
@@ -200,9 +196,7 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 func (a *RouterAgent) crash() int {
 	lost := len(a.sessions)
 	for server, s := range a.sessions {
-		if s.expiry != nil {
-			a.d.sim.Cancel(s.expiry)
-		}
+		a.d.sim.Cancel(s.expiry)
 		delete(a.sessions, server)
 	}
 	if a.hookRemove != nil {

@@ -51,7 +51,7 @@ type intermediate struct {
 	// reportedEpoch is the last honeypot epoch the router reported
 	// for (-1 if never).
 	reportedEpoch int
-	armEvent      *des.Event
+	armEvent      des.Event
 }
 
 func newServerDefense(d *Defense, sa *roaming.ServerAgent) *ServerDefense {
@@ -189,7 +189,7 @@ func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.P
 // session is live t_A + τ before the server's next honeypot window
 // opens (Sec. 6).
 func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
-	if e.armEvent != nil && e.armEvent.Pending() {
+	if e.armEvent.Pending() {
 		return
 	}
 	pool := s.d.pool
@@ -215,8 +215,6 @@ func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
 }
 
 func (s *ServerDefense) removeIntermediate(id netsim.NodeID, e *intermediate) {
-	if e.armEvent != nil {
-		s.d.sim.Cancel(e.armEvent)
-	}
+	s.d.sim.Cancel(e.armEvent)
 	delete(s.intermediates, id)
 }

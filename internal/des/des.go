@@ -1,16 +1,28 @@
 // Package des implements a deterministic discrete-event simulation
-// engine: a simulator clock, a binary-heap event queue with stable
-// FIFO ordering for simultaneous events, and helpers for periodic and
-// conditional scheduling.
+// engine: a simulator clock, an index-based binary-heap event queue
+// with stable FIFO ordering for simultaneous events, and helpers for
+// periodic and conditional scheduling.
 //
 // Time is modelled as float64 seconds from the start of the run.
 // Events scheduled for the same instant fire in the order they were
 // scheduled, which makes runs bit-for-bit reproducible for a fixed
 // seed and workload.
+//
+// # Memory model
+//
+// Event records live in a slab ([]eventRec) owned by the Simulator and
+// are recycled through a free list, so steady-state scheduling and
+// firing allocate nothing. Events handed back to callers are small
+// generation-stamped handles (Event values, not pointers): a handle
+// whose slot has since been freed or reused no longer matches the
+// slot's generation stamp, so Cancel/Pending on a stale handle are
+// safe no-ops. The hot path of the network simulator additionally uses
+// typed events (ScheduleTyped) that carry their arguments in the
+// record itself instead of in a captured closure, keeping the
+// per-packet path allocation-free.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -20,75 +32,105 @@ import (
 // the simulator clock set to the event's timestamp.
 type Handler func()
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created through Simulator.At, Simulator.After and friends.
+// TypedFunc is the callback form of typed events: the simulator passes
+// back the two operands and kind given to ScheduleTyped. Pass a
+// package-level function (not a closure or method value) so scheduling
+// a typed event performs no allocation; operands should be pointers,
+// which box into `any` without allocating.
+type TypedFunc func(a, b any, kind uint8)
+
+// eventRec is one slab slot. Slots are addressed by index; heapIdx is
+// the slot's position in the heap (-1 when the slot is free) and gen
+// is bumped every time the slot is handed out, invalidating handles
+// from earlier occupancies.
+type eventRec struct {
+	time    float64
+	seq     uint64
+	gen     uint32
+	heapIdx int32
+	kind    uint8
+	h       Handler
+	fn      TypedFunc
+	a, b    any
+	name    string
+}
+
+// Event is a generation-stamped handle to a scheduled callback. The
+// zero Event is valid and inert: Pending reports false and Cancel is a
+// no-op. Handles stay safe after the event fires or is cancelled —
+// the underlying slot's generation stamp no longer matches, so every
+// operation degrades to a no-op instead of touching a recycled event.
 type Event struct {
-	time      float64
-	seq       uint64
-	index     int // heap index; -1 when not queued
-	handler   Handler
-	cancelled bool
-	name      string
+	s   *Simulator
+	id  int32 // slab index + 1; 0 means "no event"
+	gen uint32
 }
 
-// Time returns the simulated time at which the event fires.
-func (e *Event) Time() float64 { return e.time }
-
-// Name returns the optional debug label given at scheduling time.
-func (e *Event) Name() string { return e.name }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
-
-// Pending reports whether the event is still in the queue and will
-// fire unless cancelled.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.cancelled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// rec returns the live slab record for the handle, or nil if the event
+// already fired, was cancelled, or the handle is zero.
+func (e Event) rec() *eventRec {
+	if e.s == nil || e.id == 0 {
+		return nil
 	}
-	return q[i].seq < q[j].seq
+	r := &e.s.recs[e.id-1]
+	if r.gen != e.gen || r.heapIdx < 0 {
+		return nil
+	}
+	return r
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Time returns the simulated time at which the event fires, or 0 if it
+// is no longer pending.
+func (e Event) Time() float64 {
+	if r := e.rec(); r != nil {
+		return r.time
+	}
+	return 0
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// Name returns the optional debug label given at scheduling time (""
+// once the event is no longer pending).
+func (e Event) Name() string {
+	if r := e.rec(); r != nil {
+		return r.name
+	}
+	return ""
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Pending reports whether the event is still queued and will fire.
+func (e Event) Pending() bool { return e.rec() != nil }
+
+// Cancel removes the event from the queue so it will not fire.
+// Cancelling an event that already fired, was already cancelled, or is
+// the zero Event is a safe no-op. The slot is recycled immediately, so
+// Pending() of the simulator drops by one.
+func (e Event) Cancel() {
+	r := e.rec()
+	if r == nil {
+		return
+	}
+	s := e.s
+	s.heapRemove(r.heapIdx)
+	s.release(e.id - 1)
 }
 
 // Simulator owns the virtual clock and the pending-event queue.
 // It is not safe for concurrent use; a simulation run is a single
 // logical thread of control, per the usual DES model.
 type Simulator struct {
-	now     float64
-	queue   eventQueue
+	now  float64
+	recs []eventRec
+	free []int32 // free slab slots (LIFO for cache locality)
+	heap []int32 // binary heap of slab indices, ordered by (time, seq)
+
 	seq     uint64
 	fired   uint64
 	stopped bool
 	// EventLimit, when non-zero, aborts Run with ErrEventLimit after
 	// that many events have fired. It guards against runaway
-	// self-rescheduling loops in tests.
+	// self-rescheduling loops in tests. It is configuration, not run
+	// state: Reset preserves it (but zeroes the fired counter, so the
+	// budget restarts with the new run).
 	EventLimit uint64
 }
 
@@ -107,51 +149,105 @@ func (s *Simulator) Now() float64 { return s.now }
 // Fired returns the number of events that have been dispatched.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including
-// cancelled events that have not yet been popped).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of live events still queued. Cancelled
+// events are removed from the queue immediately and never counted.
+func (s *Simulator) Pending() int { return len(s.heap) }
 
-// At schedules h to run at absolute time t. Scheduling in the past
-// (t < Now) panics: it would corrupt causality.
-func (s *Simulator) At(t float64, h Handler) *Event {
-	return s.AtNamed(t, "", h)
+// alloc takes a slot off the free list (or grows the slab) and bumps
+// its generation.
+func (s *Simulator) alloc() int32 {
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.recs = append(s.recs, eventRec{})
+		idx = int32(len(s.recs) - 1)
+	}
+	s.recs[idx].gen++
+	return idx
 }
 
-// AtNamed is At with a debug label attached to the event.
-func (s *Simulator) AtNamed(t float64, name string, h Handler) *Event {
-	if h == nil {
-		panic("des: nil handler")
-	}
+// release returns a slot to the free list, dropping references so the
+// slab does not retain handlers or packets past the event's life.
+func (s *Simulator) release(idx int32) {
+	r := &s.recs[idx]
+	r.h = nil
+	r.fn = nil
+	r.a = nil
+	r.b = nil
+	r.name = ""
+	r.heapIdx = -1
+	s.free = append(s.free, idx)
+}
+
+func (s *Simulator) checkTime(t float64, name string) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling event %q at %.9f before now %.9f", name, t, s.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("des: scheduling event %q at non-finite time %v", name, t))
 	}
-	e := &Event{time: t, seq: s.seq, handler: h, name: name}
+}
+
+func (s *Simulator) schedule(t float64, name string, h Handler, fn TypedFunc, a, b any, kind uint8) Event {
+	s.checkTime(t, name)
+	idx := s.alloc()
+	r := &s.recs[idx]
+	r.time = t
+	r.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	r.h = h
+	r.fn = fn
+	r.a = a
+	r.b = b
+	r.kind = kind
+	r.name = name
+	s.heapPush(idx)
+	return Event{s: s, id: idx + 1, gen: r.gen}
+}
+
+// At schedules h to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it would corrupt causality.
+func (s *Simulator) At(t float64, h Handler) Event {
+	return s.AtNamed(t, "", h)
+}
+
+// AtNamed is At with a debug label attached to the event.
+func (s *Simulator) AtNamed(t float64, name string, h Handler) Event {
+	if h == nil {
+		panic("des: nil handler")
+	}
+	return s.schedule(t, name, h, nil, nil, nil, 0)
 }
 
 // After schedules h to run d seconds from now. Negative d panics.
-func (s *Simulator) After(d float64, h Handler) *Event {
+func (s *Simulator) After(d float64, h Handler) Event {
 	return s.AtNamed(s.now+d, "", h)
 }
 
 // AfterNamed is After with a debug label.
-func (s *Simulator) AfterNamed(d float64, name string, h Handler) *Event {
+func (s *Simulator) AfterNamed(d float64, name string, h Handler) Event {
 	return s.AtNamed(s.now+d, name, h)
 }
 
-// Cancel marks an event so that it will not fire. Cancelling an event
-// that already fired or was already cancelled is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil {
-		return
+// ScheduleTyped schedules the typed event fn(a, b, kind) at absolute
+// time t. Unlike At, the operands ride in the event record itself, so
+// no closure needs to be allocated per event — this is the
+// steady-state scheduling path of the packet simulator (two events per
+// hop). fn must be non-nil; pass a package-level function to keep the
+// call allocation-free.
+func (s *Simulator) ScheduleTyped(t float64, fn TypedFunc, a, b any, kind uint8) Event {
+	if fn == nil {
+		panic("des: nil typed handler")
 	}
-	e.cancelled = true
+	return s.schedule(t, "", nil, fn, a, b, kind)
 }
+
+// Cancel marks an event so that it will not fire. Cancelling an event
+// that already fired or was already cancelled is a no-op. It is
+// equivalent to e.Cancel.
+func (s *Simulator) Cancel(e Event) { e.Cancel() }
 
 // Every schedules h to run every period seconds, starting at time
 // start. It returns a stop function; calling it prevents all future
@@ -162,7 +258,7 @@ func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
 	}
 	stopped := false
 	var tick func()
-	var pending *Event
+	var pending Event
 	tick = func() {
 		if stopped {
 			return
@@ -175,7 +271,7 @@ func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
 	pending = s.At(start, tick)
 	return func() {
 		stopped = true
-		s.Cancel(pending)
+		pending.Cancel()
 	}
 }
 
@@ -183,9 +279,10 @@ func (s *Simulator) Every(start, period float64, h Handler) (stop func()) {
 // AfterFunc. Retransmission logic uses it: arm, then Stop on ack or
 // Reset with a backed-off delay on timeout.
 type Timer struct {
-	sim *Simulator
-	h   Handler
-	e   *Event
+	sim  *Simulator
+	h    Handler
+	name string
+	e    Event
 }
 
 // AfterFunc schedules h to run d seconds from now and returns a Timer
@@ -201,7 +298,7 @@ func (s *Simulator) AfterFuncNamed(d float64, name string, h Handler) *Timer {
 	if h == nil {
 		panic("des: nil handler")
 	}
-	t := &Timer{sim: s, h: h}
+	t := &Timer{sim: s, h: h, name: name}
 	t.e = s.AtNamed(s.now+d, name, h)
 	return t
 }
@@ -210,10 +307,10 @@ func (s *Simulator) AfterFuncNamed(d float64, name string, h Handler) *Timer {
 // prevented one; stopping a timer that already fired (or was already
 // stopped) is a safe no-op returning false.
 func (t *Timer) Stop() bool {
-	if t.e == nil || !t.e.Pending() {
+	if !t.e.Pending() {
 		return false
 	}
-	t.sim.Cancel(t.e)
+	t.e.Cancel()
 	return true
 }
 
@@ -222,11 +319,11 @@ func (t *Timer) Stop() bool {
 // fired, which is what a retransmission loop needs.
 func (t *Timer) Reset(d float64) {
 	t.Stop()
-	t.e = t.sim.AtNamed(t.sim.Now()+d, t.e.Name(), t.h)
+	t.e = t.sim.AtNamed(t.sim.Now()+d, t.name, t.h)
 }
 
 // Pending reports whether a firing is scheduled.
-func (t *Timer) Pending() bool { return t.e != nil && t.e.Pending() }
+func (t *Timer) Pending() bool { return t.e.Pending() }
 
 // Stop makes Run return after the currently dispatching event (if any)
 // completes. Pending events remain queued.
@@ -244,21 +341,29 @@ func (s *Simulator) Run() error {
 // exhausted.
 func (s *Simulator) RunUntil(end float64) error {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.time > end {
+	for len(s.heap) > 0 && !s.stopped {
+		idx := s.heap[0]
+		r := &s.recs[idx]
+		if r.time > end {
 			break
 		}
-		heap.Pop(&s.queue)
-		if next.cancelled {
-			continue
-		}
-		s.now = next.time
+		// Copy the dispatch fields out and recycle the slot before the
+		// callback runs: the callback may schedule (growing the slab) or
+		// hold a stale handle to this very slot, both of which the
+		// generation stamp already guards.
+		t, h, fn, a, b, kind := r.time, r.h, r.fn, r.a, r.b, r.kind
+		s.heapRemove(0)
+		s.release(idx)
+		s.now = t
 		s.fired++
 		if s.EventLimit > 0 && s.fired > s.EventLimit {
 			return ErrEventLimit
 		}
-		next.handler()
+		if h != nil {
+			h()
+		} else {
+			fn(a, b, kind)
+		}
 	}
 	if !math.IsInf(end, 1) && end > s.now {
 		s.now = end
@@ -266,11 +371,93 @@ func (s *Simulator) RunUntil(end float64) error {
 	return nil
 }
 
-// Reset discards all pending events and rewinds the clock to zero.
+// Reset discards all pending events and rewinds the clock to zero. The
+// slab and free list are retained for reuse, and every outstanding
+// Event handle is invalidated (Pending reports false; Cancel is a
+// no-op). EventLimit is preserved — it is configuration, not run state
+// — while the fired counter restarts at zero, so the event budget
+// applies afresh to the next run.
 func (s *Simulator) Reset() {
+	for _, idx := range s.heap {
+		s.release(idx)
+	}
+	s.heap = s.heap[:0]
 	s.now = 0
-	s.queue = nil
 	s.seq = 0
 	s.fired = 0
 	s.stopped = false
+}
+
+// --- index heap over the slab ---------------------------------------
+
+// lessRec orders slots by (time, seq): earlier time first, FIFO among
+// simultaneous events.
+func (s *Simulator) lessRec(a, b int32) bool {
+	ra, rb := &s.recs[a], &s.recs[b]
+	if ra.time != rb.time {
+		return ra.time < rb.time
+	}
+	return ra.seq < rb.seq
+}
+
+func (s *Simulator) heapPush(idx int32) {
+	s.heap = append(s.heap, idx)
+	s.recs[idx].heapIdx = int32(len(s.heap) - 1)
+	s.siftUp(int32(len(s.heap) - 1))
+}
+
+// heapRemove deletes the element at heap position pos, restoring heap
+// order. The removed slot's heapIdx is left untouched (the caller
+// releases it).
+func (s *Simulator) heapRemove(pos int32) {
+	n := int32(len(s.heap)) - 1
+	if pos != n {
+		s.heap[pos] = s.heap[n]
+		s.recs[s.heap[pos]].heapIdx = pos
+	}
+	s.heap = s.heap[:n]
+	if pos < n {
+		if !s.siftDown(pos) {
+			s.siftUp(pos)
+		}
+	}
+}
+
+func (s *Simulator) siftUp(pos int32) {
+	idx := s.heap[pos]
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !s.lessRec(idx, s.heap[parent]) {
+			break
+		}
+		s.heap[pos] = s.heap[parent]
+		s.recs[s.heap[pos]].heapIdx = pos
+		pos = parent
+	}
+	s.heap[pos] = idx
+	s.recs[idx].heapIdx = pos
+}
+
+func (s *Simulator) siftDown(pos int32) bool {
+	idx := s.heap[pos]
+	start := pos
+	n := int32(len(s.heap))
+	for {
+		c := 2*pos + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.lessRec(s.heap[r], s.heap[c]) {
+			c = r
+		}
+		if !s.lessRec(s.heap[c], idx) {
+			break
+		}
+		s.heap[pos] = s.heap[c]
+		s.recs[s.heap[pos]].heapIdx = pos
+		pos = c
+	}
+	s.heap[pos] = idx
+	s.recs[idx].heapIdx = pos
+	return pos > start
 }

@@ -121,11 +121,130 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if e.Cancelled() != true {
-		t.Fatal("Cancelled() = false after Cancel")
+	if e.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
-	s.Cancel(nil) // must not panic
-	s.Cancel(e)   // double cancel must not panic
+	s.Cancel(Event{}) // zero handle must not panic
+	s.Cancel(e)       // double cancel must not panic
+}
+
+func TestCancelledEventsNotPending(t *testing.T) {
+	// Satellite of the pooling refactor: Pending() must report only
+	// live events — a cancelled event leaves the queue immediately.
+	s := New()
+	e1 := s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	e1.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (cancelled events must not be counted)", s.Pending())
+	}
+}
+
+func TestStaleHandleIsInert(t *testing.T) {
+	// Pool-reuse safety: after a slot is recycled, a handle from the
+	// previous occupancy must neither observe nor cancel the new event.
+	s := New()
+	stale := s.At(1, func() { t.Error("cancelled event fired") })
+	stale.Cancel()
+	fired := false
+	fresh := s.At(1, func() { fired = true }) // reuses the freed slot
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	stale.Cancel() // must NOT cancel the new occupant
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel hit a recycled slot")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+	if stale.Time() != 0 || stale.Name() != "" {
+		t.Fatal("stale handle leaks recycled slot state")
+	}
+}
+
+func TestAllocsPerEvent(t *testing.T) {
+	// Steady-state scheduling and firing must not allocate: records are
+	// recycled through the slab free list. The handler is pre-bound so
+	// only the engine's own cost is measured.
+	s := New()
+	n := 0
+	h := func() { n++ }
+	for i := 0; i < 64; i++ { // warm the slab
+		s.At(s.Now(), h)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		s.At(s.Now(), h)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("scheduled-and-fired event allocates %.2f times, want 0", avg)
+	}
+}
+
+func TestAllocsPerTypedEvent(t *testing.T) {
+	s := New()
+	var fired int
+	counter := &fired
+	for i := 0; i < 64; i++ {
+		s.ScheduleTyped(s.Now(), typedBump, counter, nil, 7)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		s.ScheduleTyped(s.Now(), typedBump, counter, nil, 7)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("typed event allocates %.2f times, want 0", avg)
+	}
+	if fired == 0 {
+		t.Fatal("typed handler never ran")
+	}
+}
+
+func typedBump(a, b any, kind uint8) {
+	if kind != 7 {
+		panic("wrong kind")
+	}
+	*(a.(*int))++
+}
+
+func TestTypedEventDispatch(t *testing.T) {
+	s := New()
+	n := 0
+	e := s.ScheduleTyped(2.5, typedBump, &n, nil, 7)
+	if !e.Pending() || e.Time() != 2.5 {
+		t.Fatalf("typed event not pending at its time: %v %v", e.Pending(), e.Time())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || s.Now() != 2.5 {
+		t.Fatalf("typed dispatch n=%d now=%v", n, s.Now())
+	}
+	e2 := s.ScheduleTyped(3, typedBump, &n, nil, 7)
+	e2.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("cancelled typed event fired")
+	}
 }
 
 func TestRunUntil(t *testing.T) {
@@ -254,6 +373,39 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestResetSemantics(t *testing.T) {
+	s := New()
+	s.EventLimit = 5
+	var tick func()
+	tick = func() { s.After(1, tick) }
+	s.At(0, tick)
+	if err := s.Run(); err != ErrEventLimit {
+		t.Fatalf("err = %v, want ErrEventLimit", err)
+	}
+	e := s.At(s.Now()+1, func() {})
+	s.Reset()
+	// Handles from before Reset are invalidated, pending events gone.
+	if e.Pending() {
+		t.Fatal("pre-Reset handle still pending")
+	}
+	e.Cancel() // must be a no-op, not corrupt the fresh queue
+	// EventLimit is configuration and survives Reset; the fired budget
+	// restarts, so the same limit applies to the new run.
+	if s.EventLimit != 5 {
+		t.Fatalf("Reset cleared EventLimit: %d", s.EventLimit)
+	}
+	n := 0
+	for i := 0; i < 5; i++ {
+		s.At(float64(i), func() { n++ })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run within restarted budget: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("fired %d, want 5", n)
+	}
+}
+
 func TestNilHandlerPanics(t *testing.T) {
 	s := New()
 	defer func() {
@@ -302,7 +454,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(times []uint8, mask []bool) bool {
 		s := New()
 		fired := map[int]bool{}
-		events := make([]*Event, len(times))
+		events := make([]Event, len(times))
 		for i, v := range times {
 			i := i
 			events[i] = s.At(float64(v), func() { fired[i] = true })

@@ -35,14 +35,14 @@ func RunSPIE(leaves, nAttackers, bloomBits int, seed int64) (*SPIEPoint, error) 
 
 	server := tr.Servers[0]
 	type sample struct {
-		pkt *netsim.Packet
+		pkt netsim.Packet // copied: the network reclaims p after delivery
 		at  float64
 	}
 	var samples []sample
 	wantSample := map[int64]bool{}
 	server.Handler = func(pk *netsim.Packet, in *netsim.Port) {
 		if wantSample[pk.Seq] && !pk.Legit {
-			samples = append(samples, sample{pkt: pk, at: sim.Now()})
+			samples = append(samples, sample{pkt: *pk, at: sim.Now()})
 			delete(wantSample, pk.Seq)
 		}
 	}
@@ -78,7 +78,7 @@ func RunSPIE(leaves, nAttackers, bloomBits int, seed int64) (*SPIEPoint, error) 
 	firstHop := server.Ports()[0].Peer().Node()
 	pt := &SPIEPoint{BloomBits: bloomBits, BitsPerRouter: d.BitsPerRouter(), Total: len(samples)}
 	for _, s := range samples {
-		res, err := d.Traceback(firstHop, spie.Digest(s.pkt), s.at, 1.0, tr.IsHost)
+		res, err := d.Traceback(firstHop, spie.Digest(&s.pkt), s.at, 1.0, tr.IsHost)
 		if err != nil {
 			pt.Failed++
 			continue

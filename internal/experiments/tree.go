@@ -50,6 +50,9 @@ type TreeResult struct {
 	Trace *trace.Log
 	// QueueDrops is the network-wide drop-tail loss count.
 	QueueDrops int64
+	// EventsFired is the total simulator events dispatched over the
+	// run; benchmarks divide it by wall time for an events/sec rate.
+	EventsFired uint64
 }
 
 // RunTree executes one tree scenario end to end.
@@ -305,6 +308,7 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 	}
 	res.CaptureTimes = metrics.CaptureTimes(capAt, cfg.AttackStart)
 	res.QueueDrops = tr.Net.TotalQueueDrops()
+	res.EventsFired = sim.Fired()
 	if inj != nil {
 		res.FaultLossCount = inj.LostToNoise()
 		res.FaultOutageCount = inj.LostToFailure()

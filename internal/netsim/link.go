@@ -69,11 +69,12 @@ func (l *Link) String() string {
 // filtering (the paper's MAC/switch-port capture) happens at the
 // receiving port.
 type Port struct {
-	node *Node
-	link *Link
-	peer *Port
-	q    *outQueue
-	busy bool
+	node  *Node
+	link  *Link
+	peer  *Port
+	q     *outQueue
+	busy  bool
+	index int // position in node.ports, cached at attachment
 
 	// BlockedIngress, when set, drops every packet arriving at this
 	// port. It models the access-switch port shutdown installed when
@@ -105,15 +106,9 @@ func (pt *Port) Peer() *Port { return pt.peer }
 
 // Index returns this port's position among its node's ports, the
 // simulator analogue of an interface identifier. Edge-router packet
-// marking uses it.
-func (pt *Port) Index() int {
-	for i, p := range pt.node.ports {
-		if p == pt {
-			return i
-		}
-	}
-	return -1
-}
+// marking uses it on every marked packet, so the value is cached at
+// attachment time rather than scanned for.
+func (pt *Port) Index() int { return pt.index }
 
 // QueueLen returns the current output-queue occupancy (both lanes).
 func (pt *Port) QueueLen() int { return pt.q.len() }
@@ -135,11 +130,13 @@ func (pt *Port) enqueue(p *Packet) {
 		// to both the link and the sending node.
 		pt.link.LostToFailure++
 		pt.node.Stats.Drops[DropLinkDown]++
+		pt.node.net.freePacket(p)
 		return
 	}
 	priority := pt.node.net.ControlPriority && (p.Type == Control)
 	if !pt.q.push(p, priority) {
 		pt.node.Stats.Drops[DropQueue]++
+		pt.node.net.freePacket(p)
 		return
 	}
 	if !pt.busy {
@@ -147,8 +144,29 @@ func (pt *Port) enqueue(p *Packet) {
 	}
 }
 
+// Link-event kinds dispatched through des.ScheduleTyped. Using typed
+// events (port + packet + kind riding in the event record) instead of
+// anonymous closures keeps the two events of every packet hop — end of
+// serialization, end of propagation — allocation-free.
+const (
+	evTxDone uint8 = iota // serialization finished at the sending port
+	evArrive              // propagation finished; packet reaches the peer port
+)
+
+// linkDispatch is the des.TypedFunc for link events. It is a
+// package-level function so scheduling it never allocates.
+func linkDispatch(a, b any, kind uint8) {
+	pt := a.(*Port)
+	p := b.(*Packet)
+	if kind == evTxDone {
+		pt.txDone(p)
+	} else {
+		pt.arrive(p)
+	}
+}
+
 // startTx begins transmitting the head-of-line packet, scheduling the
-// serialization completion and the propagation-delayed arrival.
+// serialization completion as a typed event.
 func (pt *Port) startTx() {
 	p := pt.q.pop()
 	if p == nil {
@@ -157,29 +175,38 @@ func (pt *Port) startTx() {
 	}
 	pt.busy = true
 	sim := pt.node.net.Sim
-	tx := pt.link.TxTime(p.Size)
-	sim.After(tx, func() {
-		if pt.link.down {
-			pt.link.LostToFailure++
-			pt.startTx()
-			return
-		}
-		if pt.link.Loss != nil && pt.link.Loss(p, pt) {
-			pt.link.LostToNoise++
-			pt.startTx()
-			return
-		}
-		pt.TxPackets++
-		pt.TxBytes += int64(p.Size)
-		peer := pt.peer
-		sim.After(pt.link.Delay, func() {
-			peer.RxPackets++
-			peer.RxBytes += int64(p.Size)
-			if p.Legit && p.Type == Data {
-				peer.RxLegitDataBytes += int64(p.Size)
-			}
-			peer.node.receive(p, peer)
-		})
+	sim.ScheduleTyped(sim.Now()+pt.link.TxTime(p.Size), linkDispatch, pt, p, evTxDone)
+}
+
+// txDone handles the end of p's serialization out this port: the
+// packet either dies on a failed/lossy link or starts propagating, and
+// the next queued packet enters transmission.
+func (pt *Port) txDone(p *Packet) {
+	if pt.link.down {
+		pt.link.LostToFailure++
+		pt.node.net.freePacket(p)
 		pt.startTx()
-	})
+		return
+	}
+	if pt.link.Loss != nil && pt.link.Loss(p, pt) {
+		pt.link.LostToNoise++
+		pt.node.net.freePacket(p)
+		pt.startTx()
+		return
+	}
+	pt.TxPackets++
+	pt.TxBytes += int64(p.Size)
+	sim := pt.node.net.Sim
+	sim.ScheduleTyped(sim.Now()+pt.link.Delay, linkDispatch, pt.peer, p, evArrive)
+	pt.startTx()
+}
+
+// arrive handles p reaching this (receiving) port after propagation.
+func (pt *Port) arrive(p *Packet) {
+	pt.RxPackets++
+	pt.RxBytes += int64(p.Size)
+	if p.Legit && p.Type == Data {
+		pt.RxLegitDataBytes += int64(p.Size)
+	}
+	pt.node.receive(p, pt)
 }

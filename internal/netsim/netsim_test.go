@@ -29,7 +29,10 @@ func TestDeliveryAcrossOneLink(t *testing.T) {
 	sim, _, nodes := line(t, 2, 1e6, 0.01)
 	var got *Packet
 	var at float64
-	nodes[1].Handler = func(p *Packet, in *Port) { got, at = p, sim.Now() }
+	nodes[1].Handler = func(p *Packet, in *Port) {
+		cp := *p // handlers must not retain p; the network reclaims it
+		got, at = &cp, sim.Now()
+	}
 	pkt := &Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[1].ID, Size: 1000, Type: Data}
 	sim.At(0, func() { nodes[0].Send(pkt) })
 	if err := sim.Run(); err != nil {
@@ -458,4 +461,70 @@ func TestDropReasonStrings(t *testing.T) {
 			t.Fatalf("empty string for reason %d", r)
 		}
 	}
+}
+
+// TestAllocsPerPacketHop pins the steady-state hot path at zero heap
+// allocations: once the event slab, ring buffers, and packet pool are
+// warm, sending a packet across a link and running it to delivery must
+// not allocate.
+func TestAllocsPerPacketHop(t *testing.T) {
+	sim, _, nodes := line(t, 3, 1e9, 0.0001)
+	delivered := 0
+	nodes[2].Handler = func(p *Packet, in *Port) { delivered++ }
+	send := func() {
+		p := nodes[0].NewPacket()
+		*p = Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[2].ID, Size: 100, Type: Data}
+		nodes[0].Send(p)
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if avg := testing.AllocsPerRun(200, send); avg != 0 {
+		t.Fatalf("steady-state packet hop allocates %.2f times, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+// TestPacketPoolReuseSafety checks the ownership contract end to end:
+// a delivered packet is recycled (zeroed and marked freed), the pool
+// hands the same memory back on the next allocation, and a double
+// free panics instead of corrupting the free list.
+func TestPacketPoolReuseSafety(t *testing.T) {
+	sim, nw, nodes := line(t, 2, 1e6, 0.01)
+	var stale *Packet
+	nodes[1].Handler = func(p *Packet, in *Port) { stale = p }
+	p := nw.NewPacket()
+	*p = Packet{Src: nodes[0].ID, TrueSrc: nodes[0].ID, Dst: nodes[1].ID, Size: 100, Type: Data}
+	sim.At(0, func() { nodes[0].Send(p) })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stale == nil {
+		t.Fatal("packet not delivered")
+	}
+	if !stale.freed {
+		t.Fatal("delivered packet was not recycled into the pool")
+	}
+	if stale.Src != 0 || stale.Size != 0 || stale.Payload != nil {
+		t.Fatalf("recycled packet not zeroed: %+v", stale)
+	}
+	q := nw.NewPacket()
+	if q != stale {
+		t.Fatal("pool did not reuse the freed packet")
+	}
+	if q.freed {
+		t.Fatal("reallocated packet still marked freed")
+	}
+	nw.freePacket(q)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	nw.freePacket(q)
 }

@@ -17,6 +17,53 @@ type Network struct {
 
 	nodes []*Node
 	links []*Link
+
+	// pktFree is the packet pool's free list. It is per-network (not
+	// global) so concurrent simulations in separate goroutines — the
+	// parallel experiment runner — never share packet memory.
+	pktFree []*Packet
+}
+
+// maxPooledPackets bounds the free list; beyond it released packets
+// are left to the garbage collector. The cap only matters for
+// workloads that allocate packets outside the pool (literals in tests)
+// faster than they reuse them.
+const maxPooledPackets = 1 << 16
+
+// NewPacket returns a zeroed packet, reusing a previously freed one
+// when available. In steady state (every pool packet reaching a
+// terminal point) this makes per-packet allocation cost disappear.
+func (nw *Network) NewPacket() *Packet {
+	if n := len(nw.pktFree); n > 0 {
+		p := nw.pktFree[n-1]
+		nw.pktFree = nw.pktFree[:n-1]
+		p.freed = false
+		return p
+	}
+	return &Packet{}
+}
+
+// ClonePacket returns a shallow copy of p drawn from the pool.
+// Payloads are shared. Use it when a hook or handler needs packet
+// state to outlive its callback.
+func (nw *Network) ClonePacket(p *Packet) *Packet {
+	q := nw.NewPacket()
+	*q = *p
+	q.freed = false
+	return q
+}
+
+// freePacket recycles a packet that reached its terminal point. The
+// packet is zeroed so stale retention is observable (and so the pool
+// does not pin payloads).
+func (nw *Network) freePacket(p *Packet) {
+	if p.freed {
+		panic("netsim: packet double free")
+	}
+	*p = Packet{freed: true}
+	if len(nw.pktFree) < maxPooledPackets {
+		nw.pktFree = append(nw.pktFree, p)
+	}
 }
 
 // New returns an empty network bound to the given simulator.
@@ -62,8 +109,8 @@ func (nw *Network) Connect(a, b *Node, bandwidth, delay float64) *Link {
 		panic("netsim: negative delay")
 	}
 	l := &Link{Bandwidth: bandwidth, Delay: delay, net: nw}
-	pa := &Port{node: a, link: l, q: newOutQueue()}
-	pb := &Port{node: b, link: l, q: newOutQueue()}
+	pa := &Port{node: a, link: l, q: newOutQueue(), index: len(a.ports)}
+	pb := &Port{node: b, link: l, q: newOutQueue(), index: len(b.ports)}
 	pa.peer, pb.peer = pb, pa
 	l.a, l.b = pa, pb
 	a.ports = append(a.ports, pa)

@@ -114,7 +114,7 @@ type Node struct {
 func (n *Node) SetDown(down bool) {
 	if down && !n.down {
 		for _, pt := range n.ports {
-			n.Stats.Drops[DropNodeDown] += int64(pt.q.flush())
+			n.Stats.Drops[DropNodeDown] += int64(pt.q.flush(n.net))
 		}
 	}
 	n.down = down
@@ -181,12 +181,18 @@ func (n *Node) Neighbors() []*Node {
 	return out
 }
 
+// NewPacket returns a zeroed packet from the owning network's pool.
+// See the Packet ownership rule for when it comes back.
+func (n *Node) NewPacket() *Packet { return n.net.NewPacket() }
+
 // Send originates a packet at this node, stamping Born and a default
 // TTL, then routes it. Packets addressed to the node itself are
-// delivered locally without touching the network.
+// delivered locally without touching the network. Send takes ownership
+// of p (see the Packet ownership rule).
 func (n *Node) Send(p *Packet) {
 	if n.down {
 		n.Stats.Drops[DropNodeDown]++
+		n.net.freePacket(p)
 		return
 	}
 	p.Born = n.net.Sim.Now()
@@ -205,11 +211,13 @@ func (n *Node) Send(p *Packet) {
 func (n *Node) receive(p *Packet, in *Port) {
 	if n.down {
 		n.Stats.Drops[DropNodeDown]++
+		n.net.freePacket(p)
 		return
 	}
 	if in.BlockedIngress {
 		n.Stats.Drops[DropIngressBlocked]++
 		in.IngressDrops++
+		n.net.freePacket(p)
 		return
 	}
 	if p.Dst == n.ID {
@@ -220,6 +228,7 @@ func (n *Node) receive(p *Packet, in *Port) {
 	p.TTL--
 	if p.TTL <= 0 {
 		n.Stats.Drops[DropTTL]++
+		n.net.freePacket(p)
 		return
 	}
 	n.forward(p, in)
@@ -230,17 +239,20 @@ func (n *Node) deliver(p *Packet, in *Port) {
 	if n.Handler != nil {
 		n.Handler(p, in)
 	}
+	n.net.freePacket(p)
 }
 
 func (n *Node) forward(p *Packet, in *Port) {
 	out := n.NextHop(p.Dst)
 	if out == nil {
 		n.Stats.Drops[DropNoRoute]++
+		n.net.freePacket(p)
 		return
 	}
 	for _, h := range n.hooks {
 		if !h.h.Forward(n, p, in, out) {
 			n.Stats.Drops[DropHook]++
+			n.net.freePacket(p)
 			return
 		}
 	}

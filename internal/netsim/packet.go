@@ -55,8 +55,18 @@ func (t PacketType) String() string {
 const DefaultTTL = 255
 
 // Packet is the unit of transfer. Packets are passed by pointer and
-// owned by exactly one queue or event at a time; hooks must not retain
-// them past the callback.
+// owned by exactly one queue or event at a time.
+//
+// Ownership rule: a packet handed to Node.Send belongs to the network
+// until its terminal point — it is recycled into the owning network's
+// pool when dropped (queue overflow, TTL expiry, hook filter, link
+// failure/loss, no route, blocked ingress, crashed node) or after the
+// destination's Handler returns. Handlers and forward hooks therefore
+// must not retain the packet (or its pointer) past the callback; copy
+// the fields or Network.ClonePacket it instead. Allocate packets with
+// Node.NewPacket / Network.NewPacket to reuse the pool; a literal
+// &Packet{} also works (it simply joins the pool at its terminal
+// point).
 type Packet struct {
 	// Src is the claimed source address. For spoofed attack packets
 	// this is a forged value and differs from TrueSrc.
@@ -88,6 +98,10 @@ type Packet struct {
 	Payload any
 	// Born is the creation timestamp (set by Node.Send).
 	Born float64
+
+	// freed marks packets currently resting in the pool; it catches
+	// double frees and use-after-free in tests.
+	freed bool
 }
 
 // Spoofed reports whether the claimed source differs from the true
@@ -95,8 +109,11 @@ type Packet struct {
 func (p *Packet) Spoofed() bool { return p.Src != p.TrueSrc }
 
 // Clone returns a shallow copy of the packet. Payloads are shared.
+// The copy is heap-allocated; inside a simulation prefer
+// Network.ClonePacket, which draws from the pool.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.freed = false
 	return &q
 }
 

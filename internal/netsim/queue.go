@@ -1,5 +1,47 @@
 package netsim
 
+// pktRing is a growable circular FIFO of packets. Unlike the previous
+// slice-shift implementation, popping never reallocates and the
+// backing array stops growing once it reaches the lane's working set,
+// so sustained load runs allocation-free.
+type pktRing struct {
+	buf  []*Packet // len(buf) is always a power of two (or zero)
+	head int
+	n    int
+}
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	newCap := 16
+	if len(r.buf) > 0 {
+		newCap = len(r.buf) * 2
+	}
+	buf := make([]*Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // outQueue is the output buffering of one port: a drop-tail FIFO for
 // data-plane packets plus a strict-priority lane for control-plane
 // packets. The priority lane models the common practice of protecting
@@ -7,8 +49,8 @@ package netsim
 // paper's honeypot request/cancel messages ride it. It can be disabled
 // per network (Network.ControlPriority) for ablation.
 type outQueue struct {
-	data []*Packet
-	ctrl []*Packet
+	data pktRing
+	ctrl pktRing
 	// dataLimit and ctrlLimit are packet-count capacities. A packet
 	// arriving at a full lane is dropped (drop-tail).
 	dataLimit int
@@ -41,55 +83,53 @@ func newOutQueue() *outQueue {
 }
 
 // push enqueues p, honouring lane limits. It reports whether the
-// packet was accepted. priority selects the control lane.
+// packet was accepted (the caller owns — and must free — a rejected
+// packet). priority selects the control lane.
 func (q *outQueue) push(p *Packet, priority bool) bool {
 	if priority {
-		if len(q.ctrl) >= q.ctrlLimit {
+		if q.ctrl.n >= q.ctrlLimit {
 			q.CtrlDrops++
 			return false
 		}
-		q.ctrl = append(q.ctrl, p)
+		q.ctrl.push(p)
 		q.CtrlEnqueued++
 		return true
 	}
-	if q.red != nil && q.red.shouldDrop(len(q.data)) {
+	if q.red != nil && q.red.shouldDrop(q.data.n) {
 		q.REDDrops++
 		q.DataDrops++
 		return false
 	}
-	if len(q.data) >= q.dataLimit {
+	if q.data.n >= q.dataLimit {
 		q.DataDrops++
 		return false
 	}
-	q.data = append(q.data, p)
+	q.data.push(p)
 	q.DataEnqueued++
 	return true
 }
 
 // pop dequeues the next packet to transmit: control lane first.
 func (q *outQueue) pop() *Packet {
-	if len(q.ctrl) > 0 {
-		p := q.ctrl[0]
-		q.ctrl[0] = nil
-		q.ctrl = q.ctrl[1:]
+	if p := q.ctrl.pop(); p != nil {
 		return p
 	}
-	if len(q.data) > 0 {
-		p := q.data[0]
-		q.data[0] = nil
-		q.data = q.data[1:]
-		return p
-	}
-	return nil
+	return q.data.pop()
 }
 
 // len returns the number of queued packets across both lanes.
-func (q *outQueue) len() int { return len(q.data) + len(q.ctrl) }
+func (q *outQueue) len() int { return q.data.n + q.ctrl.n }
 
-// flush discards every queued packet (a node crash) and returns how
-// many were lost. Drop counters are the caller's responsibility.
-func (q *outQueue) flush() int {
-	n := len(q.data) + len(q.ctrl)
-	q.data, q.ctrl = nil, nil
+// flush discards every queued packet (a node crash), recycling them
+// into the network's pool, and returns how many were lost. Drop
+// counters are the caller's responsibility.
+func (q *outQueue) flush(nw *Network) int {
+	n := q.len()
+	for p := q.ctrl.pop(); p != nil; p = q.ctrl.pop() {
+		nw.freePacket(p)
+	}
+	for p := q.data.pop(); p != nil; p = q.data.pop() {
+		nw.freePacket(p)
+	}
 	return n
 }

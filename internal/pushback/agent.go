@@ -277,14 +277,16 @@ func (a *Agent) tick() {
 				continue
 			}
 			a.d.RequestsSent++
-			a.Node.Send(&netsim.Packet{
+			pp := a.Node.NewPacket()
+			*pp = netsim.Packet{
 				Src:     a.Node.ID,
 				TrueSrc: a.Node.ID,
 				Dst:     pt.Peer().Node().ID,
 				Size:    64,
 				Type:    netsim.Control,
 				Payload: &request{Agg: agg, Limit: share, Depth: l.depth - 1},
-			})
+			}
+			a.Node.Send(pp)
 		}
 	}
 

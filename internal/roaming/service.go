@@ -71,12 +71,14 @@ func (s *SubscriptionService) handle(p *netsim.Packet, in *netsim.Port) {
 		return
 	}
 	s.Granted++
-	s.Node.Send(&netsim.Packet{
+	pp := s.Node.NewPacket()
+	*pp = netsim.Packet{
 		Src:     s.Node.ID,
 		TrueSrc: s.Node.ID,
 		Dst:     p.Src, // the claimed source; spoofers never hear back
 		Size:    96,
 		Type:    netsim.Control,
 		Payload: &RenewReply{Key: key, Horizon: horizon},
-	})
+	}
+	s.Node.Send(pp)
 }

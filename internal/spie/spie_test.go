@@ -111,7 +111,10 @@ func TestSinglePacketTraceback(t *testing.T) {
 	server := tr.Servers[0]
 	var got *netsim.Packet
 	var at float64
-	server.Handler = func(p *netsim.Packet, in *netsim.Port) { got, at = p, sim.Now() }
+	server.Handler = func(p *netsim.Packet, in *netsim.Port) {
+		cp := *p // the network reclaims p after the handler returns
+		got, at = &cp, sim.Now()
+	}
 	// One spoofed packet — the whole point of single-packet traceback.
 	sim.At(1, func() {
 		host.Send(&netsim.Packet{Src: 31337, TrueSrc: host.ID, Dst: server.ID, Size: 700, Type: netsim.Data, Seq: 99})

@@ -119,7 +119,8 @@ func (e *Endpoint) AcceptData(p *netsim.Packet) {
 	}
 	// Cumulative ACK back to the claimed source (legitimate senders
 	// do not spoof, so this reaches them).
-	e.Node.Send(&netsim.Packet{
+	pp := e.Node.NewPacket()
+	*pp = netsim.Packet{
 		Src:     e.Node.ID,
 		TrueSrc: e.Node.ID,
 		Dst:     p.Src,
@@ -128,7 +129,8 @@ func (e *Endpoint) AcceptData(p *netsim.Packet) {
 		FlowID:  p.FlowID,
 		Legit:   true,
 		Payload: &ack{Cum: f.cum, FlowID: p.FlowID},
-	})
+	}
+	e.Node.Send(pp)
 }
 
 // ReceivedBytes returns in-order bytes accepted for a flow.

@@ -119,7 +119,7 @@ type Sender struct {
 	timedSeq     int64
 	timedAt      float64
 
-	rtoTimer *des.Event
+	rtoTimer des.Event
 	running  bool
 
 	Stats SenderStats
@@ -154,9 +154,7 @@ func (s *Sender) Start() {
 // Stop silences the sender (state is kept; Start resumes).
 func (s *Sender) Stop() {
 	s.running = false
-	if s.rtoTimer != nil {
-		s.sim.Cancel(s.rtoTimer)
-	}
+	s.sim.Cancel(s.rtoTimer)
 }
 
 // Retarget migrates the connection to a new server: the checkpoint
@@ -185,7 +183,8 @@ func (s *Sender) Retarget(dst netsim.NodeID) {
 }
 
 func (s *Sender) sendHandshake() {
-	s.Node.Send(&netsim.Packet{
+	pp := s.Node.NewPacket()
+	*pp = netsim.Packet{
 		Src:     s.Node.ID,
 		TrueSrc: s.Node.ID,
 		Dst:     s.dst,
@@ -194,7 +193,8 @@ func (s *Sender) sendHandshake() {
 		FlowID:  s.FlowID,
 		Legit:   true,
 		Payload: &Checkpoint{FlowID: s.FlowID, Cum: s.cumAcked},
-	})
+	}
+	s.Node.Send(pp)
 }
 
 // pump transmits while the window allows.
@@ -219,7 +219,8 @@ func (s *Sender) transmit(seq int64) {
 		s.timedSeq = seq
 		s.timedAt = s.sim.Now()
 	}
-	s.Node.Send(&netsim.Packet{
+	pp := s.Node.NewPacket()
+	*pp = netsim.Packet{
 		Src:     s.Node.ID,
 		TrueSrc: s.Node.ID,
 		Dst:     s.dst,
@@ -228,7 +229,8 @@ func (s *Sender) transmit(seq int64) {
 		FlowID:  s.FlowID,
 		Seq:     seq,
 		Legit:   true,
-	})
+	}
+	s.Node.Send(pp)
 }
 
 // handleAck processes a cumulative ACK.
@@ -309,9 +311,7 @@ func (s *Sender) rto() float64 {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.sim.Cancel(s.rtoTimer)
-	}
+	s.sim.Cancel(s.rtoTimer)
 	if s.sendMax <= s.cumAcked {
 		return // nothing in flight
 	}

@@ -128,6 +128,12 @@ func New(capacity int) *Log {
 	return &Log{Cap: capacity}
 }
 
+// Enabled reports whether recorded events are actually kept. Hot
+// paths use it to skip assembling Event values (and especially any
+// note formatting) when no sink is attached, making tracing free in
+// benchmark and production-style runs.
+func (l *Log) Enabled() bool { return l != nil }
+
 // Record appends an event. Safe on a nil log.
 func (l *Log) Record(e Event) {
 	if l == nil {

@@ -121,14 +121,16 @@ func (s *Scanner) Start() {
 		}
 		target := des.Pick(s.rng, s.servers)
 		s.Sent++
-		s.node.Send(&netsim.Packet{
+		pp := s.node.NewPacket()
+		*pp = netsim.Packet{
 			Src:     s.node.ID,
 			TrueSrc: s.node.ID,
 			Dst:     target.ID,
 			Size:    s.Size,
 			Type:    netsim.Data,
 			Legit:   true, // benign, though it probes indiscriminately
-		})
+		}
+		s.node.Send(pp)
 		sim.After(s.rng.Exp(s.MeanGap), tick)
 	}
 	sim.After(s.rng.Exp(s.MeanGap), tick)

@@ -163,7 +163,8 @@ func (c *Client) pickActive() {
 	// the subscription service for an extension.
 	if c.renewalEnabled && !c.renewPending && epoch+2 > c.sub.Horizon() {
 		c.renewPending = true
-		c.CBR.Node.Send(&netsim.Packet{
+		pp := c.CBR.Node.NewPacket()
+		*pp = netsim.Packet{
 			Src:     c.CBR.Node.ID,
 			TrueSrc: c.CBR.Node.ID,
 			Dst:     c.renewalService,
@@ -171,7 +172,8 @@ func (c *Client) pickActive() {
 			Type:    netsim.Control,
 			Legit:   true,
 			Payload: &roaming.RenewRequest{Horizon: c.sub.Horizon() + 16},
-		})
+		}
+		c.CBR.Node.Send(pp)
 	}
 	if c.sub.Expired(epoch) {
 		// Without a renewal path the client freezes on its last
@@ -198,12 +200,14 @@ func (c *Client) retarget(id netsim.NodeID) {
 	// handshake packet that also feeds the server's verified-source
 	// set (Sec. 4 connection migration).
 	c.Handshakes++
-	c.CBR.Node.Send(&netsim.Packet{
+	pp := c.CBR.Node.NewPacket()
+	*pp = netsim.Packet{
 		Src:     c.CBR.Node.ID,
 		TrueSrc: c.CBR.Node.ID,
 		Dst:     id,
 		Size:    64,
 		Type:    netsim.Handshake,
 		Legit:   true,
-	})
+	}
+	c.CBR.Node.Send(pp)
 }

@@ -99,7 +99,8 @@ func (c *CBR) emit() {
 	typ := c.Type
 	c.seq++
 	c.Sent++
-	c.Node.Send(&netsim.Packet{
+	pp := c.Node.NewPacket()
+	*pp = netsim.Packet{
 		Src:     src,
 		TrueSrc: c.Node.ID,
 		Dst:     c.Dest(),
@@ -108,7 +109,8 @@ func (c *CBR) emit() {
 		FlowID:  c.FlowID,
 		Seq:     c.seq,
 		Legit:   c.Legit,
-	})
+	}
+	c.Node.Send(pp)
 }
 
 // OnOff alternates a CBR source between on-bursts of Ton seconds and
