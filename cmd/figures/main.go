@@ -64,9 +64,10 @@ func main() {
 		"deployment": func() (*experiments.Table, error) { return experiments.ExtDeployment(scale) },
 		"onoff":      func() (*experiments.Table, error) { return experiments.ExtOnOffValidation(scale) },
 		"faults":     func() (*experiments.Table, error) { return experiments.ExtFaults(scale) },
+		"byzantine":  func() (*experiments.Table, error) { return experiments.ExtByzantine(scale) },
 	}
 	order := []string{"5", "6", "7", "8", "9", "10", "11", "12"}
-	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults"}
+	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults", "byzantine"}
 
 	var selected []string
 	switch *fig {

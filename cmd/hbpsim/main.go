@@ -36,6 +36,10 @@ func main() {
 	reliable := flag.Bool("reliable", false, "use the ack+lease control plane (hbp only)")
 	loss := flag.Float64("loss", 0, "control-packet loss probability on every link [0,1)")
 	crashRate := flag.Float64("crash-rate", 0, "router crash/restart cycles per 100 s of run")
+	auth := flag.Bool("auth", false, "authenticate the control plane with per-epoch MACs + anti-replay (hbp only)")
+	watchdog := flag.Bool("watchdog", false, "enable the stall watchdog that re-seeds evicted session trees (hbp only)")
+	byzantine := flag.Int("byzantine", 0, "number of subverted routers forging/replaying/amplifying control frames (hbp only)")
+	byzRate := flag.Float64("byz-rate", 2, "hostile frames per second per subverted router")
 	flag.Parse()
 
 	cfg := experiments.DefaultTreeConfig()
@@ -61,6 +65,10 @@ func main() {
 			cfg.FaultCrashes = 1
 		}
 	}
+	cfg.EpochAuth = *auth
+	cfg.Watchdog = *watchdog
+	cfg.ByzantineNodes = *byzantine
+	cfg.ByzantineRate = *byzRate
 	cfg.TraceCap = 0
 	if *showTrace {
 		cfg.TraceCap = 2000
@@ -119,7 +127,10 @@ func main() {
 	}
 	fmt.Printf("\nmean before attack: %.1f%%\n", 100*res.MeanBefore)
 	fmt.Printf("mean during attack: %.1f%%\n", 100*res.MeanDuringAttack)
-	fmt.Printf("captures: %d/%d", len(res.Captures), cfg.NumAttackers)
+	fmt.Printf("captures: %d/%d attackers", res.AttackersCaptured, cfg.NumAttackers)
+	if res.CollateralBlocks > 0 {
+		fmt.Printf(", %d legitimate clients blocked", res.CollateralBlocks)
+	}
 	if len(res.CaptureTimes) > 0 {
 		var max float64
 		for _, ct := range res.CaptureTimes {
@@ -141,6 +152,12 @@ func main() {
 	}
 	if cfg.Faults != nil || cfg.FaultCrashes > 0 {
 		fmt.Printf("faults: %d packets lost to noise, %d to outages\n", res.FaultLossCount, res.FaultOutageCount)
+	}
+	if *auth || *watchdog || *byzantine > 0 {
+		fmt.Printf("security: %d byzantine frames injected, %d auth rejects, %d replay rejects, %d admission rejects, %d evictions, %d mark-spoof rejects, %d watchdog reseeds\n",
+			res.ByzantineInjected, res.Sec.AuthRejects, res.Sec.ReplayRejects,
+			res.Sec.AdmissionRejects, res.Sec.SessionEvictions, res.Sec.MarkSpoofRejects, res.Sec.WatchdogReseeds)
+		fmt.Printf("state: peak %d of budget %d\n", res.PeakState, res.StateBudget)
 	}
 	if *showTrace && res.Trace != nil {
 		fmt.Printf("\ndefense event log (%d events, %d evicted):\n%s", res.Trace.Len(), res.Trace.Dropped(), res.Trace.String())

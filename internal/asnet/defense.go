@@ -1,7 +1,10 @@
 package asnet
 
 import (
+	"repro/internal/bounded"
 	"repro/internal/des"
+	"repro/internal/hashchain"
+	"repro/internal/metrics"
 )
 
 // IngressMode selects how an HSM identifies the ingress edge router
@@ -55,6 +58,23 @@ type Config struct {
 	// Tau is the server's per-hop setup estimate for scheduling
 	// direct requests (default = graph CtrlDelay × 2).
 	Tau float64
+	// Auth enables the authenticated control plane: per-epoch MACs on
+	// every HonSesReq/HonSesCancel/report (derived from a dedicated
+	// control hash chain seeded by AuthKey), tag checks on piggybacked
+	// announcements, and edge-router-mark validation. Off by default,
+	// preserving the unhardened model bit for bit.
+	Auth bool
+	// AuthKey seeds the control chain under Auth.
+	AuthKey []byte
+	// Budget caps HSM session tables and legacy dedup sets. Zero
+	// fields fall back to defaults — state is always bounded.
+	Budget Budget
+	// Watchdog enables the server-side stall detector: if the honeypot
+	// keeps drawing attack traffic but captures stop advancing, the
+	// session tree is re-seeded from the progressive frontier list.
+	Watchdog bool
+	// WatchdogInterval is the stall-check period (default 1 s).
+	WatchdogInterval float64
 }
 
 func (c *Config) fillDefaults(g *Graph, epochLen float64) {
@@ -79,6 +99,10 @@ func (c *Config) fillDefaults(g *Graph, epochLen float64) {
 	if c.Tau <= 0 {
 		c.Tau = 2 * g.CtrlDelay
 	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = 1
+	}
+	c.Budget.fillDefaults()
 }
 
 // Capture records an attacker stopped by intra-AS traceback in its
@@ -109,6 +133,17 @@ type Defense struct {
 	// an explicit cancel — the self-healing path for lost teardowns.
 	LeaseExpiries int64
 	floodSeq      int64
+
+	// Sec aggregates the adversarial-robustness counters (auth
+	// rejects, evictions, mark-spoof rejects, ...).
+	Sec metrics.SecurityStats
+	// PeakState is the high-water mark of StateSize over the run.
+	PeakState int
+
+	ctrlChain *hashchain.Chain
+	// ctrlTap, when set, observes every signed outgoing control
+	// message — the hook the replay adversary listens on.
+	ctrlTap func(m *ctrlMsg, to ASID)
 }
 
 // NewDefense builds a defense over the graph. epochLen feeds default
@@ -135,7 +170,7 @@ func (d *Defense) DeployLegacy(a *AS) *Legacy {
 		return a.legacy
 	}
 	a.hsm = nil
-	a.legacy = &Legacy{as: a, d: d, seen: map[int64]bool{}}
+	a.legacy = &Legacy{as: a, d: d, seen: bounded.NewDedup(d.Cfg.Budget.DedupEntries)}
 	return a.legacy
 }
 
@@ -196,7 +231,14 @@ type hsmSession struct {
 	// intraAS marks that local-origin traffic was seen and intra-AS
 	// traceback is running (stub ASes retain their session for it).
 	intraAS bool
-	expiry  des.Event
+	// dist is the AS-hop distance to the protected server's home,
+	// fixed at open time (-1 = unreachable). The eviction priority:
+	// closer to the victim survives.
+	dist int
+	// total counts observed honeypot packets — the session's evidence
+	// of a real attack.
+	total  int
+	expiry des.Event
 }
 
 // HSM is an AS's honeypot session manager.
@@ -218,18 +260,28 @@ func (h *HSM) HasSession(s *Server) bool {
 // ActiveSessions returns the live session count.
 func (h *HSM) ActiveSessions() int { return len(h.sessions) }
 
-// openSession creates or refreshes the session.
+// openSession creates or refreshes the session. A full table runs
+// admission control: the incoming session is ranked against the
+// weakest resident by victim distance, and either a resident is shed
+// or the request refused — the table never grows past its budget.
 func (h *HSM) openSession(s *Server, epoch int) {
 	sess, ok := h.sessions[s]
 	if !ok {
+		dist := h.d.g.Hops(h.as.ID, s.Home.ID)
+		if len(h.sessions) >= h.d.Cfg.Budget.HSMSessions && !h.evictWeaker(dist, s) {
+			h.d.Sec.AdmissionRejects++
+			return
+		}
 		sess = &hsmSession{
 			server:    s,
 			epoch:     epoch,
 			ingress:   map[ASID]int{},
 			requested: map[ASID]bool{},
+			dist:      dist,
 		}
 		h.sessions[s] = sess
 		h.SessionsCreated++
+		h.d.noteState()
 	} else {
 		sess.epoch = epoch
 	}
@@ -264,20 +316,19 @@ func (h *HSM) closeSession(s *Server, propagate bool) {
 		nbAS := h.d.g.AS(nb)
 		if nbAS.Deployed() {
 			target := nbAS.hsm
-			h.d.sendCtrl(h.as.ID, nb, func() { target.closeSession(s, true) })
+			cm := &ctrlMsg{op: opClose, server: s, epoch: sess.epoch, origin: h.as.ID}
+			h.d.sendAuthed(h.as.ID, nb, cm, target.handleCtrl)
 		} else if nbAS.legacy != nil {
 			h.d.floodSeq++
-			nbAS.legacy.relay(&piggyback{kind: pbCancel, server: s, epoch: sess.epoch, id: h.d.floodSeq}, h.as.ID)
+			pb := &piggyback{kind: pbCancel, server: s, epoch: sess.epoch, id: h.d.floodSeq}
+			h.d.signPiggyback(pb)
+			nbAS.legacy.relay(pb, h.as.ID)
 			h.d.MsgSent++
 		}
 	}
 	if h.d.Cfg.Progressive && sess.sentUpstream == 0 && h.as.Transit {
-		now := h.d.g.Sim.Now()
-		origin := h.as.ID
-		epoch := sess.epoch
-		h.d.sendCtrl(h.as.ID, s.Home.ID, func() {
-			s.handleReport(origin, epoch, now)
-		})
+		rm := &ctrlMsg{op: opReport, server: s, epoch: sess.epoch, origin: h.as.ID, sentAt: h.d.g.Sim.Now()}
+		h.d.sendAuthed(h.as.ID, s.Home.ID, rm, s.handleCtrl)
 	}
 }
 
@@ -322,6 +373,14 @@ func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
 		})
 		return
 	}
+	// Under the authenticated control plane, edge-router marks are
+	// validated: a mark naming a non-neighbor AS is a spoof (the real
+	// ingress edge router would have stamped itself) and is discarded
+	// before it can poison the propagation set.
+	if h.d.Cfg.Auth && !h.as.hasNeighbor(from) {
+		h.d.Sec.MarkSpoofRejects++
+		return
+	}
 	// Ingress identification (marking or tunnel divert) takes a
 	// moment; then propagate the session upstream if new.
 	h.d.IngressLookups++
@@ -331,6 +390,7 @@ func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
 			return
 		}
 		sess.ingress[from]++
+		sess.total++
 		if sess.requested[from] {
 			return
 		}
@@ -345,7 +405,8 @@ func (h *HSM) propagate(s *Server, epoch int, to ASID) {
 	nbAS := h.d.g.AS(to)
 	if nbAS.Deployed() {
 		target := nbAS.hsm
-		h.d.sendCtrl(h.as.ID, to, func() { target.openSession(s, epoch) })
+		m := &ctrlMsg{op: opOpen, server: s, epoch: epoch, origin: h.as.ID}
+		h.d.sendAuthed(h.as.ID, to, m, target.handleCtrl)
 		return
 	}
 	if nbAS.legacy != nil {
@@ -353,12 +414,19 @@ func (h *HSM) propagate(s *Server, epoch int, to ASID) {
 		// gap (Sec. 5.3).
 		h.d.floodSeq++
 		h.d.MsgSent++
-		nbAS.legacy.relay(&piggyback{kind: pbRequest, server: s, epoch: epoch, id: h.d.floodSeq}, h.as.ID)
+		pb := &piggyback{kind: pbRequest, server: s, epoch: epoch, id: h.d.floodSeq}
+		h.d.signPiggyback(pb)
+		nbAS.legacy.relay(pb, h.as.ID)
 	}
 }
 
-// receivePiggyback terminates a flood at a deploying AS.
+// receivePiggyback terminates a flood at a deploying AS. Under Auth
+// the flood crossed unverifying legacy relays, so the tag is checked
+// here, at the trust boundary.
 func (h *HSM) receivePiggyback(p *piggyback) {
+	if !h.d.piggybackOK(p) {
+		return
+	}
 	switch p.kind {
 	case pbRequest:
 		h.openSession(p.server, p.epoch)
@@ -380,24 +448,38 @@ type piggyback struct {
 	server *Server
 	epoch  int
 	id     int64
+	// tag authenticates the announcement across unverifying legacy
+	// relays (per-epoch MAC; only set under Config.Auth).
+	tag []byte
+}
+
+// encode is the canonical byte string the piggyback tag covers.
+func (p *piggyback) encode() []byte {
+	m := ctrlMsg{op: ctrlOp(p.kind) + 8, server: p.server, epoch: p.epoch, origin: ASID(p.id)}
+	return m.encode()
 }
 
 // Legacy is a non-deploying AS: it relays piggybacked announcements
 // to all neighbors (routing messages propagate regardless of defense
 // support) and does nothing else.
 type Legacy struct {
-	as   *AS
-	d    *Defense
-	seen map[int64]bool
+	as *AS
+	d  *Defense
+	// seen dedups flood IDs under a hard cap: a spoofed-flood attack
+	// slides the window instead of growing AS memory without bound.
+	seen *bounded.Dedup
 
 	Relayed int64
 }
 
 func (l *Legacy) relay(p *piggyback, from ASID) {
-	if l.seen[p.id] {
+	evBefore := l.seen.Evictions
+	dup := l.seen.Check(p.id)
+	l.d.Sec.DedupEvictions += l.seen.Evictions - evBefore
+	if dup {
 		return
 	}
-	l.seen[p.id] = true
+	l.d.noteState()
 	for _, nb := range l.as.neighbors {
 		if nb.ID == from {
 			continue

@@ -2,7 +2,9 @@ package asnet
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/des"
 	"repro/internal/hashchain"
 )
 
@@ -90,11 +92,17 @@ type Server struct {
 
 	intermediates map[ASID]*asIntermediate
 
+	// Watchdog state: progress observed at the last stall check.
+	wdEvent      des.Event
+	lastHp       int
+	lastCaptures int
+
 	// Stats
 	RequestsSent       int64
 	CancelsSent        int64
 	DirectRequestsSent int64
 	ReportsReceived    int64
+	WatchdogReseeds    int64
 }
 
 type asIntermediate struct {
@@ -111,6 +119,7 @@ type asIntermediate struct {
 func NewServer(d *Defense, home *AS, sched *Schedule) *Server {
 	s := &Server{Home: home, Sched: sched, d: d, epoch: -1, intermediates: map[ASID]*asIntermediate{}}
 	d.servers = append(d.servers, s)
+	d.ensureChain(sched.Epochs())
 	sim := d.g.Sim
 	for e := 0; e < sched.Epochs(); e++ {
 		if !sched.HoneypotAt(e) {
@@ -131,6 +140,11 @@ func (s *Server) windowOpenAt(epoch int) {
 	s.epoch = epoch
 	s.hpCount = 0
 	s.requested = false
+	if s.d.Cfg.Watchdog {
+		s.lastHp = 0
+		s.lastCaptures = len(s.d.captures)
+		s.wdEvent = s.d.g.Sim.AfterNamed(s.d.Cfg.WatchdogInterval, "asnet-watchdog", s.watchdogTick)
+	}
 	// Rule 1 stale sweep: armed earlier, never reported -> the AS
 	// propagated upstream (or the report was lost); drop it.
 	for id, e := range s.intermediates {
@@ -142,10 +156,12 @@ func (s *Server) windowOpenAt(epoch int) {
 
 func (s *Server) windowCloseAt(epoch int) {
 	s.windowOpen = false
+	s.d.g.Sim.Cancel(s.wdEvent)
 	if s.requested && s.Home.Deployed() {
 		hsm := s.Home.hsm
 		s.CancelsSent++
-		s.d.sendCtrl(s.Home.ID, s.Home.ID, func() { hsm.closeSession(s, true) })
+		cm := &ctrlMsg{op: opClose, server: s, epoch: epoch, origin: s.Home.ID}
+		s.d.sendAuthed(s.Home.ID, s.Home.ID, cm, hsm.handleCtrl)
 	}
 	for _, e := range s.intermediates {
 		if e.armedEpoch == epoch {
@@ -155,9 +171,55 @@ func (s *Server) windowCloseAt(epoch int) {
 			}
 			hsm := target.hsm
 			s.CancelsSent++
-			s.d.sendCtrl(s.Home.ID, e.id, func() { hsm.closeSession(s, true) })
+			cm := &ctrlMsg{op: opClose, server: s, epoch: epoch, origin: s.Home.ID}
+			s.d.sendAuthed(s.Home.ID, e.id, cm, hsm.handleCtrl)
 		}
 	}
+}
+
+// watchdogTick checks once per WatchdogInterval whether propagation
+// has stalled: the honeypot keeps drawing attack traffic yet no new
+// capture landed since the last check (budget pressure or a fault
+// evicted sessions mid-tree). The cure is to re-seed the tree — a
+// fresh request to the home HSM plus fresh direct requests to every
+// intermediate already armed for this epoch.
+func (s *Server) watchdogTick() {
+	if !s.windowOpen {
+		return
+	}
+	d := s.d
+	stalled := s.requested && s.hpCount > s.lastHp && len(d.captures) == s.lastCaptures
+	if stalled {
+		d.Sec.WatchdogReseeds++
+		s.WatchdogReseeds++
+		if s.Home.Deployed() {
+			hsm := s.Home.hsm
+			m := &ctrlMsg{op: opOpen, server: s, epoch: s.epoch, origin: s.Home.ID}
+			d.sendAuthed(s.Home.ID, s.Home.ID, m, hsm.handleCtrl)
+			s.RequestsSent++
+		}
+		// Re-arm the progressive frontier, sorted for determinism.
+		ids := make([]ASID, 0, len(s.intermediates))
+		for id, e := range s.intermediates {
+			if e.armedEpoch == s.epoch {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			target := d.g.AS(id)
+			if target == nil || !target.Deployed() {
+				continue
+			}
+			hsm := target.hsm
+			m := &ctrlMsg{op: opOpen, server: s, epoch: s.epoch, origin: s.Home.ID}
+			d.sendAuthed(s.Home.ID, id, m, hsm.handleCtrl)
+			s.DirectRequestsSent++
+		}
+	}
+	s.lastHp = s.hpCount
+	s.lastCaptures = len(d.captures)
+	s.wdEvent = d.g.Sim.AfterNamed(d.Cfg.WatchdogInterval, "asnet-watchdog", s.watchdogTick)
 }
 
 // receive handles one attack packet arriving at the server while it
@@ -169,10 +231,10 @@ func (s *Server) receive() {
 	s.hpCount++
 	if s.hpCount >= s.d.Cfg.ActivationThreshold && !s.requested && s.Home.Deployed() {
 		s.requested = true
-		epoch := s.epoch
 		hsm := s.Home.hsm
 		s.RequestsSent++
-		s.d.sendCtrl(s.Home.ID, s.Home.ID, func() { hsm.openSession(s, epoch) })
+		m := &ctrlMsg{op: opOpen, server: s, epoch: s.epoch, origin: s.Home.ID}
+		s.d.sendAuthed(s.Home.ID, s.Home.ID, m, hsm.handleCtrl)
 	}
 }
 
@@ -229,7 +291,8 @@ func (s *Server) scheduleArm(e *asIntermediate, afterEpoch int) {
 		}
 		hsm := target.hsm
 		s.DirectRequestsSent++
-		s.d.sendCtrl(s.Home.ID, e.id, func() { hsm.openSession(s, next) })
+		m := &ctrlMsg{op: opOpen, server: s, epoch: next, origin: s.Home.ID}
+		s.d.sendAuthed(s.Home.ID, e.id, m, hsm.handleCtrl)
 		e.armedEpoch = next
 	})
 }

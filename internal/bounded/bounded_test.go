@@ -1,0 +1,142 @@
+package bounded
+
+import "testing"
+
+func TestDedupSuppressesDuplicates(t *testing.T) {
+	d := NewDedup(8)
+	if d.Check(1) {
+		t.Fatal("fresh id reported as duplicate")
+	}
+	if !d.Check(1) {
+		t.Fatal("repeat not suppressed")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d, want 1", d.Len())
+	}
+}
+
+func TestDedupEvictsOldestFirst(t *testing.T) {
+	d := NewDedup(3)
+	for id := int64(1); id <= 3; id++ {
+		d.Check(id)
+	}
+	// Inserting a 4th evicts id 1 (the oldest), nothing else.
+	d.Check(4)
+	if d.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", d.Evictions)
+	}
+	if d.Seen(1) {
+		t.Fatal("oldest id survived eviction")
+	}
+	for id := int64(2); id <= 4; id++ {
+		if !d.Seen(id) {
+			t.Fatalf("id %d wrongly evicted", id)
+		}
+	}
+	// A replay of the evicted id is processed again (the bounded-memory
+	// tradeoff) and re-enters the window, evicting id 2.
+	if d.Check(1) {
+		t.Fatal("evicted id still suppressed")
+	}
+	if d.Seen(2) {
+		t.Fatal("FIFO order violated: 2 should be the second eviction")
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", d.Len())
+	}
+}
+
+func TestDedupStaysWithinCapUnderFlood(t *testing.T) {
+	d := NewDedup(16)
+	for id := int64(0); id < 10000; id++ {
+		d.Check(id)
+	}
+	if d.Len() != 16 {
+		t.Fatalf("len = %d after flood, want 16", d.Len())
+	}
+	if d.Evictions != 10000-16 {
+		t.Fatalf("evictions = %d, want %d", d.Evictions, 10000-16)
+	}
+}
+
+func TestDedupRejectsNonPositiveCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for cap 0")
+		}
+	}()
+	NewDedup(0)
+}
+
+func TestReplayWindowAcceptsEachSeqOnce(t *testing.T) {
+	w := NewReplayWindow(64, 4)
+	for seq := int64(1); seq <= 100; seq++ {
+		if !w.Accept(7, seq) {
+			t.Fatalf("fresh seq %d rejected", seq)
+		}
+	}
+	for seq := int64(60); seq <= 100; seq++ {
+		if w.Accept(7, seq) {
+			t.Fatalf("replayed seq %d accepted", seq)
+		}
+	}
+	if w.Replays != 41 {
+		t.Fatalf("replays = %d, want 41", w.Replays)
+	}
+}
+
+func TestReplayWindowAcceptsOutOfOrderInsideSpan(t *testing.T) {
+	w := NewReplayWindow(8, 4)
+	if !w.Accept(1, 10) {
+		t.Fatal("first seq rejected")
+	}
+	// Out of order but within span: fresh, accepted once.
+	if !w.Accept(1, 5) {
+		t.Fatal("in-window out-of-order seq rejected")
+	}
+	if w.Accept(1, 5) {
+		t.Fatal("in-window replay accepted")
+	}
+	// Below the window: indistinguishable from a replay, rejected.
+	if w.Accept(1, 2) {
+		t.Fatal("below-window seq accepted")
+	}
+}
+
+func TestReplayWindowRejectsUnsequenced(t *testing.T) {
+	w := NewReplayWindow(8, 2)
+	if w.Accept(1, 0) || w.Accept(1, -3) {
+		t.Fatal("non-positive seq accepted")
+	}
+}
+
+func TestReplayWindowStreamBudget(t *testing.T) {
+	w := NewReplayWindow(8, 2)
+	w.Accept(1, 1)
+	w.Accept(2, 1)
+	w.Accept(3, 1) // evicts stream 1 (oldest admission)
+	if w.Streams() != 2 {
+		t.Fatalf("streams = %d, want 2", w.Streams())
+	}
+	if w.StreamEvictions != 1 {
+		t.Fatalf("stream evictions = %d, want 1", w.StreamEvictions)
+	}
+	// Stream 1's history is gone: its old seq is fresh again.
+	if !w.Accept(1, 1) {
+		t.Fatal("evicted stream's seq rejected")
+	}
+}
+
+func TestReplayWindowLargeJumpClearsBitmap(t *testing.T) {
+	w := NewReplayWindow(128, 2)
+	w.Accept(1, 1)
+	if !w.Accept(1, 100000) {
+		t.Fatal("large jump rejected")
+	}
+	if w.Accept(1, 100000) {
+		t.Fatal("replay after jump accepted")
+	}
+	if !w.Accept(1, 99990) {
+		t.Fatal("in-window seq after jump rejected")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/des"
+	"repro/internal/hashchain"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/roaming"
@@ -56,6 +57,29 @@ type Config struct {
 	// MaxRetries bounds retransmissions per message; after the budget
 	// the sender gives up and counts it (default 5).
 	MaxRetries int
+
+	// EpochAuth enables the authenticated control plane: every control
+	// message carries an HMAC under a per-epoch key from a dedicated
+	// control hash chain (domain-separated from AuthKey, one key per
+	// honeypot epoch), and receivers reject forged, tampered or
+	// replayed frames. It supersedes the TTL-255 adjacency heuristic,
+	// which a byzantine router can trivially satisfy. Off by default so
+	// the paper's idealized model stays bit-reproducible.
+	EpochAuth bool
+	// Budget caps every attacker-growable state table (session tables,
+	// flood dedup, retransmit state, replay windows). Zero-valued
+	// fields take defaults — state is always bounded.
+	Budget Budget
+	// Watchdog enables server-side stall detection: while a honeypot
+	// window keeps collecting attack packets but no capture progress is
+	// made, the server re-seeds the session tree (and, in progressive
+	// mode, the armed frontier routers) every WatchdogInterval. This is
+	// the recovery path for sessions lost to budget eviction or
+	// byzantine teardown.
+	Watchdog bool
+	// WatchdogInterval is the stall-check period in seconds
+	// (default 1).
+	WatchdogInterval float64
 }
 
 func (c *Config) fillDefaults(epochLen float64) {
@@ -86,6 +110,10 @@ func (c *Config) fillDefaults(epochLen float64) {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 5
 	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = 1
+	}
+	c.Budget.fillDefaults()
 }
 
 // Capture records back-propagation reaching an attack host: its
@@ -132,10 +160,19 @@ type Defense struct {
 
 	// Ctrl aggregates the reliable control plane's counters.
 	Ctrl metrics.ControlStats
-	// ctrlSeq allocates sequence numbers for reliable transfers.
+	// Sec aggregates the hardened control plane's counters: auth and
+	// replay rejects, budget evictions, watchdog re-seeds.
+	Sec metrics.SecurityStats
+	// PeakState is the high-water mark of StateSize() over the run.
+	PeakState int
+	// ctrlSeq allocates sequence numbers for reliable transfers (and,
+	// under EpochAuth, for every control message's replay protection).
 	ctrlSeq int64
 	// pending tracks unacked reliable transfers by sequence number.
 	pending map[int64]*pendingSend
+	// ctrlChain holds the per-epoch control MAC keys when EpochAuth is
+	// enabled.
+	ctrlChain *hashchain.Chain
 }
 
 // New builds a defense instance. isHost must classify end hosts
@@ -145,7 +182,7 @@ func New(nw *netsim.Network, pool *roaming.Pool, isHost func(*netsim.Node) bool,
 		return nil, errors.New("core: nil network, pool or host classifier")
 	}
 	cfg.fillDefaults(pool.Config().EpochLen)
-	return &Defense{
+	d := &Defense{
 		Cfg:     cfg,
 		sim:     nw.Sim,
 		net:     nw,
@@ -155,7 +192,19 @@ func New(nw *netsim.Network, pool *roaming.Pool, isHost func(*netsim.Node) bool,
 		legacy:  map[netsim.NodeID]*LegacyAgent{},
 		servers: map[netsim.NodeID]*ServerDefense{},
 		pending: map[int64]*pendingSend{},
-	}, nil
+	}
+	if cfg.EpochAuth {
+		// One control key per honeypot epoch, held by the defense
+		// infrastructure only (deployed routers, HSMs, pool servers) —
+		// clients' service tokens come from a different chain, so a
+		// compromised subscriber cannot forge control traffic.
+		chain, err := hashchain.Generate(append([]byte(ctrlChainLabel), cfg.AuthKey...), pool.Config().Epochs)
+		if err != nil {
+			return nil, err
+		}
+		d.ctrlChain = chain
+	}
+	return d, nil
 }
 
 // DeployRouter activates honeypot back-propagation on a router.
@@ -327,16 +376,35 @@ func (d *Defense) sendMsg(from *netsim.Node, to netsim.NodeID, m *Message) {
 	from.Send(pp)
 }
 
-// authOK validates an incoming control message per Sec. 5.3: messages
+// authOK validates an incoming control message. Under EpochAuth every
+// message must carry a valid per-epoch MAC — the TTL-255 adjacency
+// heuristic is gone, because a byzantine router satisfies it
+// trivially. In the paper's original model (EpochAuth off), messages
 // from a direct neighbor that is a router (or a pool server) pass the
-// TTL-255 adjacency check; anything else needs a valid HMAC under the
-// shared key.
+// TTL-255 adjacency check and anything else needs a valid HMAC under
+// the shared key (Sec. 5.3).
 func (d *Defense) authOK(m *Message, p *netsim.Packet, in *netsim.Port) bool {
-	if m.Verify(d.Cfg.AuthKey) {
-		return true
-	}
 	if in == nil {
 		return true // locally generated
+	}
+	if d.Cfg.EpochAuth {
+		if !d.verifyCtrl(m, p.Dst) {
+			d.MsgBadAuth++
+			d.Sec.AuthRejects++
+			d.rec(trace.AuthRejected, int(p.Dst), int(p.Src), int(m.Server), "bad epoch MAC")
+			return false
+		}
+		if !d.epochFresh(m) {
+			// Valid MAC for a stale epoch: a replayed capture of genuine
+			// control traffic, refused before it can touch session state.
+			d.Sec.ReplayRejects++
+			d.rec(trace.ReplayRejected, int(p.Dst), int(p.Src), int(m.Server), "stale epoch")
+			return false
+		}
+		return true
+	}
+	if m.Verify(d.Cfg.AuthKey) {
+		return true
 	}
 	if p.TTL != netsim.DefaultTTL {
 		d.MsgBadAuth++

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/bounded"
+	"repro/internal/hashchain"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// Budget caps every piece of defense state that attacker-controlled
+// packets can grow. The zero Budget is usable: each field falls back
+// to a default, so the defense is *always* bounded — an unbounded
+// session table is not a configuration, it is the vulnerability this
+// layer removes (see DESIGN.md, "Threat model & graceful degradation").
+type Budget struct {
+	// RouterSessions caps each router's honeypot session table.
+	// Beyond it, admission control ranks the incoming session against
+	// residents by victim distance: sessions closer to the protected
+	// server survive, farther (and unroutable, i.e. forged-server)
+	// sessions are evicted or refused. Default 64.
+	RouterSessions int
+	// DedupEntries caps each legacy relay's piggyback-flood dedup set;
+	// the oldest flood IDs are forgotten first. Default 512.
+	DedupEntries int
+	// PendingTransfers caps the reliable control plane's retransmit
+	// table; beyond it new transfers degrade to fire-and-forget.
+	// Default 1024.
+	PendingTransfers int
+	// ReplaySpan is the per-stream anti-replay window span in sequence
+	// numbers. Default 512.
+	ReplaySpan int
+	// ReplayStreams caps concurrently tracked streams per receiving
+	// agent. Default 128.
+	ReplayStreams int
+}
+
+func (b *Budget) fillDefaults() {
+	if b.RouterSessions <= 0 {
+		b.RouterSessions = 64
+	}
+	if b.DedupEntries <= 0 {
+		b.DedupEntries = 512
+	}
+	if b.PendingTransfers <= 0 {
+		b.PendingTransfers = 1024
+	}
+	if b.ReplaySpan <= 0 {
+		b.ReplaySpan = 512
+	}
+	if b.ReplayStreams <= 0 {
+		b.ReplayStreams = 128
+	}
+}
+
+// ctrlChainLabel domain-separates the control chain's seed from the
+// service hash chain, so holding client service tokens (the roaming
+// pool's epoch keys, which subscribers receive) never lets anyone
+// forge defense control traffic.
+const ctrlChainLabel = "hbp-ctrl-chain:"
+
+// ctrlKey returns the per-epoch control MAC key. The chain is indexed
+// by honeypot epoch, so a key captured in epoch e (say, from a
+// compromised router) derives only earlier epochs' keys — the same
+// time-limited-token property the service chain gives clients.
+func (d *Defense) ctrlKey(epoch int) (hashchain.Key, bool) {
+	if d.ctrlChain == nil || epoch < 0 || epoch >= d.ctrlChain.Len() {
+		return hashchain.Key{}, false
+	}
+	k, err := d.ctrlChain.Key(epoch)
+	if err != nil {
+		return hashchain.Key{}, false
+	}
+	return hashchain.SubKey(k, "ctrl-mac"), true
+}
+
+// ctrlMACInput is the byte string the per-epoch control MAC covers:
+// the canonical message encoding plus the addressed node. Binding the
+// destination defeats cross-node replay — a captured genuine frame
+// re-aimed at a different router (the byzantine amplify behavior)
+// no longer verifies there, so a subverted node cannot arm sessions at
+// routers the original sender never addressed. Piggybacked
+// announcements are destination-unbound by design (they flood until
+// any deploying router terminates them), so they bind the zero ID.
+func ctrlMACInput(m *Message, dst netsim.NodeID) []byte {
+	if m.Kind == PiggybackRequest || m.Kind == PiggybackCancel {
+		dst = 0
+	}
+	b := m.encode()
+	buf := make([]byte, len(b)+8)
+	copy(buf, b)
+	binary.BigEndian.PutUint64(buf[len(b):], uint64(dst))
+	return buf
+}
+
+// epochFresh reports whether a control message's epoch is plausible at
+// the present time. Per-epoch MACs make keys time-scoped, but a
+// captured frame stays verifiable under its own epoch's key forever —
+// so receivers additionally require the named epoch to match the live
+// schedule. Requests may name the current epoch or the next one (the
+// progressive scheme arms frontier routers slightly before the window
+// opens); Cancels and Reports may trail by one epoch (retransmissions
+// crossing the boundary). Without this check, a Request captured in a
+// honeypot window and replayed in a serving window re-arms input
+// debugging against live client traffic — the defense turned into a
+// client-blocking weapon.
+func (d *Defense) epochFresh(m *Message) bool {
+	cur := d.pool.Epoch()
+	switch m.Kind {
+	case Request, PiggybackRequest:
+		if cur < 0 {
+			// Schedule not started yet; only the first epoch is plausible.
+			return m.Epoch == 0
+		}
+		// The next epoch is plausible only under the progressive scheme
+		// (frontier routers are armed slightly before the window opens);
+		// otherwise accepting it would widen the replay surface for free.
+		return m.Epoch == cur || (d.Cfg.Progressive && m.Epoch == cur+1)
+	case Cancel, PiggybackCancel, Report:
+		return m.Epoch == cur || m.Epoch == cur-1
+	default:
+		return true // acks only complete already-authenticated transfers
+	}
+}
+
+// signCtrl attaches the per-epoch MAC, bound to the addressed node.
+// Messages for epochs outside the chain (never produced by genuine
+// senders) are left untagged and will be rejected by every receiver.
+func (d *Defense) signCtrl(m *Message, dst netsim.NodeID) {
+	if key, ok := d.ctrlKey(m.Epoch); ok {
+		m.Tag = key.Tag(ctrlMACInput(m, dst))
+	}
+}
+
+// verifyCtrl checks an incoming message's per-epoch MAC; dst is the
+// verifying receiver's own node ID.
+func (d *Defense) verifyCtrl(m *Message, dst netsim.NodeID) bool {
+	key, ok := d.ctrlKey(m.Epoch)
+	return ok && key.CheckTag(ctrlMACInput(m, dst), m.Tag)
+}
+
+// newReplayFilter builds one receiving agent's anti-replay window from
+// the configured budget.
+func (d *Defense) newReplayFilter() *bounded.ReplayWindow {
+	return bounded.NewReplayWindow(d.Cfg.Budget.ReplaySpan, d.Cfg.Budget.ReplayStreams)
+}
+
+// replayOK runs a sequenced frame through the receiver's anti-replay
+// window, counting rejects. Unsequenced frames (legacy mode) and acks
+// (idempotent by construction) pass.
+func (d *Defense) replayOK(w *bounded.ReplayWindow, m *Message, node netsim.NodeID) bool {
+	if !d.Cfg.EpochAuth || m.Seq == 0 || m.Kind == Ack {
+		return true
+	}
+	if w.Accept(int64(m.Server), m.Seq) {
+		return true
+	}
+	d.Sec.ReplayRejects++
+	d.rec(trace.ReplayRejected, int(node), -1, int(m.Server), m.Kind.String())
+	return false
+}
+
+// victimDistance is the routing distance from a router to the
+// protected server — the session-eviction priority: sessions closer to
+// the victim survive. Unroutable servers (forged IDs) return -1 and
+// rank below every real session.
+func (d *Defense) victimDistance(n *netsim.Node, server netsim.NodeID) int {
+	return d.net.PathHops(n.ID, server)
+}
+
+// weakerSession reports whether session a ranks strictly below session
+// b for eviction purposes. The order is total and deterministic:
+// farther from the victim is weaker (unroutable counts as infinitely
+// far), then fewer observed honeypot packets, then the higher server
+// ID. The map-iteration order of the session table therefore never
+// influences which session is shed.
+func weakerSession(a, b *session) bool {
+	da, db := a.dist, b.dist
+	if da < 0 {
+		da = 1 << 30
+	}
+	if db < 0 {
+		db = 1 << 30
+	}
+	if da != db {
+		return da > db
+	}
+	if a.total != b.total {
+		return a.total < b.total
+	}
+	return a.server > b.server
+}
+
+// StateSize is the total live defense state: router sessions, legacy
+// dedup entries and pending reliable transfers. The byzantine
+// experiments sample it to show overload shedding keeps the sum under
+// StateBudget for the whole run.
+func (d *Defense) StateSize() int {
+	n := len(d.pending)
+	for _, a := range d.routers {
+		n += len(a.sessions)
+	}
+	for _, l := range d.legacy {
+		n += l.seen.Len()
+	}
+	return n
+}
+
+// StateBudget is the configured hard ceiling on StateSize given the
+// current deployment.
+func (d *Defense) StateBudget() int {
+	return len(d.routers)*d.Cfg.Budget.RouterSessions +
+		len(d.legacy)*d.Cfg.Budget.DedupEntries +
+		d.Cfg.Budget.PendingTransfers
+}
+
+// PendingTransfers returns the current retransmit-table size — the
+// leak indicator for reliable transfers not reclaimed on cancel,
+// expiry or give-up.
+func (d *Defense) PendingTransfers() int { return len(d.pending) }
+
+// noteState updates the high-water mark after a state-growing
+// mutation.
+func (d *Defense) noteState() {
+	if s := d.StateSize(); s > d.PeakState {
+		d.PeakState = s
+	}
+}

@@ -28,20 +28,32 @@ type pendingSend struct {
 // number is assigned, since the tag covers it); server associates the
 // transfer with a session so teardown can abandon stale retries.
 func (d *Defense) sendReliable(from *netsim.Node, to netsim.NodeID, m *Message, sign bool, server netsim.NodeID) {
+	// Under EpochAuth every message is sequenced (replay protection)
+	// and carries the per-epoch MAC, reliable or not.
+	if d.Cfg.Reliable || d.Cfg.EpochAuth {
+		d.ctrlSeq++
+		m.Seq = d.ctrlSeq
+	}
+	if d.Cfg.EpochAuth {
+		d.signCtrl(m, to)
+	} else if sign {
+		m.Sign(d.Cfg.AuthKey)
+	}
 	if !d.Cfg.Reliable {
-		if sign {
-			m.Sign(d.Cfg.AuthKey)
-		}
 		d.sendMsg(from, to, m)
 		return
 	}
-	d.ctrlSeq++
-	m.Seq = d.ctrlSeq
-	if sign {
-		m.Sign(d.Cfg.AuthKey)
+	if len(d.pending) >= d.Cfg.Budget.PendingTransfers {
+		// Retransmit table at budget: degrade to fire-and-forget
+		// rather than grow without bound. The receiver still acks; the
+		// ack just finds nothing to complete.
+		d.Sec.PendingOverflows++
+		d.sendMsg(from, to, m)
+		return
 	}
 	ps := &pendingSend{seq: m.Seq, from: from, to: to, server: server, m: m, attempts: 1}
 	d.pending[ps.seq] = ps
+	d.noteState()
 	d.sendMsg(from, to, m)
 	ps.timer = d.sim.AfterFuncNamed(d.Cfg.AckTimeout, "hbp-retransmit", func() {
 		d.retransmit(ps)
@@ -94,11 +106,15 @@ func (d *Defense) handleAck(m *Message) {
 // adjacency check; acks crossing multiple hops (direct requests,
 // reports) carry an HMAC tag like any multi-hop message.
 func (d *Defense) maybeAck(n *netsim.Node, m *Message, p *netsim.Packet) {
-	if m.Seq == 0 || m.Kind == Ack {
+	if m.Seq == 0 || m.Kind == Ack || !d.Cfg.Reliable {
 		return
 	}
 	am := &Message{Kind: Ack, Server: m.Server, Epoch: m.Epoch, Origin: n.ID, Seq: m.Seq}
-	if p.TTL != netsim.DefaultTTL {
+	if d.Cfg.EpochAuth {
+		// Acks are authenticated like everything else: a forged ack
+		// would silently suppress a genuine retransmission.
+		d.signCtrl(am, p.Src)
+	} else if p.TTL != netsim.DefaultTTL {
 		am.Sign(d.Cfg.AuthKey)
 	}
 	d.Ctrl.AcksSent++

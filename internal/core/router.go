@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/bounded"
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -22,7 +23,14 @@ type session struct {
 	// sentUpstream counts propagations; zero at cancel time makes
 	// this router a progressive-scheme frontier.
 	sentUpstream int
-	expiry       des.Event
+	// dist is the routing distance to the protected server, fixed at
+	// open time (-1 = unroutable, i.e. a forged server ID). The
+	// eviction priority: closer to the victim survives.
+	dist int
+	// total counts observed honeypot-destined packets across all
+	// ports — the session's evidence of a real attack.
+	total  int
+	expiry des.Event
 }
 
 // RouterAgent runs honeypot back-propagation on one router.
@@ -32,6 +40,9 @@ type RouterAgent struct {
 	d          *Defense
 	sessions   map[netsim.NodeID]*session // keyed by protected server
 	hookRemove func()
+	// replay is the anti-replay window, allocated on first use under
+	// EpochAuth.
+	replay *bounded.ReplayWindow
 
 	// Stats
 	SessionsCreated int64
@@ -64,10 +75,22 @@ func (a *RouterAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
 	if !a.d.authOK(m, p, in) {
 		return
 	}
-	switch m.Kind {
-	case Ack:
+	if m.Kind == Ack {
 		a.d.handleAck(m)
 		return
+	}
+	if a.d.Cfg.EpochAuth && in != nil {
+		if a.replay == nil {
+			a.replay = a.d.newReplayFilter()
+		}
+		if !a.d.replayOK(a.replay, m, a.Node.ID) {
+			// A benign retransmit duplicate lands here too; re-ack so
+			// the sender stops, but process nothing.
+			a.d.maybeAck(a.Node, m, p)
+			return
+		}
+	}
+	switch m.Kind {
 	case Request:
 		a.openSession(m)
 	case Cancel:
@@ -87,19 +110,31 @@ func (a *RouterAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
 	a.d.maybeAck(a.Node, m, p)
 }
 
-// openSession creates or refreshes the session for m.Server.
+// openSession creates or refreshes the session for m.Server. A full
+// table runs admission control: the incoming session is ranked against
+// the weakest resident by victim distance, and either a resident is
+// shed or the request is refused — the table never grows past its
+// budget.
 func (a *RouterAgent) openSession(m *Message) {
 	s, ok := a.sessions[m.Server]
 	if !ok {
+		dist := a.d.victimDistance(a.Node, m.Server)
+		if len(a.sessions) >= a.d.Cfg.Budget.RouterSessions && !a.evictWeakerThan(dist, m.Server) {
+			a.d.Sec.AdmissionRejects++
+			a.d.rec(trace.SessionRefused, int(a.Node.ID), -1, int(m.Server), "table full")
+			return
+		}
 		s = &session{
 			server:    m.Server,
 			epoch:     m.Epoch,
 			counts:    map[*netsim.Port]int{},
 			requested: map[*netsim.Port]bool{},
+			dist:      dist,
 		}
 		a.sessions[m.Server] = s
 		a.SessionsCreated++
 		a.d.rec(trace.SessionOpened, int(a.Node.ID), -1, int(m.Server), "")
+		a.d.noteState()
 		if len(a.sessions) == 1 {
 			a.installHook()
 		}
@@ -125,6 +160,32 @@ func (a *RouterAgent) openSession(m *Message) {
 			a.closeSession(&Message{Kind: Cancel, Server: server, Epoch: s.epoch}, false)
 		})
 	}
+}
+
+// evictWeakerThan implements the table's eviction policy: find the
+// weakest resident session (farthest from its victim, then least
+// evidence — see weakerSession) and shed it iff the incoming session,
+// at distance dist, would rank strictly above it. Returns false when
+// the incoming session is the weakest of all — admission is refused
+// and resident state survives. Shedding is local: no cancels are
+// propagated (upstream copies lease-expire on their own), so an
+// attacker cannot turn eviction into a teardown amplifier.
+func (a *RouterAgent) evictWeakerThan(dist int, server netsim.NodeID) bool {
+	var weakest *session
+	for _, s := range a.sessions {
+		if weakest == nil || weakerSession(s, weakest) {
+			weakest = s
+		}
+	}
+	incoming := &session{server: server, dist: dist}
+	if weakest == nil || !weakerSession(weakest, incoming) {
+		return false
+	}
+	delete(a.sessions, weakest.server)
+	a.d.sim.Cancel(weakest.expiry)
+	a.d.Sec.SessionEvictions++
+	a.d.rec(trace.SessionEvicted, int(a.Node.ID), -1, int(weakest.server), "budget")
+	return true
 }
 
 // closeSession tears down the session, optionally forwarding the
@@ -222,6 +283,7 @@ func (a *RouterAgent) observe(n *netsim.Node, p *netsim.Packet, in, out *netsim.
 		return true
 	}
 	s.counts[in]++
+	s.total++
 	if s.counts[in] >= a.d.Cfg.PropagateThreshold && !s.requested[in] {
 		s.requested[in] = true
 		a.propagate(s, in)
@@ -270,7 +332,13 @@ func (a *RouterAgent) floodPiggyback(m *Message, kind MsgKind, via *netsim.Port)
 		Timestamp: a.d.sim.Now(),
 		FloodID:   a.d.nextFloodID(),
 	}
-	fm.Sign(a.d.Cfg.AuthKey)
+	if a.d.Cfg.EpochAuth {
+		a.d.ctrlSeq++
+		fm.Seq = a.d.ctrlSeq
+		a.d.signCtrl(fm, 0)
+	} else {
+		fm.Sign(a.d.Cfg.AuthKey)
+	}
 	a.d.rec(trace.Piggybacked, int(a.Node.ID), int(via.Peer().Node().ID), int(m.Server), kind.String())
 	a.d.sendMsg(a.Node, via.Peer().Node().ID, fm)
 }
@@ -282,13 +350,16 @@ func (a *RouterAgent) floodPiggyback(m *Message, kind MsgKind, via *netsim.Port)
 type LegacyAgent struct {
 	Node *netsim.Node
 	d    *Defense
-	seen map[int64]bool
+	// seen dedups flood IDs under a hard cap: a spoofed-flood attack
+	// slides the window instead of growing router memory without
+	// bound.
+	seen *bounded.Dedup
 
 	Relayed int64
 }
 
 func newLegacyAgent(d *Defense, n *netsim.Node) *LegacyAgent {
-	a := &LegacyAgent{Node: n, d: d, seen: map[int64]bool{}}
+	a := &LegacyAgent{Node: n, d: d, seen: bounded.NewDedup(d.Cfg.Budget.DedupEntries)}
 	n.Handler = a.handleControl
 	return a
 }
@@ -301,10 +372,13 @@ func (a *LegacyAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
 	if m.Kind != PiggybackRequest && m.Kind != PiggybackCancel {
 		return // legacy routers ignore the defense proper
 	}
-	if a.seen[m.FloodID] {
+	evBefore := a.seen.Evictions
+	dup := a.seen.Check(m.FloodID)
+	a.d.Sec.DedupEvictions += a.seen.Evictions - evBefore
+	if dup {
 		return
 	}
-	a.seen[m.FloodID] = true
+	a.d.noteState()
 	// Relay the announcement to every neighbor except the one it came
 	// from and any end hosts.
 	for _, pt := range a.Node.Ports() {

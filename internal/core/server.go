@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/bounded"
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/roaming"
@@ -25,6 +26,14 @@ type ServerDefense struct {
 	requested  bool
 
 	intermediates map[netsim.NodeID]*intermediate
+
+	// replay is the anti-replay window for incoming reports/acks,
+	// allocated on first use under EpochAuth.
+	replay *bounded.ReplayWindow
+	// Watchdog state: progress observed at the last stall check.
+	wdEvent      des.Event
+	lastHp       int
+	lastCaptures int
 
 	// Stats
 	RequestsSent       int64
@@ -84,6 +93,11 @@ func (s *ServerDefense) onWindowOpen(epoch int) {
 	s.epoch = epoch
 	s.hpCount = 0
 	s.requested = false
+	if s.d.Cfg.Watchdog {
+		s.lastHp = 0
+		s.lastCaptures = len(s.d.captures)
+		s.wdEvent = s.d.sim.AfterNamed(s.d.Cfg.WatchdogInterval, "hbp-watchdog", s.watchdogTick)
+	}
 	// Stale-entry sweep: an entry armed for an earlier epoch that
 	// never reported back has propagated (or its report was lost);
 	// rule 1 removes it.
@@ -97,6 +111,7 @@ func (s *ServerDefense) onWindowOpen(epoch int) {
 
 func (s *ServerDefense) onWindowClose(epoch int) {
 	s.windowOpen = false
+	s.d.sim.Cancel(s.wdEvent)
 	if s.requested {
 		// Tear down the session tree rooted at our first-hop router.
 		s.d.rec(trace.CancelSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
@@ -138,10 +153,31 @@ func (s *ServerDefense) onHoneypotPacket(p *netsim.Packet, in *netsim.Port) {
 // server: progressive reports and, under the reliable control plane,
 // acks for the server's own requests and cancels.
 func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.Port) {
+	if s.d.Cfg.EpochAuth {
+		if !s.d.verifyCtrl(m, s.sa.Node.ID) {
+			s.d.MsgBadAuth++
+			s.d.Sec.AuthRejects++
+			s.d.rec(trace.AuthRejected, int(s.sa.Node.ID), int(p.Src), int(m.Server), "bad epoch MAC")
+			return
+		}
+		if !s.d.epochFresh(m) {
+			s.d.Sec.ReplayRejects++
+			s.d.rec(trace.ReplayRejected, int(s.sa.Node.ID), int(p.Src), int(m.Server), "stale epoch")
+			return
+		}
+		if s.replay == nil {
+			s.replay = s.d.newReplayFilter()
+		}
+		if !s.d.replayOK(s.replay, m, s.sa.Node.ID) {
+			// A replayed report was already processed once; re-acking it
+			// would only answer an attacker, so drop silently.
+			return
+		}
+	}
 	if m.Kind == Ack {
 		// Hop-by-hop acks (from the first-hop router) pass the TTL-255
 		// adjacency check; acks from farther away need a valid tag.
-		if p.TTL != netsim.DefaultTTL && !m.Verify(s.d.Cfg.AuthKey) {
+		if !s.d.Cfg.EpochAuth && p.TTL != netsim.DefaultTTL && !m.Verify(s.d.Cfg.AuthKey) {
 			s.d.MsgBadAuth++
 			return
 		}
@@ -152,7 +188,7 @@ func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.P
 		return
 	}
 	// Reports travel multi-hop; they must carry a valid tag.
-	if !m.Verify(s.d.Cfg.AuthKey) {
+	if !s.d.Cfg.EpochAuth && !m.Verify(s.d.Cfg.AuthKey) {
 		s.d.MsgBadAuth++
 		return
 	}
@@ -212,6 +248,46 @@ func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
 		s.DirectRequestsSent++
 		e.armedEpoch = next
 	})
+}
+
+// watchdogTick checks once per WatchdogInterval whether back-propagation
+// has stalled: the honeypot keeps drawing attack packets (so attackers
+// are still out there) yet no new capture landed since the last check.
+// That happens when budget pressure or a crash evicted a session
+// mid-tree. The cure is to re-seed: re-send the request to the first
+// hop and re-arm every intermediate already requested for this epoch,
+// rebuilding the evicted parts of the session tree.
+func (s *ServerDefense) watchdogTick() {
+	if !s.windowOpen {
+		return
+	}
+	d := s.d
+	stalled := s.requested && s.hpCount > s.lastHp && len(d.captures) == s.lastCaptures
+	if stalled {
+		d.Sec.WatchdogReseeds++
+		d.rec(trace.WatchdogReseeded, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "stalled propagation")
+		m := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch, Lease: d.Cfg.SessionLifetime}
+		d.sendReliable(s.sa.Node, s.firstHop(), m, false, s.sa.Node.ID)
+		s.RequestsSent++
+		// Re-arm the progressive frontier: every intermediate already
+		// requested for this epoch gets a fresh direct request (sorted
+		// for reproducible sequence numbering).
+		ids := make([]netsim.NodeID, 0, len(s.intermediates))
+		for id, e := range s.intermediates {
+			if e.armedEpoch == s.epoch {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			rm := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch, Direct: true, Lease: d.Cfg.SessionLifetime}
+			d.sendReliable(s.sa.Node, id, rm, true, s.sa.Node.ID)
+			s.DirectRequestsSent++
+		}
+	}
+	s.lastHp = s.hpCount
+	s.lastCaptures = len(d.captures)
+	s.wdEvent = d.sim.AfterNamed(d.Cfg.WatchdogInterval, "hbp-watchdog", s.watchdogTick)
 }
 
 func (s *ServerDefense) removeIntermediate(id netsim.NodeID, e *intermediate) {

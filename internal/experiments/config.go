@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/roaming"
 	"repro/internal/topology"
@@ -105,6 +106,26 @@ type TreeConfig struct {
 	FaultCrashes int
 	// FaultRestartAfter is the crash downtime in seconds (default 5).
 	FaultRestartAfter float64
+	// EpochAuth enables HBP's authenticated control plane: per-epoch
+	// MACs on every control message (derived from a dedicated control
+	// hash chain), anti-replay windows, and source-mark validation.
+	EpochAuth bool
+	// Watchdog enables HBP's server-side stall detector: when the
+	// honeypot keeps drawing attack traffic but captures stop, the
+	// session tree is re-seeded from the progressive frontier.
+	Watchdog bool
+	// Budget caps HBP's attacker-growable state tables (session
+	// tables, dedup sets, pending transfers). Zero fields fall back to
+	// the core defaults — defense state is always bounded.
+	Budget core.Budget
+	// ByzantineNodes subverts that many mid-tree routers (HBP only):
+	// for the attack window they forge, replay, amplify and mark-spoof
+	// control frames against the defense. The victims are drawn
+	// deterministically in RunTree from the scenario seed.
+	ByzantineNodes int
+	// ByzantineRate is each subverted node's misbehavior tick rate in
+	// events/s (default 2).
+	ByzantineRate float64
 
 	// NumAttackers of the leaves are attack hosts; the rest are
 	// legitimate clients.

@@ -46,6 +46,23 @@ type TreeResult struct {
 	// injected fault plan (random loss / link outages).
 	FaultLossCount   int64
 	FaultOutageCount int64
+	// Sec aggregates HBP's adversarial-robustness counters: auth and
+	// replay rejects, admission rejects, evictions, watchdog reseeds,
+	// byzantine injections (zero for other defenses).
+	Sec metrics.SecurityStats
+	// PeakState / StateBudget are the defense-state high-water mark
+	// over the run and its configured hard ceiling (HBP only).
+	PeakState   int
+	StateBudget int
+	// ByzantineInjected counts hostile control frames the subverted
+	// routers actually put on the wire.
+	ByzantineInjected int64
+	// AttackersCaptured counts distinct attack hosts among the
+	// captures; CollateralBlocks counts distinct non-attack hosts the
+	// defense blocked — the "defense weaponized" damage a replayed
+	// arming request inflicts on legitimate clients.
+	AttackersCaptured int
+	CollateralBlocks  int
 	// Trace is the defense event log when Config.TraceCap > 0.
 	Trace *trace.Log
 	// QueueDrops is the network-wide drop-tail loss count.
@@ -94,7 +111,10 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		for _, s := range tr.Servers {
 			serverAgents = append(serverAgents, roaming.NewServerAgent(pool, s))
 		}
-		def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{Progressive: cfg.Progressive, Reliable: cfg.Reliable, SessionLifetime: cfg.SessionLifetime})
+		def, err := core.New(tr.Net, pool, tr.IsHost, core.Config{
+			Progressive: cfg.Progressive, Reliable: cfg.Reliable, SessionLifetime: cfg.SessionLifetime,
+			EpochAuth: cfg.EpochAuth, Watchdog: cfg.Watchdog, Budget: cfg.Budget,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -226,12 +246,48 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 			faults.RandomCrashes(plan.Seed+7, ids, cfg.FaultCrashes, cfg.AttackStart, cfg.AttackEnd, restart)...)
 		cfg.Faults = &plan
 	}
+	// Byzantine routers (HBP only): subvert seeded mid-tree routers for
+	// the attack window. They hold no key material — the adapter turns
+	// their misbehavior ticks into forged/replayed/amplified control
+	// frames, and taps give them real frames to replay.
+	var byzAdapter *core.ByzantineAdapter
+	if cfg.ByzantineNodes > 0 && hbpDef != nil {
+		plan := faults.Plan{Seed: cfg.Seed + 2000}
+		if cfg.Faults != nil {
+			plan = *cfg.Faults
+		}
+		var ids []netsim.NodeID
+		for _, r := range tr.Routers {
+			if r != tr.Root && r != tr.ServerGW {
+				ids = append(ids, r.ID)
+			}
+		}
+		rate := cfg.ByzantineRate
+		if rate <= 0 {
+			rate = 2
+		}
+		plan.Byzantine = append(plan.Byzantine,
+			faults.RandomByzantine(plan.Seed+11, ids, cfg.ByzantineNodes, rate, cfg.AttackStart, cfg.AttackEnd)...)
+		cfg.Faults = &plan
+
+		serverIDs := make([]netsim.NodeID, len(tr.Servers))
+		for i, s := range tr.Servers {
+			serverIDs[i] = s.ID
+		}
+		byzAdapter = core.NewByzantineAdapter(hbpDef, serverIDs)
+		for _, b := range plan.Byzantine {
+			byzAdapter.Tap(tr.Net.Node(b.Node))
+		}
+	}
 	var inj *faults.Injector
 	if cfg.Faults != nil && cfg.Faults.Active() {
 		var hooks faults.Hooks
 		if hbpDef != nil {
 			hooks.OnCrash = hbpDef.CrashRouter
 			hooks.OnRestart = hbpDef.RestartRouter
+		}
+		if byzAdapter != nil {
+			hooks.OnByzantine = byzAdapter.OnByzantine
 		}
 		inj = faults.Apply(sim, tr.Net, *cfg.Faults, hooks)
 	}
@@ -307,11 +363,33 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		capAt = append(capAt, c.Time)
 	}
 	res.CaptureTimes = metrics.CaptureTimes(capAt, cfg.AttackStart)
+	isAtk := make(map[netsim.NodeID]bool, len(attackHosts))
+	for _, h := range attackHosts {
+		isAtk[h.ID] = true
+	}
+	atkSeen, colSeen := map[netsim.NodeID]bool{}, map[netsim.NodeID]bool{}
+	for _, c := range res.Captures {
+		if isAtk[c.Attacker] {
+			atkSeen[c.Attacker] = true
+		} else {
+			colSeen[c.Attacker] = true
+		}
+	}
+	res.AttackersCaptured = len(atkSeen)
+	res.CollateralBlocks = len(colSeen)
 	res.QueueDrops = tr.Net.TotalQueueDrops()
 	res.EventsFired = sim.Fired()
 	if inj != nil {
 		res.FaultLossCount = inj.LostToNoise()
 		res.FaultOutageCount = inj.LostToFailure()
+	}
+	if hbpDef != nil {
+		res.Sec = hbpDef.Sec
+		res.PeakState = hbpDef.PeakState
+		res.StateBudget = hbpDef.StateBudget()
+	}
+	if byzAdapter != nil {
+		res.ByzantineInjected = byzAdapter.Injected
 	}
 	return res, nil
 }

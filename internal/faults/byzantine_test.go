@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+func TestByzantineSchedulingDeterministic(t *testing.T) {
+	type tick struct {
+		at       float64
+		node     netsim.NodeID
+		behavior ByzantineBehavior
+	}
+	run := func() []tick {
+		sim := des.New()
+		nw, _, _ := chainNet(sim)
+		plan := Plan{
+			Seed: 11,
+			Byzantine: []ByzantineNode{
+				{Node: 1, Behaviors: AllByzantineBehaviors(), Rate: 5, Start: 1, End: 3},
+				{Node: 2, Behaviors: []ByzantineBehavior{ByzReplay}, Rate: 2, Start: 0.5, End: 2},
+			},
+		}
+		var got []tick
+		hooks := Hooks{OnByzantine: func(n *netsim.Node, b ByzantineBehavior, _ *des.RNG) {
+			got = append(got, tick{at: sim.Now(), node: n.ID, behavior: b})
+		}}
+		inj := Apply(sim, nw, plan, hooks)
+		sim.Run()
+		if inj.ByzantineInjected != int64(len(got)) {
+			t.Fatalf("ByzantineInjected = %d, hook ran %d times", inj.ByzantineInjected, len(got))
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no byzantine ticks fired")
+	}
+	// Node 1: 5/s over [1,3) = 10 ticks; node 2: 2/s over [0.5,2) = 3.
+	if len(a) != 13 {
+		t.Fatalf("ticks = %d, want 13", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic tick count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d differs between runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Node 2 has a single-behavior repertoire.
+	for _, tk := range a {
+		if tk.node == 2 && tk.behavior != ByzReplay {
+			t.Fatalf("node 2 drew behavior %v outside its repertoire", tk.behavior)
+		}
+	}
+}
+
+func TestByzantineDownNodeStaysSilent(t *testing.T) {
+	sim := des.New()
+	nw, _, _ := chainNet(sim)
+	plan := Plan{
+		Byzantine: []ByzantineNode{{Node: 1, Behaviors: []ByzantineBehavior{ByzForge}, Rate: 10, Start: 0, End: 2}},
+		Crashes:   []Crash{{Node: 1, At: 1}},
+	}
+	var ticks int
+	inj := Apply(sim, nw, plan, Hooks{OnByzantine: func(*netsim.Node, ByzantineBehavior, *des.RNG) { ticks++ }})
+	sim.Run()
+	// Only the [0,1) ticks fire; after the crash the node is down.
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10 (crash must silence the node)", ticks)
+	}
+	if inj.ByzantineInjected != 10 {
+		t.Fatalf("ByzantineInjected = %d, want 10", inj.ByzantineInjected)
+	}
+}
+
+func TestValidateRejectsBadByzantinePlans(t *testing.T) {
+	sim := des.New()
+	nw, _, _ := chainNet(sim)
+	bad := []Plan{
+		{Byzantine: []ByzantineNode{{Node: 999, Behaviors: AllByzantineBehaviors(), Rate: 1, End: 1}}},
+		{Byzantine: []ByzantineNode{{Node: 1, Rate: 1, End: 1}}},
+		{Byzantine: []ByzantineNode{{Node: 1, Behaviors: []ByzantineBehavior{ByzantineBehavior(99)}, Rate: 1, End: 1}}},
+		{Byzantine: []ByzantineNode{{Node: 1, Behaviors: AllByzantineBehaviors(), Rate: 0, End: 1}}},
+		{Byzantine: []ByzantineNode{{Node: 1, Behaviors: AllByzantineBehaviors(), Rate: 1, Start: 2, End: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(nw); err == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+	good := Plan{Byzantine: []ByzantineNode{{Node: 1, Behaviors: AllByzantineBehaviors(), Rate: 1, End: 1}}}
+	if err := good.Validate(nw); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	if !good.Active() {
+		t.Error("byzantine-only plan reported inactive")
+	}
+	_ = sim
+}
+
+func TestRandomByzantineDeterministic(t *testing.T) {
+	nodes := []netsim.NodeID{3, 1, 4, 1, 5, 9, 2, 6}
+	a := RandomByzantine(42, nodes, 3, 2, 1, 9)
+	b := RandomByzantine(42, nodes, 3, 2, 1, 9)
+	if len(a) != 3 {
+		t.Fatalf("len = %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node {
+			t.Fatal("RandomByzantine is not a pure function of the seed")
+		}
+		if a[i].Rate != 2 || a[i].Start != 1 || a[i].End != 9 {
+			t.Fatalf("bad schedule: %+v", a[i])
+		}
+		if i > 0 && a[i].Node < a[i-1].Node {
+			t.Fatal("result not sorted by node ID")
+		}
+	}
+	if RandomByzantine(42, nodes, 0, 2, 1, 9) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	if got := RandomByzantine(42, nodes, 100, 2, 1, 9); len(got) != len(nodes) {
+		t.Fatalf("oversubscribed pick = %d nodes, want %d", len(got), len(nodes))
+	}
+}
+
+func TestByzantineBehaviorStrings(t *testing.T) {
+	for _, b := range AllByzantineBehaviors() {
+		if b.String() == "" {
+			t.Fatal("empty behavior name")
+		}
+	}
+	if ByzantineBehavior(99).String() == "" {
+		t.Fatal("unknown behavior must still stringify")
+	}
+}

@@ -88,11 +88,14 @@ type Plan struct {
 	Windows []DownWindow
 	// Crashes are scheduled router crash/restart events.
 	Crashes []Crash
+	// Byzantine are subverted nodes that attack the defense itself
+	// (forge, replay, amplify, mark-spoof).
+	Byzantine []ByzantineNode
 }
 
 // Active reports whether the plan injects any fault at all.
 func (p *Plan) Active() bool {
-	return p.Loss.Prob > 0 || p.Burst != nil || len(p.Windows) > 0 || len(p.Crashes) > 0
+	return p.Loss.Prob > 0 || p.Burst != nil || len(p.Windows) > 0 || len(p.Crashes) > 0 || len(p.Byzantine) > 0
 }
 
 // Validate reports plan errors against a network.
@@ -116,7 +119,7 @@ func (p *Plan) Validate(nw *netsim.Network) error {
 			return fmt.Errorf("faults: crash at negative time %v", c.At)
 		}
 	}
-	return nil
+	return p.validateByzantine(nw)
 }
 
 // Hooks let the owning subsystem clean up protocol state around
@@ -127,6 +130,13 @@ func (p *Plan) Validate(nw *netsim.Network) error {
 type Hooks struct {
 	OnCrash   func(*netsim.Node)
 	OnRestart func(*netsim.Node)
+	// OnByzantine runs once per scheduled injection tick of a
+	// misbehaving node: the owning subsystem crafts and injects the
+	// hostile frame (it knows the message format; this package only
+	// knows the schedule). The RNG is the node's dedicated deterministic
+	// stream — draws made here never perturb other fault draws.
+	// core.NewByzantineAdapter is the intended target.
+	OnByzantine func(node *netsim.Node, behavior ByzantineBehavior, rng *des.RNG)
 }
 
 // Injector is an applied fault plan.
@@ -137,6 +147,8 @@ type Injector struct {
 	// CrashesInjected / RestartsInjected count executed events.
 	CrashesInjected  int64
 	RestartsInjected int64
+	// ByzantineInjected counts executed misbehavior ticks.
+	ByzantineInjected int64
 }
 
 // geState is one direction's Gilbert–Elliott state.
@@ -216,6 +228,7 @@ func Apply(sim *des.Simulator, nw *netsim.Network, plan Plan, hooks Hooks) *Inje
 			})
 		}
 	}
+	inj.applyByzantine(sim, root, hooks)
 	return inj
 }
 

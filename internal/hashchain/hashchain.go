@@ -100,6 +100,35 @@ func Verify(claimed Key, claimedEpoch int, anchor Key, anchorEpoch int) bool {
 	return hmac.Equal(derived[:], anchor[:])
 }
 
+// SubKey derives a purpose-bound key from a chain key under a domain
+// label: HMAC(k, label). Distinct labels yield independent keys, so
+// revealing one purpose's key (e.g. a client service token) never
+// leaks another's (e.g. the control-plane MAC key for the same epoch).
+func SubKey(k Key, label string) Key {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte(label))
+	var out Key
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Tag computes the message authentication code of data under the key:
+// the per-epoch control-plane MAC of the hardened defense (see
+// DESIGN.md, "Threat model & graceful degradation").
+func (k Key) Tag(data []byte) []byte {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(data)
+	return mac.Sum(nil)
+}
+
+// CheckTag verifies a MAC produced by Tag, in constant time.
+func (k Key) CheckTag(data, tag []byte) bool {
+	if len(tag) == 0 {
+		return false
+	}
+	return hmac.Equal(tag, k.Tag(data))
+}
+
 // ActiveSet derives the epoch's active-server subset from its key:
 // k distinct indices out of n, via a PRNG keyed by the epoch key. All
 // parties holding the key compute the same set.

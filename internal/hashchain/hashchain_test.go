@@ -187,3 +187,42 @@ func TestActiveSetVariesAcrossEpochs(t *testing.T) {
 		t.Fatalf("only %d distinct active sets in 50 epochs; schedule not roaming", len(distinct))
 	}
 }
+
+func TestSubKeyDomainSeparation(t *testing.T) {
+	c := MustGenerate([]byte("s"), 2)
+	k0, _ := c.Key(0)
+	k1, _ := c.Key(1)
+	if SubKey(k0, "ctrl") == SubKey(k0, "service") {
+		t.Fatal("labels must produce independent keys")
+	}
+	if SubKey(k0, "ctrl") == SubKey(k1, "ctrl") {
+		t.Fatal("epochs must produce independent keys")
+	}
+	if SubKey(k0, "ctrl") != SubKey(k0, "ctrl") {
+		t.Fatal("SubKey not deterministic")
+	}
+}
+
+func TestTagCheckTag(t *testing.T) {
+	c := MustGenerate([]byte("s"), 2)
+	k0, _ := c.Key(0)
+	k1, _ := c.Key(1)
+	msg := []byte("honeypot session request")
+	tag := k0.Tag(msg)
+	if !k0.CheckTag(msg, tag) {
+		t.Fatal("genuine tag rejected")
+	}
+	if k1.CheckTag(msg, tag) {
+		t.Fatal("tag verified under wrong epoch key")
+	}
+	if k0.CheckTag([]byte("tampered"), tag) {
+		t.Fatal("tag verified over tampered data")
+	}
+	if k0.CheckTag(msg, nil) || k0.CheckTag(msg, []byte{}) {
+		t.Fatal("empty tag accepted")
+	}
+	tag[0] ^= 0xFF
+	if k0.CheckTag(msg, tag) {
+		t.Fatal("corrupted tag accepted")
+	}
+}

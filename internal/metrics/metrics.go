@@ -51,6 +51,64 @@ func (s ControlStats) String() string {
 		s.AcksSent, s.AcksReceived, s.Retransmissions, s.GiveUps, s.LeaseExpiries, s.SessionsLostToCrash)
 }
 
+// SecurityStats aggregates the adversarial-robustness counters of the
+// hardened control plane: what authentication, replay suppression and
+// the state budgets rejected or shed during a run. internal/core and
+// internal/asnet embed one; the byzantine experiments surface it next
+// to capture times so the cost of surviving a malicious control plane
+// is visible (see DESIGN.md, "Threat model & graceful degradation").
+type SecurityStats struct {
+	// AuthRejects counts control messages rejected for a missing or
+	// invalid per-epoch MAC.
+	AuthRejects int64
+	// ReplayRejects counts sequenced frames suppressed by anti-replay
+	// windows. Benign retransmission duplicates land here too — they
+	// are indistinguishable from replays by design.
+	ReplayRejects int64
+	// AdmissionRejects counts session requests refused because the
+	// table was full and the incoming session ranked below every
+	// resident one.
+	AdmissionRejects int64
+	// SessionEvictions counts sessions shed by the table budget to
+	// admit a higher-priority one.
+	SessionEvictions int64
+	// DedupEvictions counts flood-dedup entries forgotten by the cap.
+	DedupEvictions int64
+	// PendingOverflows counts reliable transfers degraded to
+	// fire-and-forget because the retransmit table was at budget.
+	PendingOverflows int64
+	// WatchdogReseeds counts stalled propagations re-seeded by the
+	// server watchdog.
+	WatchdogReseeds int64
+	// ByzantineInjections counts control frames injected by
+	// misbehaving nodes (forge, replay, amplify, mark-spoof).
+	ByzantineInjections int64
+	// MarkSpoofRejects counts ingress identifications discarded because
+	// the claimed edge-router mark named a non-neighbor (a spoofed
+	// mark; inter-AS scheme only).
+	MarkSpoofRejects int64
+}
+
+// Add accumulates o into s.
+func (s *SecurityStats) Add(o SecurityStats) {
+	s.AuthRejects += o.AuthRejects
+	s.ReplayRejects += o.ReplayRejects
+	s.AdmissionRejects += o.AdmissionRejects
+	s.SessionEvictions += o.SessionEvictions
+	s.DedupEvictions += o.DedupEvictions
+	s.PendingOverflows += o.PendingOverflows
+	s.WatchdogReseeds += o.WatchdogReseeds
+	s.ByzantineInjections += o.ByzantineInjections
+	s.MarkSpoofRejects += o.MarkSpoofRejects
+}
+
+func (s SecurityStats) String() string {
+	return fmt.Sprintf("auth rejects %d, replay rejects %d, admission rejects %d, session evictions %d, dedup evictions %d, pending overflows %d, watchdog reseeds %d, byzantine injections %d, mark-spoof rejects %d",
+		s.AuthRejects, s.ReplayRejects, s.AdmissionRejects, s.SessionEvictions,
+		s.DedupEvictions, s.PendingOverflows, s.WatchdogReseeds, s.ByzantineInjections,
+		s.MarkSpoofRejects)
+}
+
 // Series is a sampled time series.
 type Series struct {
 	Times  []float64

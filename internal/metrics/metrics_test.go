@@ -170,3 +170,20 @@ func TestControlStatsAddAndString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestSecurityStatsAddAndString(t *testing.T) {
+	a := SecurityStats{AuthRejects: 1, ReplayRejects: 2, AdmissionRejects: 3,
+		SessionEvictions: 4, DedupEvictions: 5, PendingOverflows: 6,
+		WatchdogReseeds: 7, ByzantineInjections: 8}
+	b := SecurityStats{AuthRejects: 10, SessionEvictions: 40, ByzantineInjections: 80}
+	a.Add(b)
+	want := SecurityStats{AuthRejects: 11, ReplayRejects: 2, AdmissionRejects: 3,
+		SessionEvictions: 44, DedupEvictions: 5, PendingOverflows: 6,
+		WatchdogReseeds: 7, ByzantineInjections: 88}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -43,6 +43,22 @@ const (
 	RouterCrashed
 	// RouterRestarted: a crashed router came back with clean state.
 	RouterRestarted
+	// ReplayRejected: a sequenced frame was suppressed by an
+	// anti-replay window.
+	ReplayRejected
+	// SessionEvicted: the session-table budget shed a session to admit
+	// a higher-priority (closer-to-victim) one.
+	SessionEvicted
+	// SessionRefused: admission control turned a session request away
+	// because the table was full and the request ranked below every
+	// resident session.
+	SessionRefused
+	// WatchdogReseeded: the server watchdog detected stalled
+	// propagation and re-seeded the session tree.
+	WatchdogReseeded
+	// ByzantineInjected: a misbehaving node injected a control frame
+	// (forge, replay, amplify or mark-spoof).
+	ByzantineInjected
 	kindCount
 )
 
@@ -74,6 +90,16 @@ func (k Kind) String() string {
 		return "router-crashed"
 	case RouterRestarted:
 		return "router-restarted"
+	case ReplayRejected:
+		return "replay-rejected"
+	case SessionEvicted:
+		return "session-evicted"
+	case SessionRefused:
+		return "session-refused"
+	case WatchdogReseeded:
+		return "watchdog-reseeded"
+	case ByzantineInjected:
+		return "byzantine-injected"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
