@@ -1,0 +1,70 @@
+// Command hbplint runs the project's invariant analyzers (see
+// internal/lint) over Go packages.
+//
+// It speaks the go vet -vettool protocol, so the two ways to run it
+// are equivalent:
+//
+//	go run ./cmd/hbplint ./...
+//	go build -o hbplint ./cmd/hbplint && go vet -vettool=$PWD/hbplint ./...
+//
+// In the first form hbplint re-executes itself through `go vet`,
+// which handles package loading, build caching and diagnostic
+// formatting; hbplint itself only analyzes one compilation unit at a
+// time, exactly like the vet tool.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isUnitcheckerInvocation(args) {
+		unitchecker.Main(lint.Analyzers()...)
+		return // unreachable; Main exits
+	}
+
+	// Standalone mode: let `go vet` drive this same binary over the
+	// requested package patterns.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbplint:", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "hbplint:", err)
+		os.Exit(1)
+	}
+}
+
+// isUnitcheckerInvocation reports whether go vet is calling us with
+// the unitchecker protocol: a JSON *.cfg unit to analyze, or the
+// -flags / -V=full capability queries, or an explicit help request.
+func isUnitcheckerInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case a == "help" || strings.HasPrefix(a, "-flags") || strings.HasPrefix(a, "-V="):
+			return true
+		case strings.HasSuffix(a, ".cfg"):
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,8 @@
 package asnet
 
 import (
+	"sort"
+
 	"repro/internal/bounded"
 	"repro/internal/des"
 	"repro/internal/hashchain"
@@ -312,7 +314,15 @@ func (h *HSM) closeSession(s *Server, propagate bool) {
 	if !propagate {
 		return
 	}
+	// Cancels fan out in sorted neighbor order so flood sequence
+	// numbers — and therefore event ordering — are identical across
+	// runs (the intra-node counterpart sorts ports the same way).
+	nbs := make([]ASID, 0, len(sess.requested))
 	for nb := range sess.requested {
+		nbs = append(nbs, nb)
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+	for _, nb := range nbs {
 		nbAS := h.d.g.AS(nb)
 		if nbAS.Deployed() {
 			target := nbAS.hsm

@@ -163,17 +163,25 @@ func (s *Server) windowCloseAt(epoch int) {
 		cm := &ctrlMsg{op: opClose, server: s, epoch: epoch, origin: s.Home.ID}
 		s.d.sendAuthed(s.Home.ID, s.Home.ID, cm, hsm.handleCtrl)
 	}
-	for _, e := range s.intermediates {
+	// Direct cancels go out in sorted AS order so authentication
+	// sequence numbers stay reproducible (watchdogTick re-seeds the
+	// same way; core's windowClose sorts router IDs identically).
+	ids := make([]ASID, 0, len(s.intermediates))
+	for id, e := range s.intermediates {
 		if e.armedEpoch == epoch {
-			target := s.d.g.AS(e.id)
-			if target == nil || !target.Deployed() {
-				continue
-			}
-			hsm := target.hsm
-			s.CancelsSent++
-			cm := &ctrlMsg{op: opClose, server: s, epoch: epoch, origin: s.Home.ID}
-			s.d.sendAuthed(s.Home.ID, e.id, cm, hsm.handleCtrl)
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		target := s.d.g.AS(id)
+		if target == nil || !target.Deployed() {
+			continue
+		}
+		hsm := target.hsm
+		s.CancelsSent++
+		cm := &ctrlMsg{op: opClose, server: s, epoch: epoch, origin: s.Home.ID}
+		s.d.sendAuthed(s.Home.ID, id, cm, hsm.handleCtrl)
 	}
 }
 

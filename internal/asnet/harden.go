@@ -240,6 +240,7 @@ func weakerHSMSession(a, b *hsmSession) bool {
 // turned into a teardown amplifier.
 func (h *HSM) evictWeaker(dist int, s *Server) bool {
 	var weakest *hsmSession
+	//hbplint:ignore determinism min-scan under weakerHSMSession, a strict total order (ties broken by server ID), so the winner is independent of map iteration order; sessions are keyed by *Server, which cannot be sorted.
 	for _, sess := range h.sessions {
 		if weakest == nil || weakerHSMSession(sess, weakest) {
 			weakest = sess

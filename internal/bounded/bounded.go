@@ -152,6 +152,7 @@ func (w *ReplayWindow) Accept(stream, seq int64) bool {
 func (w *ReplayWindow) evictOldestStream() {
 	var victim int64
 	var vs *replayStream
+	//hbplint:ignore determinism min-scan over the unique per-stream admission counter, so the victim is the same whatever order the map yields.
 	for id, st := range w.streams {
 		if vs == nil || st.order < vs.order {
 			victim, vs = id, st

@@ -314,6 +314,7 @@ func (d *Defense) RestartRouter(n *netsim.Node) {
 // routers — a leak indicator when measured after the last epoch.
 func (d *Defense) OpenSessions() int {
 	open := 0
+	//hbplint:ignore determinism commutative sum of a pure per-router getter; the total is order-independent.
 	for _, a := range d.routers {
 		open += a.ActiveSessions()
 	}

@@ -201,6 +201,7 @@ func (d *Defense) StateSize() int {
 	for _, a := range d.routers {
 		n += len(a.sessions)
 	}
+	//hbplint:ignore determinism commutative sum of a pure size getter; the total is order-independent.
 	for _, l := range d.legacy {
 		n += l.seen.Len()
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -125,8 +127,15 @@ func (d *Defense) maybeAck(n *netsim.Node, m *Message, p *netsim.Packet) {
 // match returns true, without counting a give-up (the caller knows
 // they are moot: the session closed or the sender crashed).
 func (d *Defense) abandonPending(match func(*pendingSend) bool) {
-	for seq, ps := range d.pending {
-		if match(ps) {
+	// Sorted sweep: timer teardown mutates the event heap, so a
+	// deterministic order keeps fixed-seed runs bit-identical.
+	seqs := make([]int64, 0, len(d.pending))
+	for seq := range d.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if ps := d.pending[seq]; match(ps) {
 			ps.timer.Stop()
 			delete(d.pending, seq)
 		}

@@ -172,6 +172,7 @@ func (a *RouterAgent) openSession(m *Message) {
 // attacker cannot turn eviction into a teardown amplifier.
 func (a *RouterAgent) evictWeakerThan(dist int, server netsim.NodeID) bool {
 	var weakest *session
+	//hbplint:ignore determinism min-scan under weakerSession, a strict total order (ties broken by server ID), so the winner is independent of map iteration order.
 	for _, s := range a.sessions {
 		if weakest == nil || weakerSession(s, weakest) {
 			weakest = s
@@ -256,8 +257,15 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 // the number of sessions lost.
 func (a *RouterAgent) crash() int {
 	lost := len(a.sessions)
-	for server, s := range a.sessions {
-		a.d.sim.Cancel(s.expiry)
+	// Sorted teardown: Cancel mutates the event heap, so wipe
+	// sessions in a deterministic order.
+	servers := make([]netsim.NodeID, 0, len(a.sessions))
+	for server := range a.sessions {
+		servers = append(servers, server)
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	for _, server := range servers {
+		a.d.sim.Cancel(a.sessions[server].expiry)
 		delete(a.sessions, server)
 	}
 	if a.hookRemove != nil {

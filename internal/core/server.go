@@ -100,12 +100,18 @@ func (s *ServerDefense) onWindowOpen(epoch int) {
 	}
 	// Stale-entry sweep: an entry armed for an earlier epoch that
 	// never reported back has propagated (or its report was lost);
-	// rule 1 removes it.
+	// rule 1 removes it. Sorted so the arm-event cancellations hit
+	// the event heap in a deterministic order.
+	stale := make([]netsim.NodeID, 0, len(s.intermediates))
 	for id, e := range s.intermediates {
 		if e.armedEpoch >= 0 && e.armedEpoch < epoch && e.reportedEpoch < e.armedEpoch {
-			s.removeIntermediate(id, e)
-			s.Rule1Removals++
+			stale = append(stale, id)
 		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, id := range stale {
+		s.removeIntermediate(id, s.intermediates[id])
+		s.Rule1Removals++
 	}
 }
 

@@ -26,6 +26,7 @@ func RunTrees(cfgs []TreeConfig) ([]*TreeResult, error) {
 	abort := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//hbplint:ignore determinism deliberate batch-level concurrency: every worker owns a private simulator and RNG, and results land in a slot indexed by input position, so the merged output is order-independent.
 		go func() {
 			defer wg.Done()
 			for i := range jobs {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stackpi"
 	"repro/internal/topology"
@@ -54,6 +55,7 @@ func RunStackPi(leaves, nAttackers int, seed int64) (*StackPiPoint, error) {
 
 	attackers, clients := tr.PlaceAttackers(nAttackers, topology.Even, seed)
 	f := stackpi.NewFilter()
+	var acc metrics.FilterAccuracy
 	for _, a := range attackers {
 		mk, err := mark(a, true)
 		if err != nil {
@@ -66,7 +68,7 @@ func RunStackPi(leaves, nAttackers int, seed int64) (*StackPiPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		f.Check(&netsim.Packet{Mark: mk, Legit: true, Type: netsim.Data})
+		acc.Observe(true, f.Check(&netsim.Packet{Mark: mk, Type: netsim.Data}))
 	}
 	// Attack packets with fresh spoofed sources still carry the same
 	// path marks; they must be caught (or counted as FN).
@@ -75,14 +77,14 @@ func RunStackPi(leaves, nAttackers int, seed int64) (*StackPiPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		f.Check(&netsim.Packet{Mark: mk, Legit: false, Type: netsim.Data})
+		acc.Observe(false, f.Check(&netsim.Packet{Mark: mk, Type: netsim.Data}))
 	}
 	return &StackPiPoint{
 		Attackers:      nAttackers,
 		LearnedMarks:   f.LearnedMarks(),
 		Saturation:     f.MarkSpaceSaturation(),
-		FalsePositives: f.FalsePositiveRate(),
-		FalseNegatives: f.FalseNegativeRate(),
+		FalsePositives: acc.FalsePositiveRate(),
+		FalseNegatives: acc.FalseNegativeRate(),
 	}, nil
 }
 

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// BoundedGrowth closes the gap the state budgets (internal/bounded)
+// were built for: in defense packages, inserting into a raw map under
+// a key derived from attacker-controlled packet fields (Src, Mark,
+// FlowID, Seq) lets a spoofing flood grow defense state without
+// bound. Such state must live in an internal/bounded container (hard
+// cap, deterministic eviction) or behind an explicit budget check.
+//
+// The check is syntactic over one expression: it flags `m[k] = v`,
+// `m[k]++` and `m[k] += v` where k mentions a packet field directly.
+// A key laundered through an intermediate variable is not tracked —
+// keep the derivation visible at the insert, or suppress with a
+// written reason.
+var BoundedGrowth = &analysis.Analyzer{
+	Name:     "boundedgrowth",
+	Doc:      "flag raw map inserts keyed by packet-derived values in defense packages; use internal/bounded",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runBoundedGrowth,
+}
+
+// packetKeyFields are the attacker-controlled Packet fields whose
+// values an adversary can vary per packet to inflate keyed state.
+var packetKeyFields = map[string]bool{
+	"Src":    true,
+	"Mark":   true,
+	"FlowID": true,
+	"Seq":    true,
+}
+
+func runBoundedGrowth(pass *analysis.Pass) (any, error) {
+	if !defensePkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ig := newIgnores(pass, "boundedgrowth")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.AssignStmt)(nil),
+		(*ast.IncDecStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if isTestFile(pass, stack[0].(*ast.File)) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkMapInsert(pass, ig, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkMapInsert(pass, ig, n.X)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkMapInsert(pass *analysis.Pass, ig *ignores, lhs ast.Expr) {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(idx.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if field := packetDerivedField(pass.TypesInfo, idx.Index); field != "" {
+		ig.report(idx.Pos(), "raw map insert keyed by packet field %s: attacker-controlled keys grow defense state without bound; use an internal/bounded container or an explicit budget", field)
+	}
+}
+
+// packetDerivedField returns the name of a Packet key field mentioned
+// anywhere inside e, or "" if none is.
+func packetDerivedField(info *types.Info, e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if packetKeyFields[sel.Sel.Name] && isPacket(info.TypeOf(sel.X)) {
+			found = sel.Sel.Name
+			return false
+		}
+		return true
+	})
+	return found
+}

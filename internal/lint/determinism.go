@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Determinism protects the bit-identical fixed-seed runs the
+// fingerprint regression tests pin. In simulation packages it forbids
+// the four ways nondeterminism leaks into a run:
+//
+//   - wall-clock reads (time.Now/Since/Until) — virtual time comes
+//     from the des.Simulator clock;
+//   - the global math/rand and math/rand/v2 generators — randomness
+//     comes from seeded per-run des.RNG streams;
+//   - goroutine spawns — a simulation run is one logical thread;
+//   - map iteration whose order escapes into scheduled events, sent
+//     messages or emitted results. Order-independent loop bodies
+//     (pure accumulation, deletes, collect-into-slice followed by a
+//     sort) are recognized and allowed; anything else must iterate
+//     over sorted keys.
+var Determinism = &analysis.Analyzer{
+	Name:     "determinism",
+	Doc:      "forbid wall-clock time, global rand, goroutines, and map-iteration order leaks in simulation code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDeterminism,
+}
+
+// forbiddenCalls maps package path -> function names whose results
+// depend on process state rather than the simulation seed.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "use the simulator clock (des.Simulator.Now), not wall-clock time",
+		"Since": "use the simulator clock (des.Simulator.Now), not wall-clock time",
+		"Until": "use the simulator clock (des.Simulator.Now), not wall-clock time",
+	},
+	"math/rand":    nil, // any package-level function
+	"math/rand/v2": nil,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !simulationPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ig := newIgnores(pass, "determinism")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.CallExpr)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.RangeStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if isTestFile(pass, stack[0].(*ast.File)) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			ig.report(n.Pos(), "goroutine spawn in simulation code: a fixed-seed run is one logical thread; move concurrency to a driver with a deterministic merge")
+		case *ast.CallExpr:
+			checkForbiddenCall(pass, ig, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, ig, n, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkForbiddenCall(pass *analysis.Pass, ig *ignores, call *ast.CallExpr) {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	names, ok := forbiddenCalls[fn.Pkg().Path()]
+	if !ok {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Int63 on a seeded generator) are
+	// fine; only package-level functions touch global state.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	if names == nil {
+		// Constructors build a generator from an explicit seed — the
+		// deterministic path; only the package-level draw/seed
+		// functions touch global process state.
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return
+		}
+		ig.report(call.Pos(), "global %s.%s in simulation code: draw from a seeded per-run RNG (des.RNG) instead", fn.Pkg().Name(), fn.Name())
+		return
+	}
+	if why, ok := names[fn.Name()]; ok {
+		ig.report(call.Pos(), "%s.%s in simulation code: %s", fn.Pkg().Name(), fn.Name(), why)
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map unless the loop
+// body is provably order-independent.
+func checkMapRange(pass *analysis.Pass, ig *ignores, rng *ast.RangeStmt, stack []ast.Node) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var collected []ast.Expr
+	if !orderIndependentBody(pass.TypesInfo, rng.Body, &collected) {
+		ig.report(rng.Pos(), "map iteration order may escape into simulation state; iterate over sorted keys (or restructure the body to be order-independent)")
+		return
+	}
+	if len(collected) == 0 {
+		return
+	}
+	// Collect-then-sort: the body only appended to slices; a sort of
+	// each collected slice must follow in the enclosing block,
+	// otherwise the slice carries map order onward.
+	for _, target := range collected {
+		if !sortFollows(rng, target, stack) {
+			ig.report(rng.Pos(), "map keys are collected into %q but never sorted afterwards; sort before use or the slice carries map order", types.ExprString(target))
+			return
+		}
+	}
+}
+
+// orderIndependentBody reports whether every statement in the loop
+// body is one whose final effect does not depend on iteration order:
+// deletes, set-inserts of constants, pure accumulator updates
+// (x += v, counters), collecting into slices via append (recorded in
+// collected for the caller to verify a subsequent sort), and
+// if/continue/break around those.
+func orderIndependentBody(info *types.Info, body *ast.BlockStmt, collected *[]ast.Expr) bool {
+	for _, st := range body.List {
+		if !orderIndependentStmt(info, st, collected) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderIndependentStmt(info *types.Info, st ast.Stmt, collected *[]ast.Expr) bool {
+	switch st := st.(type) {
+	case *ast.DeclStmt:
+		// A var/const declaration inside the loop is per-iteration
+		// scratch state; initializers must be call-free.
+		g, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range g.Specs {
+			if v, ok := spec.(*ast.ValueSpec); ok {
+				for _, val := range v.Values {
+					if hasNonPureCall(val) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	case *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE || st.Tok == token.BREAK
+	case *ast.BlockStmt:
+		return orderIndependentBody(info, st, collected)
+	case *ast.IfStmt:
+		if st.Init != nil && !orderIndependentStmt(info, st.Init, collected) {
+			return false
+		}
+		if hasNonPureCall(st.Cond) {
+			return false
+		}
+		if !orderIndependentBody(info, st.Body, collected) {
+			return false
+		}
+		return st.Else == nil || orderIndependentStmt(info, st.Else, collected)
+	case *ast.IncDecStmt:
+		return !hasNonPureCall(st.X)
+	case *ast.ExprStmt:
+		// delete(m, k) is order-independent: the final map state is
+		// the same whatever the visit order.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, ok := info.Uses[id].(*types.Builtin); ok {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative accumulation; any function call in either
+			// side could observe order, so require call-free operands.
+			for _, e := range append(st.Lhs[:len(st.Lhs):len(st.Lhs)], st.Rhs...) {
+				if hasNonPureCall(e) {
+					return false
+				}
+			}
+			return true
+		case token.ASSIGN, token.DEFINE:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			// Set-insert: `m[k] = <constant>` is idempotent per key,
+			// so the final map is the same in any visit order.
+			if idx, ok := st.Lhs[0].(*ast.IndexExpr); ok {
+				if t := info.TypeOf(idx.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap &&
+						isConstantExpr(st.Rhs[0]) && !hasNonPureCall(idx.Index) {
+						return true
+					}
+				}
+				return false
+			}
+			// Collection: `xs = append(xs, ...)` (including into a
+			// struct field). Anything else — `x = v` keeps the
+			// last-visited value, which IS iteration order.
+			switch st.Lhs[0].(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return false
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+			if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+				return false
+			}
+			if types.ExprString(call.Args[0]) != types.ExprString(st.Lhs[0]) {
+				return false
+			}
+			for _, a := range call.Args[1:] {
+				if hasNonPureCall(a) {
+					return false
+				}
+			}
+			*collected = append(*collected, st.Lhs[0])
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// hasNonPureCall reports whether e contains any call except len/cap —
+// a called function could observe iteration order through its own
+// side effects.
+func hasNonPureCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return true
+			}
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sortFollows reports whether, after the range statement in its
+// enclosing block, some statement calls a sort function over the
+// collected slice before it is otherwise used.
+func sortFollows(rng *ast.RangeStmt, slice ast.Expr, stack []ast.Node) bool {
+	var block *ast.BlockStmt
+	idx := -1
+	for i := len(stack) - 2; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			for j, st := range b.List {
+				if st == stack[i+1] {
+					block, idx = b, j
+					break
+				}
+			}
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	target := types.ExprString(slice)
+	for _, st := range block.List[idx+1:] {
+		sorted := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			mentions := false
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.Ident, *ast.SelectorExpr:
+						if types.ExprString(m.(ast.Expr)) == target {
+							mentions = true
+							return false
+						}
+					}
+					return true
+				})
+			}
+			if mentions {
+				sorted = true
+				return false
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstantExpr reports whether e is a literal constant (true, 1,
+// "x", struct{}{}) — a value identical on every iteration, making a
+// map insert idempotent per key.
+func isConstantExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "true" || e.Name == "false" || e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	}
+	return false
+}

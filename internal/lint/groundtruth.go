@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// GroundTruth forbids defense code from reading the ground-truth
+// packet fields reserved for evaluation. Packet.TrueSrc, Packet.Legit
+// and Packet.Spoofed() exist so metrics can score a defense against
+// reality; a defense that consults them is cheating, and the paper's
+// results would be meaningless. Writes are fine — traffic generators
+// must label the packets they create — and the metrics/experiments
+// packages plus test files are allowlisted readers.
+var GroundTruth = &analysis.Analyzer{
+	Name:     "groundtruth",
+	Doc:      "forbid defense code from reading ground-truth packet fields (TrueSrc, Legit, Spoofed)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runGroundTruth,
+}
+
+func runGroundTruth(pass *analysis.Pass) (any, error) {
+	// Command/example drivers (package main) play the experiment
+	// role: they label traffic and score runs. Defense code never
+	// lives in a main package.
+	if groundTruthAllowed(pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ig := newIgnores(pass, "groundtruth")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if isTestFile(pass, stack[0].(*ast.File)) {
+			return false
+		}
+		sel := n.(*ast.SelectorExpr)
+		name := sel.Sel.Name
+		if name != "TrueSrc" && name != "Legit" && name != "Spoofed" {
+			return true
+		}
+		if !isPacket(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		if name == "Spoofed" {
+			ig.report(sel.Sel.Pos(), "defense code must not call Packet.Spoofed(): ground truth is reserved for metrics")
+			return true
+		}
+		if isWriteTarget(sel, stack) {
+			return true
+		}
+		ig.report(sel.Sel.Pos(), "defense code must not read Packet.%s: ground truth is reserved for metrics", name)
+		return true
+	})
+	return nil, nil
+}
+
+// isWriteTarget reports whether sel appears as the left-hand side of
+// an assignment (p.TrueSrc = x), which labels a packet rather than
+// reading its label. Compound assignments (+=) both read and write,
+// so they do not count as pure writes.
+func isWriteTarget(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	as, ok := parent.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == sel {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+// Package lint is hbplint: a go/analysis suite that machine-checks the
+// load-bearing invariants of this simulator. The four contracts it
+// enforces exist elsewhere only as comments and runtime panics:
+//
+//   - packetretain: the pooled-packet ownership rule (internal/netsim
+//     Packet doc) — handlers and forward hooks must not retain a
+//     *netsim.Packet or its Payload past the callback; clone instead.
+//   - groundtruth: defense code must never read the ground-truth
+//     fields Packet.TrueSrc, Packet.Legit or call Packet.Spoofed();
+//     only internal/metrics, internal/experiments and test files may.
+//   - determinism: simulation code must not consult wall-clock time,
+//     the global math/rand generators, spawn goroutines, or let map
+//     iteration order escape into scheduled events or emitted results.
+//   - boundedgrowth: defense packages must not grow raw maps keyed by
+//     packet-derived values (Src, Mark, FlowID, Seq); attacker-
+//     controlled state goes through internal/bounded.
+//
+// Run the suite with:
+//
+//	go run ./cmd/hbplint ./...
+//
+// A diagnostic can be suppressed with a directive comment on the same
+// line or the line immediately above:
+//
+//	//hbplint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself a
+// diagnostic. See DESIGN.md, "Invariants & static analysis".
+package lint
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full hbplint suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		PacketRetain,
+		GroundTruth,
+		Determinism,
+		BoundedGrowth,
+	}
+}
+
+// netsimPkg reports whether path is the simulator-core package that
+// defines Packet/Node/Port. Matched by suffix so the analyzers work
+// both on the real tree (repro/internal/netsim) and on testdata stubs
+// (plain "netsim").
+func netsimPkg(path string) bool {
+	return path == "netsim" || strings.HasSuffix(path, "/netsim")
+}
+
+// groundTruthAllowed reports whether a package may read ground-truth
+// packet fields: the metrics aggregator and the experiment harness
+// (which labels traffic and scores defenses against the labels).
+func groundTruthAllowed(path string) bool {
+	switch lastSegment(path) {
+	case "metrics", "experiments":
+		return true
+	}
+	return false
+}
+
+// defensePkgSuffixes are the packages that hold defense state which
+// attacker-controlled packets can grow; boundedgrowth applies here.
+var defensePkgSuffixes = []string{
+	"internal/core",
+	"internal/asnet",
+	"internal/roaming",
+	"internal/pushback",
+	"internal/stackpi",
+	"internal/spie",
+}
+
+// defensePkg reports whether path is one of the defense packages.
+func defensePkg(path string) bool {
+	for _, s := range defensePkgSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// simulationPkg reports whether determinism rules apply to path:
+// everything except command/example drivers (which may time wall-clock
+// progress) and the lint suite itself.
+func simulationPkg(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "cmd", "examples", "main":
+			return false
+		case "lint", "linttest":
+			return false
+		}
+	}
+	return true
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestPacketRetain(t *testing.T) {
+	linttest.Run(t, lint.PacketRetain, "packetretain/a", "packetretain/ign")
+}
+
+func TestGroundTruth(t *testing.T) {
+	linttest.Run(t, lint.GroundTruth, "groundtruth/defense", "groundtruth/metrics", "groundtruth/ign")
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "determinism/sim", "determinism/ign")
+}
+
+func TestBoundedGrowth(t *testing.T) {
+	linttest.Run(t, lint.BoundedGrowth, "boundedgrowth/internal/core", "boundedgrowth/internal/roaming")
+}
+
+func TestSuiteOrder(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4", len(as))
+	}
+	want := []string{"packetretain", "groundtruth", "determinism", "boundedgrowth"}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package core sits on a defense-package import path
+// (.../internal/core), so boundedgrowth applies: raw map inserts keyed
+// by attacker-controlled packet fields are flagged.
+package core
+
+import "netsim"
+
+type agent struct {
+	seen     map[int64]bool
+	perSrc   map[netsim.NodeID]int64
+	verified map[netsim.NodeID]bool
+}
+
+func (a *agent) Handle(p *netsim.Packet, in *netsim.Port) {
+	a.seen[p.Seq] = true             // want `raw map insert keyed by packet field Seq`
+	a.perSrc[p.Src]++                // want `raw map insert keyed by packet field Src`
+	a.perSrc[p.Src] += int64(p.Size) // want `raw map insert keyed by packet field Src`
+}
+
+func (a *agent) Clean(p *netsim.Packet, id netsim.NodeID) {
+	// The key is not packet-derived at the insert site.
+	a.verified[id] = true
+	// Deletes shrink state; reads grow nothing.
+	delete(a.perSrc, p.Src)
+	_ = a.seen[p.Seq]
+}

@@ -1,0 +1,18 @@
+// Package roaming proves the //hbplint:ignore directive for
+// boundedgrowth.
+package roaming
+
+import "netsim"
+
+type server struct {
+	blacklist map[netsim.NodeID]bool
+}
+
+func (s *server) Suppressed(p *netsim.Packet) {
+	s.blacklist[p.Src] = true //hbplint:ignore boundedgrowth corpus fixture: the caller bounds the map before every insert
+}
+
+func (s *server) MissingReason(p *netsim.Packet) {
+	/* want `hbplint:ignore boundedgrowth directive is missing a reason` */ //hbplint:ignore boundedgrowth
+	s.blacklist[p.Src] = true
+}

@@ -1,0 +1,13 @@
+// Package ign proves the //hbplint:ignore directive for determinism.
+package ign
+
+import "time"
+
+func Suppressed() int64 {
+	return time.Now().Unix() //hbplint:ignore determinism corpus fixture: wall clock feeds a log line, never simulation state
+}
+
+func MissingReason() int64 {
+	/* want `hbplint:ignore determinism directive is missing a reason` */ //hbplint:ignore determinism
+	return time.Now().Unix()
+}

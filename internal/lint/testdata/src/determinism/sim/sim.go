@@ -1,0 +1,60 @@
+// Package sim exercises the determinism analyzer: wall clock, global
+// rand, goroutines, and map-iteration order leaks are flagged; the
+// recognized order-independent shapes are not.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	counts map[int]int64
+	seen   map[int]bool
+}
+
+func Bad(s *state, emit func(int)) {
+	_ = time.Now() // want `time\.Now in simulation code`
+	_ = rand.Int() // want `global rand\.Int in simulation code`
+	go emit(0)     // want `goroutine spawn in simulation code`
+	for k := range s.counts { // want `map iteration order may escape into simulation state`
+		emit(k)
+	}
+	var keys []int
+	for k := range s.counts { // want `map keys are collected into "keys" but never sorted afterwards`
+		keys = append(keys, k)
+	}
+	emit(len(keys))
+}
+
+func Good(s *state, seed int64, emit func(int)) {
+	// A seeded generator is the deterministic path.
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Int()
+	// Delete-only sweeps are order-independent.
+	for k := range s.counts {
+		if s.counts[k] == 0 {
+			delete(s.counts, k)
+		}
+	}
+	// Commutative call-free accumulation is order-independent.
+	var total int64
+	for _, v := range s.counts {
+		total += v
+	}
+	_ = total
+	// Constant set-inserts are idempotent per key.
+	for k := range s.counts {
+		s.seen[k] = true
+	}
+	// Collect-then-sort launders map order out before use.
+	var keys []int
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}

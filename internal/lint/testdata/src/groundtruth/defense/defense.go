@@ -1,0 +1,23 @@
+// Package defense exercises the groundtruth analyzer from a
+// non-allowlisted package: every read of a ground-truth field is
+// flagged; labeling writes are not.
+package defense
+
+import "netsim"
+
+func Classify(p *netsim.Packet) bool {
+	if p.Spoofed() { // want `defense code must not call Packet\.Spoofed\(\)`
+		return false
+	}
+	if p.Src == p.TrueSrc { // want `defense code must not read Packet\.TrueSrc`
+		return true
+	}
+	return p.Legit // want `defense code must not read Packet\.Legit`
+}
+
+// Label writes ground truth — that is what traffic generators do, and
+// it is allowed everywhere.
+func Label(p *netsim.Packet, origin netsim.NodeID) {
+	p.TrueSrc = origin
+	p.Legit = true
+}

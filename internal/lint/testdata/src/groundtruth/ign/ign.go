@@ -1,0 +1,13 @@
+// Package ign proves the //hbplint:ignore directive for groundtruth.
+package ign
+
+import "netsim"
+
+func Suppressed(p *netsim.Packet) netsim.NodeID {
+	return p.TrueSrc //hbplint:ignore groundtruth corpus fixture: models the handshake reply round-trip, not an oracle
+}
+
+func MissingReason(p *netsim.Packet) bool {
+	/* want `hbplint:ignore groundtruth directive is missing a reason` */ //hbplint:ignore groundtruth
+	return p.Legit
+}

@@ -1,0 +1,21 @@
+// Package metrics is allowlisted (its import-path segment is
+// "metrics"): ground-truth reads here score defenses against reality
+// and must produce no diagnostics.
+package metrics
+
+import "netsim"
+
+type Accuracy struct {
+	FalsePositives int64
+	FalseNegatives int64
+}
+
+func (a *Accuracy) Observe(p *netsim.Packet, passed bool) {
+	if p.Legit && !passed {
+		a.FalsePositives++
+	}
+	if p.Spoofed() && passed {
+		a.FalseNegatives++
+	}
+	_ = p.TrueSrc
+}

@@ -1,0 +1,51 @@
+// Package a exercises the packetretain analyzer: every way a handler
+// can leak a pooled packet, plus the sanctioned Clone paths.
+package a
+
+import "netsim"
+
+type sink struct {
+	last  *netsim.Packet
+	byID  map[netsim.NodeID]*netsim.Packet
+	pl    any
+	queue []*netsim.Packet
+}
+
+var globalQueue []*netsim.Packet
+
+func schedule(f func()) { f() }
+
+// Handle is a netsim.Node handler; p is borrowed from the pool.
+func (s *sink) Handle(p *netsim.Packet, in *netsim.Port) {
+	s.last = p            // want `borrowed \*netsim\.Packet stored past the handler callback`
+	s.byID[p.Src] = p     // want `borrowed \*netsim\.Packet stored past the handler callback`
+	s.pl = p.Payload      // want `Payload of a borrowed packet stored past the handler callback`
+	globalQueue = append(globalQueue, p) // want `borrowed \*netsim\.Packet appended to a slice`
+	schedule(func() {
+		_ = p.Size // want `borrowed \*netsim\.Packet captured by a function literal`
+	})
+}
+
+// HandleChan leaks via a channel send.
+func HandleChan(p *netsim.Packet, in *netsim.Port, ch chan *netsim.Packet) {
+	ch <- p // want `borrowed \*netsim\.Packet sent on a channel`
+}
+
+// HandleAlias leaks through a local alias of the parameter.
+func HandleAlias(s *sink, p *netsim.Packet, in *netsim.Port) {
+	q := p
+	s.last = q // want `borrowed \*netsim\.Packet stored past the handler callback`
+}
+
+// HandleClean shows the sanctioned patterns: field copies, value
+// copies, and retaining an owned Clone.
+func (s *sink) HandleClean(p *netsim.Packet, in *netsim.Port) {
+	src := p.Src // field copy is safe
+	_ = src
+	v := *p // value copy is safe
+	_ = v
+	s.last = p.Clone() // owned copy is safe to retain
+	globalQueue = append(globalQueue, p.Clone())
+	q := p.Clone()
+	s.byID[q.Src] = q
+}

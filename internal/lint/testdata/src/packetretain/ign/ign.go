@@ -1,0 +1,20 @@
+// Package ign proves the //hbplint:ignore directive for packetretain:
+// a reasoned directive suppresses, a reasonless one is itself flagged
+// (while still suppressing the underlying finding, so CI stays red on
+// exactly one diagnostic).
+package ign
+
+import "netsim"
+
+type keeper struct {
+	last *netsim.Packet
+}
+
+func (k *keeper) Suppressed(p *netsim.Packet, in *netsim.Port) {
+	k.last = p //hbplint:ignore packetretain corpus fixture: the node is torn down before the pool recycles this packet
+}
+
+func (k *keeper) MissingReason(p *netsim.Packet, in *netsim.Port) {
+	/* want `hbplint:ignore packetretain directive is missing a reason` */ //hbplint:ignore packetretain
+	k.last = p
+}

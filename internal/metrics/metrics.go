@@ -51,6 +51,56 @@ func (s ControlStats) String() string {
 		s.AcksSent, s.AcksReceived, s.Retransmissions, s.GiveUps, s.LeaseExpiries, s.SessionsLostToCrash)
 }
 
+// FilterAccuracy scores a victim-side filter's verdicts against ground
+// truth. Defense code must never read ground truth (Packet.Legit,
+// Packet.TrueSrc — hbplint's groundtruth analyzer enforces this), so
+// filters return only their verdict and the experiment harness feeds
+// each (truth, verdict) pair into one of these.
+type FilterAccuracy struct {
+	// FalsePositives counts legitimate traffic wrongly dropped,
+	// LegitPassed legitimate traffic correctly passed.
+	FalsePositives int64
+	LegitPassed    int64
+	// FalseNegatives counts attack traffic wrongly passed,
+	// AttackDropped attack traffic correctly dropped.
+	FalseNegatives int64
+	AttackDropped  int64
+}
+
+// Observe records one verdict: legit is the ground truth, passed the
+// filter's decision.
+func (a *FilterAccuracy) Observe(legit, passed bool) {
+	switch {
+	case legit && passed:
+		a.LegitPassed++
+	case legit && !passed:
+		a.FalsePositives++
+	case !legit && passed:
+		a.FalseNegatives++
+	default:
+		a.AttackDropped++
+	}
+}
+
+// FalsePositiveRate returns FP / (FP + legitimate passed), i.e. the
+// fraction of legitimate traffic wrongly dropped.
+func (a *FilterAccuracy) FalsePositiveRate() float64 {
+	total := float64(a.FalsePositives + a.LegitPassed)
+	if total == 0 {
+		return 0
+	}
+	return float64(a.FalsePositives) / total
+}
+
+// FalseNegativeRate returns FN / (FN + attack dropped).
+func (a *FilterAccuracy) FalseNegativeRate() float64 {
+	total := float64(a.FalseNegatives + a.AttackDropped)
+	if total == 0 {
+		return 0
+	}
+	return float64(a.FalseNegatives) / total
+}
+
 // SecurityStats aggregates the adversarial-robustness counters of the
 // hardened control plane: what authentication, replay suppression and
 // the state budgets rejected or shed during a run. internal/core and

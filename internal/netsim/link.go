@@ -205,6 +205,7 @@ func (pt *Port) txDone(p *Packet) {
 func (pt *Port) arrive(p *Packet) {
 	pt.RxPackets++
 	pt.RxBytes += int64(p.Size)
+	//hbplint:ignore groundtruth RxLegitDataBytes is the goodput instrument read by internal/metrics; forwarding and defense logic never consult it.
 	if p.Legit && p.Type == Data {
 		pt.RxLegitDataBytes += int64(p.Size)
 	}

@@ -1,6 +1,8 @@
 package pushback
 
 import (
+	"sort"
+
 	"repro/internal/netsim"
 )
 
@@ -107,6 +109,17 @@ func (a *Agent) Limiter(dst netsim.NodeID) float64 {
 	return 0
 }
 
+// sortedAggs returns the aggregate ids with accounting state this
+// interval, ascending.
+func (a *Agent) sortedAggs() []int {
+	aggs := make([]int, 0, len(a.acct))
+	for agg := range a.acct {
+		aggs = append(aggs, agg)
+	}
+	sort.Ints(aggs)
+	return aggs
+}
+
 // hook does per-aggregate accounting and enforces installed limiters
 // on the forwarding path.
 func (a *Agent) hook(n *netsim.Node, p *netsim.Packet, in, out *netsim.Port) bool {
@@ -204,10 +217,13 @@ func (a *Agent) tick() {
 		}
 		a.Congestions++
 		// 2. Identify the dominant defended aggregate on this port.
+		// Scanned in sorted aggregate order: on a byte-count tie the
+		// smallest aggregate wins, instead of whichever the map
+		// yielded first.
 		worst := -1
 		var worstBytes, portBytes float64
-		for agg, acc := range a.acct {
-			b := acc.perOut[pt]
+		for _, agg := range a.sortedAggs() {
+			b := a.acct[agg].perOut[pt]
 			portBytes += b
 			if b > worstBytes {
 				worstBytes, worst = b, agg
@@ -232,7 +248,15 @@ func (a *Agent) tick() {
 	// triggered it); requested limiters live only as long as the
 	// downstream router keeps asking, so releases propagate down the
 	// tree when the pressure ends.
-	for agg, l := range a.limiters {
+	// Sorted: the body sends request packets upstream, so iteration
+	// order is visible as simulated message order.
+	liveAggs := make([]int, 0, len(a.limiters))
+	for agg := range a.limiters {
+		liveAggs = append(liveAggs, agg)
+	}
+	sort.Ints(liveAggs)
+	for _, agg := range liveAggs {
+		l := a.limiters[agg]
 		if l.self && l.Drops > l.lastDrops {
 			l.lastDrops = l.Drops
 			l.expiresAt = now + float64(cfg.ExpiryIntervals)*cfg.Interval
@@ -250,13 +274,20 @@ func (a *Agent) tick() {
 		}
 		ports := make([]*netsim.Port, 0, len(acc.perIn))
 		demands := make([]float64, 0, len(acc.perIn))
-		for pt, bytes := range acc.perIn {
+		inPorts := make([]*netsim.Port, 0, len(acc.perIn))
+		for pt := range acc.perIn {
+			inPorts = append(inPorts, pt)
+		}
+		// Port index order fixes both the max–min share assignment
+		// and the upstream request order.
+		sort.Slice(inPorts, func(i, j int) bool { return inPorts[i].Index() < inPorts[j].Index() })
+		for _, pt := range inPorts {
 			up := pt.Peer().Node()
 			if a.d.Agent(up.ID) == nil {
 				continue // host or non-deploying neighbor
 			}
 			ports = append(ports, pt)
-			demands = append(demands, bytes*8/cfg.Interval)
+			demands = append(demands, acc.perIn[pt]*8/cfg.Interval)
 		}
 		if len(ports) == 0 {
 			continue

@@ -2,6 +2,7 @@ package pushback
 
 import (
 	"errors"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/netsim"
@@ -178,8 +179,15 @@ func (d *Deployment) Start() {
 		panic("pushback: already started")
 	}
 	d.stop = d.sim.Every(d.sim.Now()+d.Cfg.Interval, d.Cfg.Interval, func() {
-		for _, a := range d.agents {
-			a.tick()
+		// Ticks send rate-limit requests upstream; run them in
+		// sorted router order so message ordering is reproducible.
+		ids := make([]netsim.NodeID, 0, len(d.agents))
+		for id := range d.agents {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			d.agents[id].tick()
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package roaming
 
 import (
+	"repro/internal/bounded"
 	"repro/internal/netsim"
 )
 
@@ -46,20 +47,27 @@ type ServerAgent struct {
 
 	Stats ServerStats
 
-	inWindow  bool
-	curEpoch  int
-	blacklist map[netsim.NodeID]bool
-	verified  map[netsim.NodeID]bool
+	inWindow bool
+	curEpoch int
+	// blacklist and verified are keyed by claimed source address —
+	// attacker-controlled input — so both are hard-capped (FIFO
+	// eviction) at Config.MaxTrackedSources.
+	blacklist *bounded.Dedup
+	verified  *bounded.Dedup
 }
 
 // NewServerAgent attaches an agent to a server node and subscribes it
 // to the pool schedule. It takes over the node's packet handler.
 func NewServerAgent(pool *Pool, node *netsim.Node) *ServerAgent {
+	budget := pool.Config().MaxTrackedSources
+	if budget == 0 {
+		budget = DefaultMaxTrackedSources
+	}
 	a := &ServerAgent{
 		Node:      node,
 		Pool:      pool,
-		blacklist: map[netsim.NodeID]bool{},
-		verified:  map[netsim.NodeID]bool{},
+		blacklist: bounded.NewDedup(budget),
+		verified:  bounded.NewDedup(budget),
 	}
 	node.Handler = a.handle
 	pool.Subscribe(a)
@@ -71,7 +79,7 @@ func NewServerAgent(pool *Pool, node *netsim.Node) *ServerAgent {
 func (a *ServerAgent) InHoneypotWindow() bool { return a.inWindow }
 
 // Blacklisted reports whether a source address is blacklisted.
-func (a *ServerAgent) Blacklisted(src netsim.NodeID) bool { return a.blacklist[src] }
+func (a *ServerAgent) Blacklisted(src netsim.NodeID) bool { return a.blacklist.Seen(int64(src)) }
 
 // EpochStart implements Listener.
 func (a *ServerAgent) EpochStart(epoch int, active []netsim.NodeID) {
@@ -126,7 +134,7 @@ func (a *ServerAgent) closeWindow(epoch int) {
 
 // handle is the node packet handler.
 func (a *ServerAgent) handle(p *netsim.Packet, in *netsim.Port) {
-	if a.blacklist[p.Src] {
+	if a.blacklist.Seen(int64(p.Src)) {
 		a.Stats.BlacklistDrops++
 		return
 	}
@@ -135,9 +143,9 @@ func (a *ServerAgent) handle(p *netsim.Packet, in *netsim.Port) {
 		// initiator, i.e. the claimed source is genuine. The simulator
 		// shortcut Src == TrueSrc stands in for the reply round-trip;
 		// a spoofing attacker never sees the reply, so never verifies.
+		//hbplint:ignore groundtruth models the handshake reply round-trip, not an oracle: only the true owner of an address receives the reply, which is exactly what this comparison encodes.
 		if p.Src == p.TrueSrc {
-			if !a.verified[p.Src] {
-				a.verified[p.Src] = true
+			if !a.verified.Check(int64(p.Src)) {
 				a.Stats.HandshakesVerified++
 			}
 		}
@@ -149,8 +157,8 @@ func (a *ServerAgent) handle(p *netsim.Packet, in *netsim.Port) {
 		a.Stats.HoneypotPackets++
 		// Sec. 4: a verified (non-spoofable) source that hits a
 		// honeypot is blacklisted outright.
-		if a.verified[p.Src] {
-			a.blacklist[p.Src] = true
+		if a.verified.Seen(int64(p.Src)) {
+			a.blacklist.Check(int64(p.Src))
 		}
 		if a.OnHoneypotPacket != nil {
 			a.OnHoneypotPacket(p, in)

@@ -70,19 +70,15 @@ func (m *Marker) Deploy(routers []*netsim.Node) {
 
 // Filter is the victim-side StackPi filter: it learns the marks of
 // identified attack packets and drops arrivals carrying a learned
-// mark.
+// mark. The filter sees only what a deployed one would — the mark —
+// and keeps no ground-truth accuracy state; experiments measure FP/FN
+// rates with metrics.FilterAccuracy.
 type Filter struct {
 	attackMarks map[int]bool
 
-	// Dropped counts filtered packets; FalsePositives counts dropped
-	// packets that were (ground truth) legitimate — the accuracy
-	// metric of the paper's critique.
-	Dropped        int64
-	FalsePositives int64
-	// Passed counts packets allowed through; FalseNegatives counts
-	// passed packets that were attack traffic.
-	Passed         int64
-	FalseNegatives int64
+	// Dropped counts filtered packets, Passed packets allowed through.
+	Dropped int64
+	Passed  int64
 }
 
 // NewFilter returns an empty filter.
@@ -107,41 +103,13 @@ func (f *Filter) MarkSpaceSaturation() float64 {
 	return float64(len(f.attackMarks)) / float64(int(1)<<MarkBits)
 }
 
-// Check classifies an arriving packet: false = drop. Ground-truth
-// accuracy counters update from p.Legit, which the filter logic never
-// reads for the decision itself.
+// Check classifies an arriving packet from its mark alone:
+// false = drop.
 func (f *Filter) Check(p *netsim.Packet) bool {
 	if f.attackMarks[p.Mark] {
 		f.Dropped++
-		if p.Legit {
-			f.FalsePositives++
-		}
 		return false
 	}
 	f.Passed++
-	if !p.Legit && p.Type == netsim.Data {
-		f.FalseNegatives++
-	}
 	return true
-}
-
-// FalsePositiveRate returns FP / (FP + legitimate passed), i.e. the
-// fraction of legitimate traffic wrongly dropped.
-func (f *Filter) FalsePositiveRate() float64 {
-	legitPassed := f.Passed - f.FalseNegatives
-	total := float64(f.FalsePositives) + float64(legitPassed)
-	if total == 0 {
-		return 0
-	}
-	return float64(f.FalsePositives) / total
-}
-
-// FalseNegativeRate returns FN / (FN + attack dropped).
-func (f *Filter) FalseNegativeRate() float64 {
-	attackDropped := f.Dropped - f.FalsePositives
-	total := float64(f.FalseNegatives) + float64(attackDropped)
-	if total == 0 {
-		return 0
-	}
-	return float64(f.FalseNegatives) / total
 }

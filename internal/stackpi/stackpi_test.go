@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/des"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
@@ -95,8 +96,8 @@ func TestSpoofingDoesNotChangeMark(t *testing.T) {
 
 func TestFilterLearnsAndDrops(t *testing.T) {
 	f := NewFilter()
-	atk := &netsim.Packet{Mark: 0x1234, Legit: false, Type: netsim.Data}
-	leg := &netsim.Packet{Mark: 0x4321, Legit: true, Type: netsim.Data}
+	atk := &netsim.Packet{Mark: 0x1234, Type: netsim.Data}
+	leg := &netsim.Packet{Mark: 0x4321, Type: netsim.Data}
 	if !f.Check(atk) {
 		t.Fatal("unlearned mark dropped")
 	}
@@ -110,28 +111,31 @@ func TestFilterLearnsAndDrops(t *testing.T) {
 	if f.LearnedMarks() != 1 {
 		t.Fatalf("LearnedMarks = %d", f.LearnedMarks())
 	}
-	if f.FalsePositiveRate() != 0 {
-		t.Fatalf("FP rate = %v with no collisions", f.FalsePositiveRate())
+	if f.Dropped != 1 || f.Passed != 2 {
+		t.Fatalf("Dropped/Passed = %d/%d, want 1/2", f.Dropped, f.Passed)
 	}
 }
 
 func TestFilterCollisionCountsFalsePositive(t *testing.T) {
 	f := NewFilter()
 	f.Learn(0x7)
+	var acc metrics.FilterAccuracy
 	// A legitimate packet that collides with a learned attack mark.
-	if f.Check(&netsim.Packet{Mark: 0x7, Legit: true, Type: netsim.Data}) {
+	passed := f.Check(&netsim.Packet{Mark: 0x7, Type: netsim.Data})
+	acc.Observe(true, passed)
+	if passed {
 		t.Fatal("collision passed")
 	}
-	if f.FalsePositives != 1 {
-		t.Fatalf("FP = %d", f.FalsePositives)
+	if acc.FalsePositives != 1 {
+		t.Fatalf("FP = %d", acc.FalsePositives)
 	}
-	if f.FalsePositiveRate() != 1 {
-		t.Fatalf("FP rate = %v", f.FalsePositiveRate())
+	if acc.FalsePositiveRate() != 1 {
+		t.Fatalf("FP rate = %v", acc.FalsePositiveRate())
 	}
 	// An attack packet with an unlearned mark is a false negative.
-	f.Check(&netsim.Packet{Mark: 0x9, Legit: false, Type: netsim.Data})
-	if f.FalseNegatives != 1 {
-		t.Fatalf("FN = %d", f.FalseNegatives)
+	acc.Observe(false, f.Check(&netsim.Packet{Mark: 0x9, Type: netsim.Data}))
+	if acc.FalseNegatives != 1 {
+		t.Fatalf("FN = %d", acc.FalseNegatives)
 	}
 }
 
@@ -149,11 +153,12 @@ func TestAccuracyDegradesWithDispersedAttackers(t *testing.T) {
 			f.Learn(markedArrival(t, tr, sim, a, dst))
 		}
 		// Evaluation: run every client's traffic through the filter.
+		var acc metrics.FilterAccuracy
 		for _, c := range clients {
 			m := markedArrival(t, tr, sim, c, dst)
-			f.Check(&netsim.Packet{Mark: m, Legit: true, Type: netsim.Data})
+			acc.Observe(true, f.Check(&netsim.Packet{Mark: m, Type: netsim.Data}))
 		}
-		return f.FalsePositiveRate()
+		return acc.FalsePositiveRate()
 	}
 	few := fpRate(5)
 	many := fpRate(60)
