@@ -15,3 +15,7 @@ func BenchmarkHotPathFig8(b *testing.B)       { benchhot.Fig8(b) }
 func BenchmarkHotPathForwarding(b *testing.B) { benchhot.Forwarding(b) }
 func BenchmarkHotPathEventQueue(b *testing.B) { benchhot.EventQueue(b) }
 func BenchmarkHotPathTypedEvent(b *testing.B) { benchhot.TypedEvent(b) }
+
+// BenchmarkHotPathHierarchical is the unified two-level scenario
+// (inter-AS walk + embedded per-AS router-level traceback).
+func BenchmarkHotPathHierarchical(b *testing.B) { benchhot.Hierarchical(b) }

@@ -80,10 +80,11 @@ func main() {
 		Generated: "go run ./cmd/benchhotpath",
 		Baseline:  baseline,
 		Current: map[string]Result{
-			"Fig8":       measure(benchhot.Fig8),
-			"Forwarding": measure(benchhot.Forwarding),
-			"EventQueue": measure(benchhot.EventQueue),
-			"TypedEvent": measure(benchhot.TypedEvent),
+			"Fig8":         measure(benchhot.Fig8),
+			"Forwarding":   measure(benchhot.Forwarding),
+			"EventQueue":   measure(benchhot.EventQueue),
+			"TypedEvent":   measure(benchhot.TypedEvent),
+			"Hierarchical": measure(benchhot.Hierarchical),
 		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -97,7 +98,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *outPath)
-	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent"} {
+	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent", "Hierarchical"} {
 		cur := rep.Current[name]
 		if base, ok := baseline[name]; ok {
 			fmt.Printf("  %-11s %14.1f ns/op (was %14.1f)  %8d allocs/op (was %8d)\n",

@@ -51,23 +51,24 @@ func main() {
 		"11": func() (*experiments.Table, error) { return experiments.Fig11(scale) },
 		"12": func() (*experiments.Table, error) { return experiments.Fig12(scale) },
 		// Extensions beyond the paper's figures (see EXPERIMENTS.md).
-		"levelk":     func() (*experiments.Table, error) { return experiments.ExtLevelK(scale) },
-		"follower":   func() (*experiments.Table, error) { return experiments.ExtFollower(scale) },
-		"overhead":   func() (*experiments.Table, error) { return experiments.ExtRoamingOverhead(scale) },
-		"load":       func() (*experiments.Table, error) { return experiments.ExtLoad(scale) },
-		"interas":    func() (*experiments.Table, error) { return experiments.ExtInterAS(scale) },
-		"stackpi":    func() (*experiments.Table, error) { return experiments.ExtStackPi(scale) },
-		"spie":       func() (*experiments.Table, error) { return experiments.ExtSPIE(scale) },
-		"defenses":   func() (*experiments.Table, error) { return experiments.ExtAllDefenses(scale) },
-		"threshold":  func() (*experiments.Table, error) { return experiments.ExtThreshold(scale) },
-		"eq4":        func() (*experiments.Table, error) { return experiments.ExtEq4(scale) },
-		"deployment": func() (*experiments.Table, error) { return experiments.ExtDeployment(scale) },
-		"onoff":      func() (*experiments.Table, error) { return experiments.ExtOnOffValidation(scale) },
-		"faults":     func() (*experiments.Table, error) { return experiments.ExtFaults(scale) },
-		"byzantine":  func() (*experiments.Table, error) { return experiments.ExtByzantine(scale) },
+		"levelk":       func() (*experiments.Table, error) { return experiments.ExtLevelK(scale) },
+		"follower":     func() (*experiments.Table, error) { return experiments.ExtFollower(scale) },
+		"overhead":     func() (*experiments.Table, error) { return experiments.ExtRoamingOverhead(scale) },
+		"load":         func() (*experiments.Table, error) { return experiments.ExtLoad(scale) },
+		"interas":      func() (*experiments.Table, error) { return experiments.ExtInterAS(scale) },
+		"stackpi":      func() (*experiments.Table, error) { return experiments.ExtStackPi(scale) },
+		"spie":         func() (*experiments.Table, error) { return experiments.ExtSPIE(scale) },
+		"defenses":     func() (*experiments.Table, error) { return experiments.ExtAllDefenses(scale) },
+		"threshold":    func() (*experiments.Table, error) { return experiments.ExtThreshold(scale) },
+		"eq4":          func() (*experiments.Table, error) { return experiments.ExtEq4(scale) },
+		"deployment":   func() (*experiments.Table, error) { return experiments.ExtDeployment(scale) },
+		"onoff":        func() (*experiments.Table, error) { return experiments.ExtOnOffValidation(scale) },
+		"faults":       func() (*experiments.Table, error) { return experiments.ExtFaults(scale) },
+		"byzantine":    func() (*experiments.Table, error) { return experiments.ExtByzantine(scale) },
+		"hierarchical": func() (*experiments.Table, error) { return experiments.ExtHierarchical(scale) },
 	}
 	order := []string{"5", "6", "7", "8", "9", "10", "11", "12"}
-	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults", "byzantine"}
+	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults", "byzantine", "hierarchical"}
 
 	var selected []string
 	switch *fig {

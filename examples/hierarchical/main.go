@@ -1,0 +1,95 @@
+// hierarchical: the unified two-level run enabled by the shared
+// session layer (DESIGN.md, "Plane unification"). A zombie sits in a
+// stub AS several AS-hops from the victim. The inter-AS plane walks
+// the honeypot session HSM-to-HSM to the zombie's stub AS — and
+// instead of the paper's fixed intra-AS delay, an embedded
+// router-level defense (internal/core over a generated per-AS tree,
+// on the same simulator clock) runs the real traceback: the zombie's
+// leaf floods a collector sink, input debugging walks the session
+// back, and the access router blocks the port.
+//
+// Run with: go run ./examples/hierarchical [-abstract]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/asnet"
+	"repro/internal/des"
+)
+
+func main() {
+	abstract := flag.Bool("abstract", false, "use the paper's fixed-delay intra-AS model instead of the embedded router-level one")
+	flag.Parse()
+
+	sim := des.New()
+	g := asnet.NewGraph(sim)
+
+	// stub(server) - 4 transit ASes - stub(attacker)
+	serverAS := g.AddAS(false)
+	prev := serverAS
+	for i := 0; i < 4; i++ {
+		tr := g.AddAS(true)
+		g.Connect(prev, tr)
+		prev = tr
+	}
+	attackerAS := g.AddAS(false)
+	g.Connect(prev, attackerAS)
+	g.ComputeRoutes()
+
+	cfg := asnet.Config{Mode: asnet.Marking}
+	var em *asnet.EmbeddedIntraAS
+	if !*abstract {
+		em = &asnet.EmbeddedIntraAS{Seed: 42}
+		cfg.IntraAS = em
+	}
+	def := asnet.NewDefense(g, 10, cfg)
+	def.DeployAll()
+
+	sched, err := asnet.NewSchedule([]byte("hierarchical"), 2, 1, 0, 10, 0.2, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := asnet.NewServer(def, serverAS, sched)
+	atk := asnet.NewAttacker(def, attackerAS, srv, 25)
+
+	attackStart := 0.5
+	def.OnCapture = func(c asnet.Capture) {
+		fmt.Printf("t=%6.2fs  zombie captured in %v, %.2f s after the attack began\n",
+			c.Time, g.AS(c.AS), c.Time-attackStart)
+		// Give the embedded cancel wave a moment to drain back down the
+		// sub-AS routers before stopping the clock.
+		sim.After(2, sim.Stop)
+	}
+
+	model := "embedded router-level traceback"
+	if *abstract {
+		model = "abstract fixed delay"
+	}
+	fmt.Printf("intra-AS model: %s; zombie %d AS-hops from the victim\n\n",
+		model, g.Hops(attackerAS.ID, serverAS.ID))
+
+	sim.At(attackStart, func() {
+		fmt.Printf("t=%6.2fs  zombie starts flooding (25 pkt/s, spoofed)\n", sim.Now())
+		atk.Start()
+	})
+	if err := sim.RunUntil(600); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nattack packets: %d, HSM control messages: %d\n", atk.Sent, def.MsgSent)
+	if em != nil {
+		for _, sub := range em.Subs() {
+			fmt.Printf("embedded AS %d: %d router-level traceback(s), %d aborted\n",
+				sub.AS, sub.Tracebacks, sub.Aborted)
+			for _, c := range sub.Def.Captures() {
+				fmt.Printf("  t=%6.2fs  access router %d blocked the port facing host %d\n",
+					c.Time, c.Router, c.Attacker)
+			}
+			clean := sub.Def.StateSize() == sub.Baseline()
+			fmt.Printf("  state back to baseline after teardown: %v\n", clean)
+		}
+	}
+}

@@ -4,8 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/bounded"
-	"repro/internal/des"
-	"repro/internal/hashchain"
+	"repro/internal/hbp"
 	"repro/internal/metrics"
 )
 
@@ -77,6 +76,14 @@ type Config struct {
 	Watchdog bool
 	// WatchdogInterval is the stall-check period (default 1 s).
 	WatchdogInterval float64
+
+	// IntraAS selects the intra-AS phase model: how a stub AS that
+	// identified locally originated honeypot traffic locates and stops
+	// the zombie. Nil selects FixedDelay (the paper's abstraction: a
+	// capture after IntraASTime). EmbeddedIntraAS instead instantiates
+	// a real router-level core.Defense per stub AS on the same clock
+	// (see DESIGN.md, "Plane unification").
+	IntraAS IntraASModel
 }
 
 func (c *Config) fillDefaults(g *Graph, epochLen float64) {
@@ -104,7 +111,10 @@ func (c *Config) fillDefaults(g *Graph, epochLen float64) {
 	if c.WatchdogInterval <= 0 {
 		c.WatchdogInterval = 1
 	}
-	c.Budget.fillDefaults()
+	if c.IntraAS == nil {
+		c.IntraAS = FixedDelay{}
+	}
+	c.Budget.FillDefaults()
 }
 
 // Capture records an attacker stopped by intra-AS traceback in its
@@ -120,10 +130,13 @@ type Defense struct {
 	Cfg Config
 	g   *Graph
 
-	servers  []*Server
-	captures []Capture
-	// OnCapture fires for each capture.
-	OnCapture func(Capture)
+	servers []*Server
+	// CaptureLog records captures in time order and fires the promoted
+	// OnCapture hook; StateMeter tracks the promoted PeakState
+	// high-water mark of StateSize over the run. Both are shared with
+	// the router plane (internal/hbp).
+	hbp.CaptureLog[Capture]
+	hbp.StateMeter
 
 	// MsgSent counts HSM control messages (requests, cancels,
 	// reports, piggybacks).
@@ -139,10 +152,10 @@ type Defense struct {
 	// Sec aggregates the adversarial-robustness counters (auth
 	// rejects, evictions, mark-spoof rejects, ...).
 	Sec metrics.SecurityStats
-	// PeakState is the high-water mark of StateSize over the run.
-	PeakState int
 
-	ctrlChain *hashchain.Chain
+	// auth holds the per-epoch control MAC keys under Cfg.Auth
+	// (domain-separated from the router plane's chain).
+	auth *hbp.Auth
 	// ctrlTap, when set, observes every signed outgoing control
 	// message — the hook the replay adversary listens on.
 	ctrlTap func(m *ctrlMsg, to ASID)
@@ -152,7 +165,7 @@ type Defense struct {
 // session lifetimes.
 func NewDefense(g *Graph, epochLen float64, cfg Config) *Defense {
 	cfg.fillDefaults(g, epochLen)
-	return &Defense{Cfg: cfg, g: g}
+	return &Defense{Cfg: cfg, g: g, auth: hbp.NewAuth(asnetChainLabel, cfg.AuthKey, "asnet-ctrl-mac")}
 }
 
 // DeployAS installs an HSM in the AS.
@@ -183,14 +196,8 @@ func (d *Defense) DeployAll() {
 	}
 }
 
-// Captures returns recorded captures in time order.
-func (d *Defense) Captures() []Capture { return d.captures }
-
 func (d *Defense) recordCapture(c Capture) {
-	d.captures = append(d.captures, c)
-	if d.OnCapture != nil {
-		d.OnCapture(c)
-	}
+	d.CaptureLog.Record(c)
 }
 
 // ingressDelay is the latency of identifying one packet's ingress
@@ -219,28 +226,20 @@ func (d *Defense) sendCtrl(from, to ASID, deliver func()) {
 
 // hsmSession is a honeypot session at one HSM: the record of the
 // protected server plus the set of upstream ASes honeypot traffic
-// entered from (Sec. 5.1).
+// entered from (Sec. 5.1). The lifecycle fields (epoch, lease,
+// eviction rank) live in the shared hbp.SessionCore; the AS plane
+// adds its substrate — the protected server and per-neighbor ingress
+// counters.
 type hsmSession struct {
+	hbp.SessionCore
 	server *Server
-	epoch  int
 	// ingress counts honeypot packets per upstream neighbor AS.
 	ingress map[ASID]int
 	// requested marks neighbors the session was propagated to.
 	requested map[ASID]bool
-	// sentUpstream counts propagations; zero at cancel time makes
-	// this AS a progressive frontier.
-	sentUpstream int
 	// intraAS marks that local-origin traffic was seen and intra-AS
 	// traceback is running (stub ASes retain their session for it).
 	intraAS bool
-	// dist is the AS-hop distance to the protected server's home,
-	// fixed at open time (-1 = unreachable). The eviction priority:
-	// closer to the victim survives.
-	dist int
-	// total counts observed honeypot packets — the session's evidence
-	// of a real attack.
-	total  int
-	expiry des.Event
 }
 
 // HSM is an AS's honeypot session manager.
@@ -270,25 +269,23 @@ func (h *HSM) openSession(s *Server, epoch int) {
 	sess, ok := h.sessions[s]
 	if !ok {
 		dist := h.d.g.Hops(h.as.ID, s.Home.ID)
-		if len(h.sessions) >= h.d.Cfg.Budget.HSMSessions && !h.evictWeaker(dist, s) {
+		if len(h.sessions) >= h.d.Cfg.Budget.Sessions && !h.evictWeaker(dist, s) {
 			h.d.Sec.AdmissionRejects++
 			return
 		}
 		sess = &hsmSession{
-			server:    s,
-			epoch:     epoch,
-			ingress:   map[ASID]int{},
-			requested: map[ASID]bool{},
-			dist:      dist,
+			SessionCore: hbp.SessionCore{Epoch: epoch, Dist: dist},
+			server:      s,
+			ingress:     map[ASID]int{},
+			requested:   map[ASID]bool{},
 		}
 		h.sessions[s] = sess
 		h.SessionsCreated++
 		h.d.noteState()
 	} else {
-		sess.epoch = epoch
+		sess.Epoch = epoch
 	}
-	h.d.g.Sim.Cancel(sess.expiry)
-	sess.expiry = h.d.g.Sim.AfterNamed(h.d.Cfg.SessionLifetime, "asnet-session-lease", func() {
+	sess.RearmLease(h.d.g.Sim, h.d.Cfg.SessionLifetime, "asnet-session-lease", func() {
 		h.d.LeaseExpiries++
 		h.closeSession(s, false)
 	})
@@ -310,7 +307,7 @@ func (h *HSM) closeSession(s *Server, propagate bool) {
 		return
 	}
 	delete(h.sessions, s)
-	h.d.g.Sim.Cancel(sess.expiry)
+	sess.Drop(h.d.g.Sim)
 	if !propagate {
 		return
 	}
@@ -326,18 +323,18 @@ func (h *HSM) closeSession(s *Server, propagate bool) {
 		nbAS := h.d.g.AS(nb)
 		if nbAS.Deployed() {
 			target := nbAS.hsm
-			cm := &ctrlMsg{op: opClose, server: s, epoch: sess.epoch, origin: h.as.ID}
+			cm := &ctrlMsg{op: opClose, server: s, epoch: sess.Epoch, origin: h.as.ID}
 			h.d.sendAuthed(h.as.ID, nb, cm, target.handleCtrl)
 		} else if nbAS.legacy != nil {
 			h.d.floodSeq++
-			pb := &piggyback{kind: pbCancel, server: s, epoch: sess.epoch, id: h.d.floodSeq}
+			pb := &piggyback{kind: pbCancel, server: s, epoch: sess.Epoch, id: h.d.floodSeq}
 			h.d.signPiggyback(pb)
 			nbAS.legacy.relay(pb, h.as.ID)
 			h.d.MsgSent++
 		}
 	}
-	if h.d.Cfg.Progressive && sess.sentUpstream == 0 && h.as.Transit {
-		rm := &ctrlMsg{op: opReport, server: s, epoch: sess.epoch, origin: h.as.ID, sentAt: h.d.g.Sim.Now()}
+	if h.d.Cfg.Progressive && sess.SentUpstream == 0 && h.as.Transit {
+		rm := &ctrlMsg{op: opReport, server: s, epoch: sess.Epoch, origin: h.as.ID, sentAt: h.d.g.Sim.Now()}
 		h.d.sendAuthed(h.as.ID, s.Home.ID, rm, s.handleCtrl)
 	}
 }
@@ -354,23 +351,24 @@ func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
 	sim := h.d.g.Sim
 	if from < 0 {
 		// Locally originated attack traffic: this AS hosts the
-		// attacker. Run intra-AS traceback (router-level detail in
-		// internal/core) and shut the attacker's access port.
+		// attacker. Run the intra-AS phase (abstract fixed delay, or an
+		// embedded router-level traceback — Config.IntraAS) to locate
+		// the zombie and shut its access port.
 		if sess.intraAS {
 			return
 		}
 		sess.intraAS = true
+		model := h.d.Cfg.IntraAS
 		// Stub-AS retention (Sec. 5.1) expressed as a lease extension:
 		// the session must outlive the in-progress traceback, not just
-		// the honeypot epoch, so re-arm its lease past the traceback's
-		// completion with slack.
-		sim.Cancel(sess.expiry)
+		// the honeypot epoch, so re-arm its lease past the phase
+		// model's completion horizon.
 		s2 := s
-		sess.expiry = sim.AfterNamed(h.d.Cfg.IntraASTime*1.5, "asnet-session-lease", func() {
+		sess.RearmLease(sim, model.Horizon(h, origin), "asnet-session-lease", func() {
 			h.d.LeaseExpiries++
 			h.closeSession(s2, false)
 		})
-		sim.After(h.d.Cfg.IntraASTime, func() {
+		model.Begin(h, origin, func() {
 			if origin.captured {
 				return
 			}
@@ -400,14 +398,14 @@ func (h *HSM) observe(s *Server, from ASID, origin *Attacker) {
 			return
 		}
 		sess.ingress[from]++
-		sess.total++
+		sess.Total++
 		if sess.requested[from] {
 			return
 		}
 		sess.requested[from] = true
-		sess.sentUpstream++
+		sess.SentUpstream++
 		h.Propagations++
-		h.propagate(s, sess.epoch, from)
+		h.propagate(s, sess.Epoch, from)
 	})
 }
 

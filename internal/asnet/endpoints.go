@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/des"
 	"repro/internal/hashchain"
+	"repro/internal/hbp"
 )
 
 // Schedule is the roaming-honeypots epoch schedule as seen by one
@@ -92,10 +92,9 @@ type Server struct {
 
 	intermediates map[ASID]*asIntermediate
 
-	// Watchdog state: progress observed at the last stall check.
-	wdEvent      des.Event
-	lastHp       int
-	lastCaptures int
+	// wd is the shared stall detector (internal/hbp): progress observed
+	// at the last check plus the pending tick.
+	wd hbp.Watchdog
 
 	// Stats
 	RequestsSent       int64
@@ -117,7 +116,8 @@ type asIntermediate struct {
 // NewServer creates the defended server in its home AS and starts its
 // window timers (the schedule begins at simulation time 0).
 func NewServer(d *Defense, home *AS, sched *Schedule) *Server {
-	s := &Server{Home: home, Sched: sched, d: d, epoch: -1, intermediates: map[ASID]*asIntermediate{}}
+	s := &Server{Home: home, Sched: sched, d: d, epoch: -1, intermediates: map[ASID]*asIntermediate{},
+		wd: hbp.Watchdog{Interval: d.Cfg.WatchdogInterval, EventName: "asnet-watchdog"}}
 	d.servers = append(d.servers, s)
 	d.ensureChain(sched.Epochs())
 	sim := d.g.Sim
@@ -141,9 +141,7 @@ func (s *Server) windowOpenAt(epoch int) {
 	s.hpCount = 0
 	s.requested = false
 	if s.d.Cfg.Watchdog {
-		s.lastHp = 0
-		s.lastCaptures = len(s.d.captures)
-		s.wdEvent = s.d.g.Sim.AfterNamed(s.d.Cfg.WatchdogInterval, "asnet-watchdog", s.watchdogTick)
+		s.wd.Arm(s.d.g.Sim, 0, s.d.CaptureCount(), s.watchdogTick)
 	}
 	// Rule 1 stale sweep: armed earlier, never reported -> the AS
 	// propagated upstream (or the report was lost); drop it.
@@ -156,7 +154,7 @@ func (s *Server) windowOpenAt(epoch int) {
 
 func (s *Server) windowCloseAt(epoch int) {
 	s.windowOpen = false
-	s.d.g.Sim.Cancel(s.wdEvent)
+	s.wd.Disarm(s.d.g.Sim)
 	if s.requested && s.Home.Deployed() {
 		hsm := s.Home.hsm
 		s.CancelsSent++
@@ -196,8 +194,7 @@ func (s *Server) watchdogTick() {
 		return
 	}
 	d := s.d
-	stalled := s.requested && s.hpCount > s.lastHp && len(d.captures) == s.lastCaptures
-	if stalled {
+	if s.wd.Stalled(s.requested, s.hpCount, d.CaptureCount()) {
 		d.Sec.WatchdogReseeds++
 		s.WatchdogReseeds++
 		if s.Home.Deployed() {
@@ -225,9 +222,8 @@ func (s *Server) watchdogTick() {
 			s.DirectRequestsSent++
 		}
 	}
-	s.lastHp = s.hpCount
-	s.lastCaptures = len(d.captures)
-	s.wdEvent = d.g.Sim.AfterNamed(d.Cfg.WatchdogInterval, "asnet-watchdog", s.watchdogTick)
+	s.wd.Observe(s.hpCount, d.CaptureCount())
+	s.wd.Rearm(d.g.Sim, s.watchdogTick)
 }
 
 // receive handles one attack packet arriving at the server while it

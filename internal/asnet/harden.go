@@ -3,32 +3,15 @@ package asnet
 import (
 	"encoding/binary"
 
-	"repro/internal/hashchain"
+	"repro/internal/hbp"
 )
 
 // Budget caps the inter-AS defense state that attacker-controlled
-// packets can grow. The zero Budget falls back to defaults, so HSM
-// state is always bounded (see DESIGN.md, "Threat model & graceful
-// degradation").
-type Budget struct {
-	// HSMSessions caps each HSM's session table. Beyond it admission
-	// control ranks the incoming session against residents by AS-hop
-	// distance to the protected server's home: closer to the victim
-	// survives. Default 64.
-	HSMSessions int
-	// DedupEntries caps each legacy AS's piggyback dedup set; oldest
-	// flood IDs are forgotten first. Default 512.
-	DedupEntries int
-}
-
-func (b *Budget) fillDefaults() {
-	if b.HSMSessions <= 0 {
-		b.HSMSessions = 64
-	}
-	if b.DedupEntries <= 0 {
-		b.DedupEntries = 512
-	}
-}
+// packets can grow — the shared hbp.Budget (Sessions caps each HSM's
+// session table, DedupEntries each legacy AS's piggyback dedup set).
+// The zero Budget falls back to defaults, so HSM state is always
+// bounded (see DESIGN.md, "Threat model & graceful degradation").
+type Budget = hbp.Budget
 
 // asnetChainLabel domain-separates the inter-AS control chain from
 // both the service chain and the intra-AS control chain.
@@ -99,26 +82,9 @@ func (d *Defense) ensureChain(epochs int) {
 	if !d.Cfg.Auth {
 		return
 	}
-	if d.ctrlChain != nil && d.ctrlChain.Len() >= epochs {
-		return
-	}
-	chain, err := hashchain.Generate(append([]byte(asnetChainLabel), d.Cfg.AuthKey...), epochs)
-	if err != nil {
+	if err := d.auth.Ensure(epochs); err != nil {
 		panic(err) // epochs<=0 is a construction-order bug, not runtime input
 	}
-	d.ctrlChain = chain
-}
-
-// ctrlKey returns the per-epoch control MAC key.
-func (d *Defense) ctrlKey(epoch int) (hashchain.Key, bool) {
-	if d.ctrlChain == nil || epoch < 0 || epoch >= d.ctrlChain.Len() {
-		return hashchain.Key{}, false
-	}
-	k, err := d.ctrlChain.Key(epoch)
-	if err != nil {
-		return hashchain.Key{}, false
-	}
-	return hashchain.SubKey(k, "asnet-ctrl-mac"), true
 }
 
 // signCtrl attaches the per-epoch MAC.
@@ -126,8 +92,8 @@ func (d *Defense) signCtrl(m *ctrlMsg) {
 	if !d.Cfg.Auth {
 		return
 	}
-	if key, ok := d.ctrlKey(m.epoch); ok {
-		m.tag = key.Tag(m.encode())
+	if tag := d.auth.Tag(m.epoch, m.encode()); tag != nil {
+		m.tag = tag
 	}
 }
 
@@ -136,14 +102,14 @@ func (d *Defense) authOK(m *ctrlMsg) bool {
 	if !d.Cfg.Auth {
 		return true
 	}
-	if key, ok := d.ctrlKey(m.epoch); ok && key.CheckTag(m.encode(), m.tag) {
+	if d.auth.Check(m.epoch, m.encode(), m.tag) {
 		return true
 	}
 	d.Sec.AuthRejects++
 	return false
 }
 
-// signPiggyback / verifyPiggyback authenticate flooded announcements.
+// signPiggyback / piggybackOK authenticate flooded announcements.
 // Legacy ASes relay them unverified (they run no defense), but the
 // deploying AS that terminates the flood checks the tag before
 // touching session state.
@@ -151,8 +117,8 @@ func (d *Defense) signPiggyback(p *piggyback) {
 	if !d.Cfg.Auth {
 		return
 	}
-	if key, ok := d.ctrlKey(p.epoch); ok {
-		p.tag = key.Tag(p.encode())
+	if tag := d.auth.Tag(p.epoch, p.encode()); tag != nil {
+		p.tag = tag
 	}
 }
 
@@ -160,7 +126,7 @@ func (d *Defense) piggybackOK(p *piggyback) bool {
 	if !d.Cfg.Auth {
 		return true
 	}
-	if key, ok := d.ctrlKey(p.epoch); ok && key.CheckTag(p.encode(), p.tag) {
+	if d.auth.Check(p.epoch, p.encode(), p.tag) {
 		return true
 	}
 	d.Sec.AuthRejects++
@@ -190,7 +156,7 @@ func (h *HSM) handleCtrl(m *ctrlMsg) {
 		// cancel from an earlier epoch (its tag still verifies for
 		// *that* epoch) must not tear down the current session.
 		if h.d.Cfg.Auth {
-			if sess, ok := h.sessions[m.server]; ok && sess.epoch != m.epoch {
+			if sess, ok := h.sessions[m.server]; ok && sess.Epoch != m.epoch {
 				h.d.Sec.ReplayRejects++
 				return
 			}
@@ -210,23 +176,14 @@ func (s *Server) handleCtrl(m *ctrlMsg) {
 	s.handleReport(m.origin, m.epoch, m.sentAt)
 }
 
-// weakerHSMSession is the eviction order (mirrors core.weakerSession):
-// farther from the victim is weaker (unreachable counts as infinitely
-// far), then fewer observed packets, then the higher (home AS, member)
-// identity. Total and deterministic.
+// weakerHSMSession is the eviction order (the same shared hbp order as
+// core.weakerSession: farther from the victim is weaker, unreachable
+// counts as infinitely far, then fewer observed packets), made total
+// by breaking the remaining ties on the higher (home AS, member)
+// identity. Deterministic regardless of map iteration.
 func weakerHSMSession(a, b *hsmSession) bool {
-	da, db := a.dist, b.dist
-	if da < 0 {
-		da = 1 << 30
-	}
-	if db < 0 {
-		db = 1 << 30
-	}
-	if da != db {
-		return da > db
-	}
-	if a.total != b.total {
-		return a.total < b.total
+	if w, tied := hbp.Weaker(&a.SessionCore, &b.SessionCore); !tied {
+		return w
 	}
 	if a.server.Home.ID != b.server.Home.ID {
 		return a.server.Home.ID > b.server.Home.ID
@@ -239,19 +196,13 @@ func weakerHSMSession(a, b *hsmSession) bool {
 // is local — no cancels propagate — so budget pressure cannot be
 // turned into a teardown amplifier.
 func (h *HSM) evictWeaker(dist int, s *Server) bool {
-	var weakest *hsmSession
-	//hbplint:ignore determinism min-scan under weakerHSMSession, a strict total order (ties broken by server ID), so the winner is independent of map iteration order; sessions are keyed by *Server, which cannot be sorted.
-	for _, sess := range h.sessions {
-		if weakest == nil || weakerHSMSession(sess, weakest) {
-			weakest = sess
-		}
-	}
-	incoming := &hsmSession{server: s, dist: dist}
-	if weakest == nil || !weakerHSMSession(weakest, incoming) {
+	incoming := &hsmSession{SessionCore: hbp.SessionCore{Dist: dist}, server: s}
+	evicted, ok := hbp.EvictWeakest(h.sessions, weakerHSMSession, incoming,
+		func(sess *hsmSession) *Server { return sess.server })
+	if !ok {
 		return false
 	}
-	delete(h.sessions, weakest.server)
-	h.d.g.Sim.Cancel(weakest.expiry)
+	evicted.Drop(h.d.g.Sim)
 	h.d.Sec.SessionEvictions++
 	return true
 }
@@ -288,7 +239,7 @@ func (d *Defense) StateBudget() int {
 	n := 0
 	for _, a := range d.g.ases {
 		if a.hsm != nil {
-			n += d.Cfg.Budget.HSMSessions
+			n += d.Cfg.Budget.Sessions
 		}
 		if a.legacy != nil {
 			n += d.Cfg.Budget.DedupEntries
@@ -300,9 +251,7 @@ func (d *Defense) StateBudget() int {
 // noteState updates the high-water mark after a state-growing
 // mutation.
 func (d *Defense) noteState() {
-	if s := d.StateSize(); s > d.PeakState {
-		d.PeakState = s
-	}
+	d.StateMeter.Note(d.StateSize())
 }
 
 // Adversary is a subverted AS attacking the inter-AS defense without

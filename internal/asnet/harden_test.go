@@ -83,7 +83,7 @@ func TestForgedCancelKillsUnauthenticatedDefense(t *testing.T) {
 // never exceeds its budget, and further junk is refused.
 func TestHSMSessionBudget(t *testing.T) {
 	sim, g, serverAS, attackerAS := chainTopo(t, 5)
-	def := NewDefense(g, 10, Config{Budget: Budget{HSMSessions: 2}})
+	def := NewDefense(g, 10, Config{Budget: Budget{Sessions: 2}})
 	def.DeployAll()
 	sched := testSchedule(t, 10, 40)
 	srv := NewServer(def, serverAS, sched)
@@ -240,7 +240,7 @@ func TestAsnetWatchdogReseeds(t *testing.T) {
 					continue
 				}
 				for s, sess := range a.hsm.sessions {
-					sim.Cancel(sess.expiry)
+					sim.Cancel(sess.Expiry)
 					delete(a.hsm.sessions, s)
 				}
 			}

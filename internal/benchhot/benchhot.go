@@ -52,6 +52,25 @@ func Fig8(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// Hierarchical runs the unified two-level scenario once per
+// iteration: a 4-transit AS chain whose intra-AS phase is the
+// embedded per-stub-AS router-level traceback on the same clock
+// (DESIGN.md, "Plane unification"). It tracks the cost of plane
+// unification end to end — AS-graph walk, embedded tree construction,
+// router-level capture, teardown.
+func Hierarchical(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunHierarchical(4, true, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Captured {
+			b.Fatal("attacker escaped")
+		}
+	}
+}
+
 // Forwarding measures steady-state per-packet cost over a 10-hop
 // path using pooled packets (20 events per op: serialization +
 // propagation at each hop).

@@ -4,7 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/des"
-	"repro/internal/hashchain"
+	"repro/internal/hbp"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/roaming"
@@ -113,7 +113,7 @@ func (c *Config) fillDefaults(epochLen float64) {
 	if c.WatchdogInterval <= 0 {
 		c.WatchdogInterval = 1
 	}
-	c.Budget.fillDefaults()
+	c.Budget.FillDefaults()
 }
 
 // Capture records back-propagation reaching an attack host: its
@@ -142,12 +142,15 @@ type Defense struct {
 	// point at access routers). Set from the topology.
 	isHost func(*netsim.Node) bool
 
-	routers  map[netsim.NodeID]*RouterAgent
-	legacy   map[netsim.NodeID]*LegacyAgent
-	servers  map[netsim.NodeID]*ServerDefense
-	captures []Capture
-	// OnCapture, if set, fires for every capture.
-	OnCapture func(Capture)
+	routers map[netsim.NodeID]*RouterAgent
+	legacy  map[netsim.NodeID]*LegacyAgent
+	servers map[netsim.NodeID]*ServerDefense
+	// CaptureLog records captures in time order and fires the promoted
+	// OnCapture hook; StateMeter tracks the promoted PeakState
+	// high-water mark of StateSize() over the run. Both are shared with
+	// the AS plane (internal/hbp).
+	hbp.CaptureLog[Capture]
+	hbp.StateMeter
 	// Trace, if set, records a structured event log of every defense
 	// action (session lifecycle, propagation, captures, auth
 	// rejections). A nil log is a no-op.
@@ -163,16 +166,14 @@ type Defense struct {
 	// Sec aggregates the hardened control plane's counters: auth and
 	// replay rejects, budget evictions, watchdog re-seeds.
 	Sec metrics.SecurityStats
-	// PeakState is the high-water mark of StateSize() over the run.
-	PeakState int
 	// ctrlSeq allocates sequence numbers for reliable transfers (and,
 	// under EpochAuth, for every control message's replay protection).
 	ctrlSeq int64
 	// pending tracks unacked reliable transfers by sequence number.
 	pending map[int64]*pendingSend
-	// ctrlChain holds the per-epoch control MAC keys when EpochAuth is
-	// enabled.
-	ctrlChain *hashchain.Chain
+	// auth holds the per-epoch control MAC keys when EpochAuth is
+	// enabled (domain-separated from the AS plane's chain).
+	auth *hbp.Auth
 }
 
 // New builds a defense instance. isHost must classify end hosts
@@ -192,17 +193,16 @@ func New(nw *netsim.Network, pool *roaming.Pool, isHost func(*netsim.Node) bool,
 		legacy:  map[netsim.NodeID]*LegacyAgent{},
 		servers: map[netsim.NodeID]*ServerDefense{},
 		pending: map[int64]*pendingSend{},
+		auth:    hbp.NewAuth(ctrlChainLabel, cfg.AuthKey, "ctrl-mac"),
 	}
 	if cfg.EpochAuth {
 		// One control key per honeypot epoch, held by the defense
 		// infrastructure only (deployed routers, HSMs, pool servers) —
 		// clients' service tokens come from a different chain, so a
 		// compromised subscriber cannot forge control traffic.
-		chain, err := hashchain.Generate(append([]byte(ctrlChainLabel), cfg.AuthKey...), pool.Config().Epochs)
-		if err != nil {
+		if err := d.auth.Ensure(pool.Config().Epochs); err != nil {
 			return nil, err
 		}
-		d.ctrlChain = chain
 	}
 	return d, nil
 }
@@ -259,7 +259,7 @@ func (d *Defense) DeployPerAS(routers []*netsim.Node, asOf map[netsim.NodeID]int
 // own hosts are compromised.
 func (d *Defense) CapturesByAS(asOf map[netsim.NodeID]int) map[int]int {
 	out := map[int]int{}
-	for _, c := range d.captures {
+	for _, c := range d.Captures() {
 		out[asOf[c.Router]]++
 	}
 	return out
@@ -321,9 +321,6 @@ func (d *Defense) OpenSessions() int {
 	return open
 }
 
-// Captures returns all captures so far, in time order.
-func (d *Defense) Captures() []Capture { return d.captures }
-
 // Router returns the agent deployed on node id, or nil.
 func (d *Defense) Router(id netsim.NodeID) *RouterAgent { return d.routers[id] }
 
@@ -337,11 +334,8 @@ func (d *Defense) deployed(n *netsim.Node) bool {
 }
 
 func (d *Defense) recordCapture(c Capture) {
-	d.captures = append(d.captures, c)
 	d.rec(trace.Captured, int(c.Router), int(c.Attacker), int(c.Server), "")
-	if d.OnCapture != nil {
-		d.OnCapture(c)
-	}
+	d.CaptureLog.Record(c)
 }
 
 // rec appends a trace event with the current timestamp. It returns

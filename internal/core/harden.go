@@ -4,76 +4,26 @@ import (
 	"encoding/binary"
 
 	"repro/internal/bounded"
-	"repro/internal/hashchain"
+	"repro/internal/hbp"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 )
 
 // Budget caps every piece of defense state that attacker-controlled
-// packets can grow. The zero Budget is usable: each field falls back
-// to a default, so the defense is *always* bounded — an unbounded
-// session table is not a configuration, it is the vulnerability this
-// layer removes (see DESIGN.md, "Threat model & graceful degradation").
-type Budget struct {
-	// RouterSessions caps each router's honeypot session table.
-	// Beyond it, admission control ranks the incoming session against
-	// residents by victim distance: sessions closer to the protected
-	// server survive, farther (and unroutable, i.e. forged-server)
-	// sessions are evicted or refused. Default 64.
-	RouterSessions int
-	// DedupEntries caps each legacy relay's piggyback-flood dedup set;
-	// the oldest flood IDs are forgotten first. Default 512.
-	DedupEntries int
-	// PendingTransfers caps the reliable control plane's retransmit
-	// table; beyond it new transfers degrade to fire-and-forget.
-	// Default 1024.
-	PendingTransfers int
-	// ReplaySpan is the per-stream anti-replay window span in sequence
-	// numbers. Default 512.
-	ReplaySpan int
-	// ReplayStreams caps concurrently tracked streams per receiving
-	// agent. Default 128.
-	ReplayStreams int
-}
-
-func (b *Budget) fillDefaults() {
-	if b.RouterSessions <= 0 {
-		b.RouterSessions = 64
-	}
-	if b.DedupEntries <= 0 {
-		b.DedupEntries = 512
-	}
-	if b.PendingTransfers <= 0 {
-		b.PendingTransfers = 1024
-	}
-	if b.ReplaySpan <= 0 {
-		b.ReplaySpan = 512
-	}
-	if b.ReplayStreams <= 0 {
-		b.ReplayStreams = 128
-	}
-}
+// packets can grow — the shared hbp.Budget (Sessions caps each
+// router's honeypot session table here). The zero Budget is usable:
+// each field falls back to a default, so the defense is *always*
+// bounded (see DESIGN.md, "Threat model & graceful degradation").
+type Budget = hbp.Budget
 
 // ctrlChainLabel domain-separates the control chain's seed from the
 // service hash chain, so holding client service tokens (the roaming
 // pool's epoch keys, which subscribers receive) never lets anyone
-// forge defense control traffic.
-const ctrlChainLabel = "hbp-ctrl-chain:"
-
-// ctrlKey returns the per-epoch control MAC key. The chain is indexed
-// by honeypot epoch, so a key captured in epoch e (say, from a
-// compromised router) derives only earlier epochs' keys — the same
+// forge defense control traffic. The chain is indexed by honeypot
+// epoch, so a key captured in epoch e (say, from a compromised
+// router) derives only earlier epochs' keys — the same
 // time-limited-token property the service chain gives clients.
-func (d *Defense) ctrlKey(epoch int) (hashchain.Key, bool) {
-	if d.ctrlChain == nil || epoch < 0 || epoch >= d.ctrlChain.Len() {
-		return hashchain.Key{}, false
-	}
-	k, err := d.ctrlChain.Key(epoch)
-	if err != nil {
-		return hashchain.Key{}, false
-	}
-	return hashchain.SubKey(k, "ctrl-mac"), true
-}
+const ctrlChainLabel = "hbp-ctrl-chain:"
 
 // ctrlMACInput is the byte string the per-epoch control MAC covers:
 // the canonical message encoding plus the addressed node. Binding the
@@ -128,16 +78,15 @@ func (d *Defense) epochFresh(m *Message) bool {
 // Messages for epochs outside the chain (never produced by genuine
 // senders) are left untagged and will be rejected by every receiver.
 func (d *Defense) signCtrl(m *Message, dst netsim.NodeID) {
-	if key, ok := d.ctrlKey(m.Epoch); ok {
-		m.Tag = key.Tag(ctrlMACInput(m, dst))
+	if tag := d.auth.Tag(m.Epoch, ctrlMACInput(m, dst)); tag != nil {
+		m.Tag = tag
 	}
 }
 
 // verifyCtrl checks an incoming message's per-epoch MAC; dst is the
 // verifying receiver's own node ID.
 func (d *Defense) verifyCtrl(m *Message, dst netsim.NodeID) bool {
-	key, ok := d.ctrlKey(m.Epoch)
-	return ok && key.CheckTag(ctrlMACInput(m, dst), m.Tag)
+	return d.auth.Check(m.Epoch, ctrlMACInput(m, dst), m.Tag)
 }
 
 // newReplayFilter builds one receiving agent's anti-replay window from
@@ -170,24 +119,14 @@ func (d *Defense) victimDistance(n *netsim.Node, server netsim.NodeID) int {
 }
 
 // weakerSession reports whether session a ranks strictly below session
-// b for eviction purposes. The order is total and deterministic:
-// farther from the victim is weaker (unroutable counts as infinitely
-// far), then fewer observed honeypot packets, then the higher server
-// ID. The map-iteration order of the session table therefore never
-// influences which session is shed.
+// b for eviction purposes. The shared hbp order (farther from the
+// victim is weaker, unroutable counts as infinitely far, then fewer
+// observed honeypot packets) is made total by breaking the remaining
+// ties on the higher server ID, so the map-iteration order of the
+// session table never influences which session is shed.
 func weakerSession(a, b *session) bool {
-	da, db := a.dist, b.dist
-	if da < 0 {
-		da = 1 << 30
-	}
-	if db < 0 {
-		db = 1 << 30
-	}
-	if da != db {
-		return da > db
-	}
-	if a.total != b.total {
-		return a.total < b.total
+	if w, tied := hbp.Weaker(&a.SessionCore, &b.SessionCore); !tied {
+		return w
 	}
 	return a.server > b.server
 }
@@ -211,7 +150,7 @@ func (d *Defense) StateSize() int {
 // StateBudget is the configured hard ceiling on StateSize given the
 // current deployment.
 func (d *Defense) StateBudget() int {
-	return len(d.routers)*d.Cfg.Budget.RouterSessions +
+	return len(d.routers)*d.Cfg.Budget.Sessions +
 		len(d.legacy)*d.Cfg.Budget.DedupEntries +
 		d.Cfg.Budget.PendingTransfers
 }
@@ -224,7 +163,5 @@ func (d *Defense) PendingTransfers() int { return len(d.pending) }
 // noteState updates the high-water mark after a state-growing
 // mutation.
 func (d *Defense) noteState() {
-	if s := d.StateSize(); s > d.PeakState {
-		d.PeakState = s
-	}
+	d.StateMeter.Note(d.StateSize())
 }

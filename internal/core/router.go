@@ -4,33 +4,25 @@ import (
 	"sort"
 
 	"repro/internal/bounded"
-	"repro/internal/des"
+	"repro/internal/hbp"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 )
 
 // session is a router-level honeypot session: the state kept while a
 // server is a honeypot, recording which input ports carry traffic
-// destined for it (router-level input debugging, Sec. 5.2).
+// destined for it (router-level input debugging, Sec. 5.2). The
+// lifecycle fields (epoch, lease, eviction rank) live in the shared
+// hbp.SessionCore; the router plane adds its netsim substrate — the
+// protected server's node ID and per-input-port counters.
 type session struct {
+	hbp.SessionCore
 	server netsim.NodeID
-	epoch  int
 	// counts tracks honeypot-destined packets per input port.
 	counts map[*netsim.Port]int
 	// requested marks ports across which the session was already
 	// propagated (or whose host was captured).
 	requested map[*netsim.Port]bool
-	// sentUpstream counts propagations; zero at cancel time makes
-	// this router a progressive-scheme frontier.
-	sentUpstream int
-	// dist is the routing distance to the protected server, fixed at
-	// open time (-1 = unroutable, i.e. a forged server ID). The
-	// eviction priority: closer to the victim survives.
-	dist int
-	// total counts observed honeypot-destined packets across all
-	// ports — the session's evidence of a real attack.
-	total  int
-	expiry des.Event
 }
 
 // RouterAgent runs honeypot back-propagation on one router.
@@ -119,17 +111,24 @@ func (a *RouterAgent) openSession(m *Message) {
 	s, ok := a.sessions[m.Server]
 	if !ok {
 		dist := a.d.victimDistance(a.Node, m.Server)
-		if len(a.sessions) >= a.d.Cfg.Budget.RouterSessions && !a.evictWeakerThan(dist, m.Server) {
-			a.d.Sec.AdmissionRejects++
-			a.d.rec(trace.SessionRefused, int(a.Node.ID), -1, int(m.Server), "table full")
-			return
+		if len(a.sessions) >= a.d.Cfg.Budget.Sessions {
+			incoming := &session{SessionCore: hbp.SessionCore{Dist: dist}, server: m.Server}
+			evicted, shed := hbp.EvictWeakest(a.sessions, weakerSession, incoming,
+				func(s *session) netsim.NodeID { return s.server })
+			if !shed {
+				a.d.Sec.AdmissionRejects++
+				a.d.rec(trace.SessionRefused, int(a.Node.ID), -1, int(m.Server), "table full")
+				return
+			}
+			evicted.Drop(a.d.sim)
+			a.d.Sec.SessionEvictions++
+			a.d.rec(trace.SessionEvicted, int(a.Node.ID), -1, int(evicted.server), "budget")
 		}
 		s = &session{
-			server:    m.Server,
-			epoch:     m.Epoch,
-			counts:    map[*netsim.Port]int{},
-			requested: map[*netsim.Port]bool{},
-			dist:      dist,
+			SessionCore: hbp.SessionCore{Epoch: m.Epoch, Dist: dist},
+			server:      m.Server,
+			counts:      map[*netsim.Port]int{},
+			requested:   map[*netsim.Port]bool{},
 		}
 		a.sessions[m.Server] = s
 		a.SessionsCreated++
@@ -139,10 +138,8 @@ func (a *RouterAgent) openSession(m *Message) {
 			a.installHook()
 		}
 	} else {
-		s.epoch = m.Epoch
+		s.Epoch = m.Epoch
 	}
-	a.d.sim.Cancel(s.expiry)
-	s.expiry = des.Event{}
 	// Lease-based expiry: the Request's lease (falling back to the
 	// configured lifetime) bounds how long the session may live without
 	// a refresh. A lost Cancel or a dead downstream neighbor therefore
@@ -152,41 +149,12 @@ func (a *RouterAgent) openSession(m *Message) {
 	if life <= 0 {
 		life = a.d.Cfg.SessionLifetime
 	}
-	if life > 0 {
-		server := m.Server
-		s.expiry = a.d.sim.AfterNamed(life, "hbp-session-lease", func() {
-			a.d.Ctrl.LeaseExpiries++
-			a.d.rec(trace.LeaseExpired, int(a.Node.ID), -1, int(server), "")
-			a.closeSession(&Message{Kind: Cancel, Server: server, Epoch: s.epoch}, false)
-		})
-	}
-}
-
-// evictWeakerThan implements the table's eviction policy: find the
-// weakest resident session (farthest from its victim, then least
-// evidence — see weakerSession) and shed it iff the incoming session,
-// at distance dist, would rank strictly above it. Returns false when
-// the incoming session is the weakest of all — admission is refused
-// and resident state survives. Shedding is local: no cancels are
-// propagated (upstream copies lease-expire on their own), so an
-// attacker cannot turn eviction into a teardown amplifier.
-func (a *RouterAgent) evictWeakerThan(dist int, server netsim.NodeID) bool {
-	var weakest *session
-	//hbplint:ignore determinism min-scan under weakerSession, a strict total order (ties broken by server ID), so the winner is independent of map iteration order.
-	for _, s := range a.sessions {
-		if weakest == nil || weakerSession(s, weakest) {
-			weakest = s
-		}
-	}
-	incoming := &session{server: server, dist: dist}
-	if weakest == nil || !weakerSession(weakest, incoming) {
-		return false
-	}
-	delete(a.sessions, weakest.server)
-	a.d.sim.Cancel(weakest.expiry)
-	a.d.Sec.SessionEvictions++
-	a.d.rec(trace.SessionEvicted, int(a.Node.ID), -1, int(weakest.server), "budget")
-	return true
+	server := m.Server
+	s.RearmLease(a.d.sim, life, "hbp-session-lease", func() {
+		a.d.Ctrl.LeaseExpiries++
+		a.d.rec(trace.LeaseExpired, int(a.Node.ID), -1, int(server), "")
+		a.closeSession(&Message{Kind: Cancel, Server: server, Epoch: s.Epoch}, false)
+	})
 }
 
 // closeSession tears down the session, optionally forwarding the
@@ -200,7 +168,7 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 	delete(a.sessions, m.Server)
 	a.SessionsClosed++
 	a.d.rec(trace.SessionClosed, int(a.Node.ID), -1, int(m.Server), "")
-	a.d.sim.Cancel(s.expiry)
+	s.Drop(a.d.sim)
 	if len(a.sessions) == 0 && a.hookRemove != nil {
 		a.hookRemove()
 		a.hookRemove = nil
@@ -229,7 +197,7 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 		if a.d.isHost(up) {
 			continue
 		}
-		cm := &Message{Kind: Cancel, Server: s.server, Epoch: s.epoch}
+		cm := &Message{Kind: Cancel, Server: s.server, Epoch: s.Epoch}
 		if a.d.deployed(up) {
 			a.d.sendReliable(a.Node, up.ID, cm, false, s.server)
 		} else {
@@ -239,11 +207,11 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 	// Progressive scheme (Sec. 6): if this router never propagated the
 	// session upstream, it is the frontier; report identity and
 	// timestamp to the server.
-	if a.d.Cfg.Progressive && s.sentUpstream == 0 {
+	if a.d.Cfg.Progressive && s.SentUpstream == 0 {
 		rm := &Message{
 			Kind:      Report,
 			Server:    s.server,
-			Epoch:     s.epoch,
+			Epoch:     s.Epoch,
 			Origin:    a.Node.ID,
 			Timestamp: a.d.sim.Now(),
 		}
@@ -265,7 +233,7 @@ func (a *RouterAgent) crash() int {
 	}
 	sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
 	for _, server := range servers {
-		a.d.sim.Cancel(a.sessions[server].expiry)
+		a.sessions[server].Drop(a.d.sim)
 		delete(a.sessions, server)
 	}
 	if a.hookRemove != nil {
@@ -291,7 +259,7 @@ func (a *RouterAgent) observe(n *netsim.Node, p *netsim.Packet, in, out *netsim.
 		return true
 	}
 	s.counts[in]++
-	s.total++
+	s.Total++
 	if s.counts[in] >= a.d.Cfg.PropagateThreshold && !s.requested[in] {
 		s.requested[in] = true
 		a.propagate(s, in)
@@ -316,8 +284,8 @@ func (a *RouterAgent) propagate(s *session, in *netsim.Port) {
 		})
 		return
 	}
-	m := &Message{Kind: Request, Server: s.server, Epoch: s.epoch, Lease: a.d.Cfg.SessionLifetime}
-	s.sentUpstream++
+	m := &Message{Kind: Request, Server: s.server, Epoch: s.Epoch, Lease: a.d.Cfg.SessionLifetime}
+	s.SentUpstream++
 	a.Propagations++
 	a.d.rec(trace.Propagated, int(a.Node.ID), int(up.ID), int(s.server), "")
 	if a.d.deployed(up) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/faults"
+	"repro/internal/hbp"
 	"repro/internal/netsim"
 )
 
@@ -12,11 +13,11 @@ import (
 // observed packets, then the higher server ID — a total order, so map
 // iteration never influences which session is shed.
 func TestWeakerSessionOrder(t *testing.T) {
-	near := &session{server: 1, dist: 2, total: 10}
-	far := &session{server: 2, dist: 8, total: 10}
-	forged := &session{server: 3, dist: -1, total: 100}
-	quiet := &session{server: 4, dist: 2, total: 1}
-	twin := &session{server: 5, dist: 2, total: 10}
+	near := &session{server: 1, SessionCore: hbp.SessionCore{Dist: 2, Total: 10}}
+	far := &session{server: 2, SessionCore: hbp.SessionCore{Dist: 8, Total: 10}}
+	forged := &session{server: 3, SessionCore: hbp.SessionCore{Dist: -1, Total: 100}}
+	quiet := &session{server: 4, SessionCore: hbp.SessionCore{Dist: 2, Total: 1}}
+	twin := &session{server: 5, SessionCore: hbp.SessionCore{Dist: 2, Total: 10}}
 
 	cases := []struct {
 		name string
@@ -45,7 +46,7 @@ func TestWeakerSessionOrder(t *testing.T) {
 // budget.
 func TestSessionTableExhaustion(t *testing.T) {
 	h := newHarness(t, 3, poolCfg(2, 1, 10), Config{
-		Budget: Budget{RouterSessions: 2},
+		Budget: Budget{Sessions: 2},
 	})
 	r := h.tr.AccessRouter(h.tr.Leaves[0])
 	ra := h.def.routers[r.ID]

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bounded"
 	"repro/internal/des"
+	"repro/internal/hbp"
 	"repro/internal/netsim"
 	"repro/internal/roaming"
 	"repro/internal/trace"
@@ -17,8 +18,11 @@ import (
 // intermediate-router list of Sec. 6 with the paper's two retention
 // rules (the miss rule and the ρ consecutive-report rule).
 type ServerDefense struct {
-	d  *Defense
-	sa *roaming.ServerAgent
+	d *Defense
+	// node is the defended server's node. It usually belongs to a
+	// roaming ServerAgent; sink servers (AttachSink) have no agent and
+	// drive their windows explicitly.
+	node *netsim.Node
 
 	windowOpen bool
 	epoch      int
@@ -30,10 +34,9 @@ type ServerDefense struct {
 	// replay is the anti-replay window for incoming reports/acks,
 	// allocated on first use under EpochAuth.
 	replay *bounded.ReplayWindow
-	// Watchdog state: progress observed at the last stall check.
-	wdEvent      des.Event
-	lastHp       int
-	lastCaptures int
+	// wd is the shared stall detector (internal/hbp): progress observed
+	// at the last check plus the pending tick.
+	wd hbp.Watchdog
 
 	// Stats
 	RequestsSent       int64
@@ -64,19 +67,28 @@ type intermediate struct {
 }
 
 func newServerDefense(d *Defense, sa *roaming.ServerAgent) *ServerDefense {
-	s := &ServerDefense{d: d, sa: sa, epoch: -1, intermediates: map[netsim.NodeID]*intermediate{}}
+	s := newServerCore(d, sa.Node)
 	sa.OnHoneypotStart = s.onWindowOpen
 	sa.OnHoneypotEnd = s.onWindowClose
 	sa.OnHoneypotPacket = s.onHoneypotPacket
-	// Intercept defense control messages before the roaming agent
-	// counts them as (honeypot) traffic.
-	prev := sa.Node.Handler
-	sa.Node.Handler = func(p *netsim.Packet, in *netsim.Port) {
+	return s
+}
+
+// newServerCore builds the agent-independent part of a ServerDefense
+// and intercepts defense control messages before any previous handler
+// (the roaming agent's, say) counts them as (honeypot) traffic.
+func newServerCore(d *Defense, node *netsim.Node) *ServerDefense {
+	s := &ServerDefense{d: d, node: node, epoch: -1, intermediates: map[netsim.NodeID]*intermediate{}}
+	s.wd = hbp.Watchdog{Interval: d.Cfg.WatchdogInterval, EventName: "hbp-watchdog"}
+	prev := node.Handler
+	node.Handler = func(p *netsim.Packet, in *netsim.Port) {
 		if m, ok := p.Payload.(*Message); ok && p.Type == netsim.Control {
 			s.handleControl(m, p, in)
 			return
 		}
-		prev(p, in)
+		if prev != nil {
+			prev(p, in)
+		}
 	}
 	return s
 }
@@ -85,7 +97,7 @@ func newServerDefense(d *Defense, sa *roaming.ServerAgent) *ServerDefense {
 func (s *ServerDefense) Intermediates() int { return len(s.intermediates) }
 
 func (s *ServerDefense) firstHop() netsim.NodeID {
-	return s.sa.Node.Ports()[0].Peer().Node().ID
+	return s.node.Ports()[0].Peer().Node().ID
 }
 
 func (s *ServerDefense) onWindowOpen(epoch int) {
@@ -94,9 +106,7 @@ func (s *ServerDefense) onWindowOpen(epoch int) {
 	s.hpCount = 0
 	s.requested = false
 	if s.d.Cfg.Watchdog {
-		s.lastHp = 0
-		s.lastCaptures = len(s.d.captures)
-		s.wdEvent = s.d.sim.AfterNamed(s.d.Cfg.WatchdogInterval, "hbp-watchdog", s.watchdogTick)
+		s.wd.Arm(s.d.sim, 0, s.d.CaptureCount(), s.watchdogTick)
 	}
 	// Stale-entry sweep: an entry armed for an earlier epoch that
 	// never reported back has propagated (or its report was lost);
@@ -117,11 +127,11 @@ func (s *ServerDefense) onWindowOpen(epoch int) {
 
 func (s *ServerDefense) onWindowClose(epoch int) {
 	s.windowOpen = false
-	s.d.sim.Cancel(s.wdEvent)
+	s.wd.Disarm(s.d.sim)
 	if s.requested {
 		// Tear down the session tree rooted at our first-hop router.
-		s.d.rec(trace.CancelSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
-		s.d.sendReliable(s.sa.Node, s.firstHop(), &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch}, false, s.sa.Node.ID)
+		s.d.rec(trace.CancelSent, int(s.node.ID), int(s.firstHop()), int(s.node.ID), "")
+		s.d.sendReliable(s.node, s.firstHop(), &Message{Kind: Cancel, Server: s.node.ID, Epoch: epoch}, false, s.node.ID)
 		s.CancelsSent++
 	}
 	// Direct cancels to intermediates armed for this epoch, so their
@@ -135,8 +145,8 @@ func (s *ServerDefense) onWindowClose(epoch int) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		cm := &Message{Kind: Cancel, Server: s.sa.Node.ID, Epoch: epoch, Direct: true}
-		s.d.sendReliable(s.sa.Node, id, cm, true, s.sa.Node.ID)
+		cm := &Message{Kind: Cancel, Server: s.node.ID, Epoch: epoch, Direct: true}
+		s.d.sendReliable(s.node, id, cm, true, s.node.ID)
 		s.CancelsSent++
 	}
 }
@@ -148,9 +158,9 @@ func (s *ServerDefense) onHoneypotPacket(p *netsim.Packet, in *netsim.Port) {
 	s.hpCount++
 	if s.hpCount >= s.d.Cfg.ActivationThreshold && !s.requested {
 		s.requested = true
-		s.d.rec(trace.RequestSent, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "")
-		m := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch, Lease: s.d.Cfg.SessionLifetime}
-		s.d.sendReliable(s.sa.Node, s.firstHop(), m, false, s.sa.Node.ID)
+		s.d.rec(trace.RequestSent, int(s.node.ID), int(s.firstHop()), int(s.node.ID), "")
+		m := &Message{Kind: Request, Server: s.node.ID, Epoch: s.epoch, Lease: s.d.Cfg.SessionLifetime}
+		s.d.sendReliable(s.node, s.firstHop(), m, false, s.node.ID)
 		s.RequestsSent++
 	}
 }
@@ -160,21 +170,21 @@ func (s *ServerDefense) onHoneypotPacket(p *netsim.Packet, in *netsim.Port) {
 // acks for the server's own requests and cancels.
 func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.Port) {
 	if s.d.Cfg.EpochAuth {
-		if !s.d.verifyCtrl(m, s.sa.Node.ID) {
+		if !s.d.verifyCtrl(m, s.node.ID) {
 			s.d.MsgBadAuth++
 			s.d.Sec.AuthRejects++
-			s.d.rec(trace.AuthRejected, int(s.sa.Node.ID), int(p.Src), int(m.Server), "bad epoch MAC")
+			s.d.rec(trace.AuthRejected, int(s.node.ID), int(p.Src), int(m.Server), "bad epoch MAC")
 			return
 		}
 		if !s.d.epochFresh(m) {
 			s.d.Sec.ReplayRejects++
-			s.d.rec(trace.ReplayRejected, int(s.sa.Node.ID), int(p.Src), int(m.Server), "stale epoch")
+			s.d.rec(trace.ReplayRejected, int(s.node.ID), int(p.Src), int(m.Server), "stale epoch")
 			return
 		}
 		if s.replay == nil {
 			s.replay = s.d.newReplayFilter()
 		}
-		if !s.d.replayOK(s.replay, m, s.sa.Node.ID) {
+		if !s.d.replayOK(s.replay, m, s.node.ID) {
 			// A replayed report was already processed once; re-acking it
 			// would only answer an attacker, so drop silently.
 			return
@@ -190,7 +200,7 @@ func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.P
 		s.d.handleAck(m)
 		return
 	}
-	if m.Kind != Report || m.Server != s.sa.Node.ID {
+	if m.Kind != Report || m.Server != s.node.ID {
 		return
 	}
 	// Reports travel multi-hop; they must carry a valid tag.
@@ -198,7 +208,7 @@ func (s *ServerDefense) handleControl(m *Message, p *netsim.Packet, in *netsim.P
 		s.d.MsgBadAuth++
 		return
 	}
-	s.d.maybeAck(s.sa.Node, m, p)
+	s.d.maybeAck(s.node, m, p)
 	if !s.d.Cfg.Progressive {
 		return
 	}
@@ -235,7 +245,7 @@ func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
 		return
 	}
 	pool := s.d.pool
-	next := pool.NextHoneypotEpoch(s.sa.Node.ID, afterEpoch+1)
+	next := pool.NextHoneypotEpoch(s.node.ID, afterEpoch+1)
 	if next < 0 {
 		return // chain exhausted
 	}
@@ -249,8 +259,8 @@ func (s *ServerDefense) scheduleArm(e *intermediate, afterEpoch int) {
 		if s.intermediates[e.id] != e {
 			return // removed meanwhile
 		}
-		rm := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: next, Direct: true, Lease: s.d.Cfg.SessionLifetime}
-		s.d.sendReliable(s.sa.Node, e.id, rm, true, s.sa.Node.ID)
+		rm := &Message{Kind: Request, Server: s.node.ID, Epoch: next, Direct: true, Lease: s.d.Cfg.SessionLifetime}
+		s.d.sendReliable(s.node, e.id, rm, true, s.node.ID)
 		s.DirectRequestsSent++
 		e.armedEpoch = next
 	})
@@ -268,12 +278,11 @@ func (s *ServerDefense) watchdogTick() {
 		return
 	}
 	d := s.d
-	stalled := s.requested && s.hpCount > s.lastHp && len(d.captures) == s.lastCaptures
-	if stalled {
+	if s.wd.Stalled(s.requested, s.hpCount, d.CaptureCount()) {
 		d.Sec.WatchdogReseeds++
-		d.rec(trace.WatchdogReseeded, int(s.sa.Node.ID), int(s.firstHop()), int(s.sa.Node.ID), "stalled propagation")
-		m := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch, Lease: d.Cfg.SessionLifetime}
-		d.sendReliable(s.sa.Node, s.firstHop(), m, false, s.sa.Node.ID)
+		d.rec(trace.WatchdogReseeded, int(s.node.ID), int(s.firstHop()), int(s.node.ID), "stalled propagation")
+		m := &Message{Kind: Request, Server: s.node.ID, Epoch: s.epoch, Lease: d.Cfg.SessionLifetime}
+		d.sendReliable(s.node, s.firstHop(), m, false, s.node.ID)
 		s.RequestsSent++
 		// Re-arm the progressive frontier: every intermediate already
 		// requested for this epoch gets a fresh direct request (sorted
@@ -286,14 +295,13 @@ func (s *ServerDefense) watchdogTick() {
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
-			rm := &Message{Kind: Request, Server: s.sa.Node.ID, Epoch: s.epoch, Direct: true, Lease: d.Cfg.SessionLifetime}
-			d.sendReliable(s.sa.Node, id, rm, true, s.sa.Node.ID)
+			rm := &Message{Kind: Request, Server: s.node.ID, Epoch: s.epoch, Direct: true, Lease: d.Cfg.SessionLifetime}
+			d.sendReliable(s.node, id, rm, true, s.node.ID)
 			s.DirectRequestsSent++
 		}
 	}
-	s.lastHp = s.hpCount
-	s.lastCaptures = len(d.captures)
-	s.wdEvent = d.sim.AfterNamed(d.Cfg.WatchdogInterval, "hbp-watchdog", s.watchdogTick)
+	s.wd.Observe(s.hpCount, d.CaptureCount())
+	s.wd.Rearm(d.sim, s.watchdogTick)
 }
 
 func (s *ServerDefense) removeIntermediate(id netsim.NodeID, e *intermediate) {

@@ -131,7 +131,7 @@ func TestHardeningOffPreservesBaseline(t *testing.T) {
 	}
 
 	big := quickTree()
-	big.Budget.RouterSessions = 1024
+	big.Budget.Sessions = 1024
 	big.Budget.DedupEntries = 8192
 	big.Budget.PendingTransfers = 16384
 	b, err := RunTree(big)

@@ -1,0 +1,73 @@
+package hbp
+
+import (
+	"repro/internal/hashchain"
+)
+
+// Auth is the epoch-keyed control-plane authenticator both planes
+// share: a dedicated hash chain (domain-separated from the service
+// chain by a plane-specific label) yields one key per honeypot epoch,
+// and a second label sub-keys it for control MACs. A key captured in
+// epoch e derives only earlier epochs' keys — the same time-limited
+// property the service chain gives clients. The zero/unbuilt Auth
+// signs nothing and verifies nothing, matching the planes'
+// authentication-off modes.
+type Auth struct {
+	seed  []byte
+	sub   string
+	chain *hashchain.Chain
+}
+
+// NewAuth prepares an authenticator whose chain will be seeded by
+// chainLabel||key and whose per-epoch keys are sub-keyed by subLabel.
+// The chain itself is built by Ensure once the epoch count is known.
+func NewAuth(chainLabel string, key []byte, subLabel string) *Auth {
+	return &Auth{seed: append([]byte(chainLabel), key...), sub: subLabel}
+}
+
+// Ensure builds (or extends) the chain to cover the given epoch count.
+func (a *Auth) Ensure(epochs int) error {
+	if a.chain != nil && a.chain.Len() >= epochs {
+		return nil
+	}
+	chain, err := hashchain.Generate(a.seed, epochs)
+	if err != nil {
+		return err
+	}
+	a.chain = chain
+	return nil
+}
+
+// Ready reports whether the chain has been built.
+func (a *Auth) Ready() bool { return a != nil && a.chain != nil }
+
+// Key returns the per-epoch control MAC key. Epochs outside the chain
+// (never produced by genuine senders) have no key.
+func (a *Auth) Key(epoch int) (hashchain.Key, bool) {
+	if !a.Ready() || epoch < 0 || epoch >= a.chain.Len() {
+		return hashchain.Key{}, false
+	}
+	k, err := a.chain.Key(epoch)
+	if err != nil {
+		return hashchain.Key{}, false
+	}
+	return hashchain.SubKey(k, a.sub), true
+}
+
+// Tag MACs the canonical message bytes under the epoch's key, or
+// returns nil when the epoch has no key (the frame will be rejected by
+// every verifying receiver).
+func (a *Auth) Tag(epoch int, msg []byte) []byte {
+	key, ok := a.Key(epoch)
+	if !ok {
+		return nil
+	}
+	return key.Tag(msg)
+}
+
+// Check verifies a MAC against the canonical message bytes under the
+// epoch's key.
+func (a *Auth) Check(epoch int, msg, tag []byte) bool {
+	key, ok := a.Key(epoch)
+	return ok && key.CheckTag(msg, tag)
+}

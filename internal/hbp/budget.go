@@ -1,0 +1,50 @@
+package hbp
+
+// Budget caps every piece of defense state that attacker-controlled
+// packets can grow, on either plane. The zero Budget is usable: each
+// field falls back to a default, so the defense is *always* bounded —
+// an unbounded session table is not a configuration, it is the
+// vulnerability this layer removes (see DESIGN.md, "Threat model &
+// graceful degradation").
+type Budget struct {
+	// Sessions caps each agent's honeypot session table (a router's on
+	// the intra-AS plane, an HSM's on the inter-AS plane). Beyond it,
+	// admission control ranks the incoming session against residents by
+	// victim distance: sessions closer to the protected server survive,
+	// farther (and unroutable, i.e. forged-server) sessions are evicted
+	// or refused. Default 64.
+	Sessions int
+	// DedupEntries caps each legacy relay's piggyback-flood dedup set;
+	// the oldest flood IDs are forgotten first. Default 512.
+	DedupEntries int
+	// PendingTransfers caps the reliable control plane's retransmit
+	// table; beyond it new transfers degrade to fire-and-forget.
+	// Default 1024. (Router plane only — the AS plane's control channel
+	// is modelled as reliable.)
+	PendingTransfers int
+	// ReplaySpan is the per-stream anti-replay window span in sequence
+	// numbers. Default 512.
+	ReplaySpan int
+	// ReplayStreams caps concurrently tracked streams per receiving
+	// agent. Default 128.
+	ReplayStreams int
+}
+
+// FillDefaults replaces non-positive fields with the defaults.
+func (b *Budget) FillDefaults() {
+	if b.Sessions <= 0 {
+		b.Sessions = 64
+	}
+	if b.DedupEntries <= 0 {
+		b.DedupEntries = 512
+	}
+	if b.PendingTransfers <= 0 {
+		b.PendingTransfers = 1024
+	}
+	if b.ReplaySpan <= 0 {
+		b.ReplaySpan = 512
+	}
+	if b.ReplayStreams <= 0 {
+		b.ReplayStreams = 128
+	}
+}

@@ -1,0 +1,43 @@
+package hbp
+
+// CaptureLog records attacker captures in time order and fires a
+// per-capture hook. Both planes embed it in their Defense type with
+// their own capture record (router-plane captures carry node IDs,
+// AS-plane captures carry AS IDs), promoting Captures, Count and the
+// OnCapture field unchanged.
+type CaptureLog[C any] struct {
+	// OnCapture, if set, fires for every capture.
+	OnCapture func(C)
+
+	captures []C
+}
+
+// Record appends a capture and fires the hook.
+func (l *CaptureLog[C]) Record(c C) {
+	l.captures = append(l.captures, c)
+	if l.OnCapture != nil {
+		l.OnCapture(c)
+	}
+}
+
+// Captures returns all captures so far, in time order.
+func (l *CaptureLog[C]) Captures() []C { return l.captures }
+
+// CaptureCount returns the number of captures so far — the watchdog's
+// progress measure.
+func (l *CaptureLog[C]) CaptureCount() int { return len(l.captures) }
+
+// StateMeter tracks the high-water mark of a defense's attacker-
+// growable state. Both planes embed it, promoting the PeakState field
+// their fingerprints and budget experiments read.
+type StateMeter struct {
+	// PeakState is the high-water mark of StateSize over the run.
+	PeakState int
+}
+
+// Note updates the high-water mark after a state-growing mutation.
+func (m *StateMeter) Note(size int) {
+	if size > m.PeakState {
+		m.PeakState = size
+	}
+}

@@ -1,0 +1,33 @@
+package hbp
+
+// EvictWeakest implements the planes' shared admission policy over a
+// full session table: find the weakest resident under the given strict
+// total order and shed it iff the incoming session ranks strictly
+// above it. It returns the evicted session (already deleted from the
+// table; the caller cancels its lease and counts the eviction) or
+// ok=false when the incoming session is the weakest of all — admission
+// is refused and resident state survives. Shedding is local by
+// design: no cancels propagate (upstream copies lease-expire on their
+// own), so an attacker cannot turn budget pressure into a teardown
+// amplifier.
+//
+// weaker must be a strict total order (ties broken on substrate
+// identity — see Weaker) so the winner is independent of map
+// iteration order.
+func EvictWeakest[K comparable, S any](table map[K]S, weaker func(a, b S) bool, incoming S, key func(S) K) (evicted S, ok bool) {
+	var weakest S
+	found := false
+	//hbplint:ignore determinism min-scan under a strict total order supplied by the caller (ties broken on substrate identity), so the winner is independent of map iteration order.
+	for _, s := range table {
+		if !found || weaker(s, weakest) {
+			weakest = s
+			found = true
+		}
+	}
+	if !found || !weaker(weakest, incoming) {
+		var zero S
+		return zero, false
+	}
+	delete(table, key(weakest))
+	return weakest, true
+}

@@ -68,6 +68,7 @@ func groundTruthAllowed(path string) bool {
 var defensePkgSuffixes = []string{
 	"internal/core",
 	"internal/asnet",
+	"internal/hbp",
 	"internal/roaming",
 	"internal/pushback",
 	"internal/stackpi",
