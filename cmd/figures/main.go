@@ -1,6 +1,9 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md's experiment index). Each figure is
 // printed as an aligned text table; -csv switches to CSV output.
+// SIGINT cancels the in-flight run at its next event-batch checkpoint
+// and the process exits non-zero after noting which figures are
+// missing.
 //
 // Usage:
 //
@@ -10,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,35 +47,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	type gen func() (*experiments.Table, error)
-	generators := map[string]gen{
-		"5":  func() (*experiments.Table, error) { return experiments.Fig5(), nil },
-		"6":  func() (*experiments.Table, error) { return experiments.Fig6(scale) },
-		"7":  func() (*experiments.Table, error) { return experiments.Fig7(scale), nil },
-		"8":  func() (*experiments.Table, error) { return experiments.Fig8(scale) },
-		"9":  func() (*experiments.Table, error) { return experiments.Fig9(scale), nil },
-		"10": func() (*experiments.Table, error) { return experiments.Fig10(scale) },
-		"11": func() (*experiments.Table, error) { return experiments.Fig11(scale) },
-		"12": func() (*experiments.Table, error) { return experiments.Fig12(scale) },
-		// Extensions beyond the paper's figures (see EXPERIMENTS.md).
-		"levelk":       func() (*experiments.Table, error) { return experiments.ExtLevelK(scale) },
-		"follower":     func() (*experiments.Table, error) { return experiments.ExtFollower(scale) },
-		"overhead":     func() (*experiments.Table, error) { return experiments.ExtRoamingOverhead(scale) },
-		"load":         func() (*experiments.Table, error) { return experiments.ExtLoad(scale) },
-		"interas":      func() (*experiments.Table, error) { return experiments.ExtInterAS(scale) },
-		"stackpi":      func() (*experiments.Table, error) { return experiments.ExtStackPi(scale) },
-		"spie":         func() (*experiments.Table, error) { return experiments.ExtSPIE(scale) },
-		"defenses":     func() (*experiments.Table, error) { return experiments.ExtAllDefenses(scale) },
-		"threshold":    func() (*experiments.Table, error) { return experiments.ExtThreshold(scale) },
-		"eq4":          func() (*experiments.Table, error) { return experiments.ExtEq4(scale) },
-		"deployment":   func() (*experiments.Table, error) { return experiments.ExtDeployment(scale) },
-		"onoff":        func() (*experiments.Table, error) { return experiments.ExtOnOffValidation(scale) },
-		"faults":       func() (*experiments.Table, error) { return experiments.ExtFaults(scale) },
-		"byzantine":    func() (*experiments.Table, error) { return experiments.ExtByzantine(scale) },
-		"hierarchical": func() (*experiments.Table, error) { return experiments.ExtHierarchical(scale) },
-	}
-	order := []string{"5", "6", "7", "8", "9", "10", "11", "12"}
-	extOrder := []string{"levelk", "follower", "overhead", "load", "interas", "stackpi", "spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults", "byzantine", "hierarchical"}
+	// SIGINT/SIGTERM cancel the current figure's runs at their next
+	// event-batch checkpoint via Scale.Ctx.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	scale.Ctx = ctx
+
+	generators := experiments.Figures()
+	order := experiments.PaperFigureOrder()
+	extOrder := experiments.ExtFigureOrder()
 
 	var selected []string
 	switch *fig {
@@ -89,10 +76,15 @@ func main() {
 		}
 	}
 
-	for _, f := range selected {
+	for fi, f := range selected {
 		start := time.Now()
-		tab, err := generators[f]()
+		tab, err := generators[f](scale)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "interrupted during figure %s — figures %v were not generated (results are partial)\n",
+					f, selected[fi:])
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
 			os.Exit(1)
 		}

@@ -1,5 +1,8 @@
 // Command hbpsim runs a single DDoS-defense simulation scenario and
-// prints the legitimate-throughput time series plus a run summary.
+// prints the legitimate-throughput time series plus a run summary. It
+// is a thin client of the scenario service: the flags build a
+// scenario.TreeSpec (the same document the hbpsimd API accepts), and
+// -server submits it to a running daemon instead of executing locally.
 //
 // Usage:
 //
@@ -7,16 +10,28 @@
 //	hbpsim -defense pushback -placement close
 //	hbpsim -defense none
 //	hbpsim -defense hbp -onoff 0.5,6.5 -progressive
+//	hbpsim -server http://127.0.0.1:8080   # run on a hbpsimd daemon
+//
+// SIGINT cancels the run at the next event-batch checkpoint; the
+// process exits non-zero after noting the partial results.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/topology"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -40,77 +55,59 @@ func main() {
 	watchdog := flag.Bool("watchdog", false, "enable the stall watchdog that re-seeds evicted session trees (hbp only)")
 	byzantine := flag.Int("byzantine", 0, "number of subverted routers forging/replaying/amplifying control frames (hbp only)")
 	byzRate := flag.Float64("byz-rate", 2, "hostile frames per second per subverted router")
+	server := flag.String("server", "", "submit to a running hbpsimd at this base URL instead of executing locally")
 	flag.Parse()
 
-	cfg := experiments.DefaultTreeConfig()
-	cfg.Topology.Leaves = *leaves
+	spec := scenario.TreeSpec{
+		Defense:     *defense,
+		Leaves:      *leaves,
+		Attackers:   *attackers,
+		RateMbps:    *rate,
+		Placement:   *placement,
+		Progressive: *progressive,
+		OnOff:       *onoff,
+		RED:         *red,
+		DeployFrac:  *deployFrac,
+		DurationSec: *duration,
+		EpochSec:    *epoch,
+		Seed:        *seed,
+		Reliable:    *reliable,
+		LossProb:    *loss,
+		CrashRate:   *crashRate,
+		Auth:        *auth,
+		Watchdog:    *watchdog,
+		Byzantine:   *byzantine,
+		ByzRate:     *byzRate,
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *server != "" {
+		os.Exit(remote(ctx, *server, spec))
+	}
+
+	// The JSON spec reads 0 attackers as "default"; the flag means a
+	// literal zero (an undefended-baseline sanity run). RunTree
+	// revalidates.
 	cfg.NumAttackers = *attackers
-	cfg.AttackRate = *rate * 1e6
-	cfg.Duration = *duration
-	if *duration < cfg.AttackEnd {
-		cfg.AttackEnd = *duration * 0.95
-	}
-	cfg.Pool.EpochLen = *epoch
-	cfg.Progressive = *progressive
-	cfg.REDQueues = *red
-	cfg.DeployFraction = *deployFrac
-	cfg.Seed = *seed
-	cfg.Reliable = *reliable
-	if *loss > 0 {
-		cfg.Faults = experiments.ControlLossPlan(cfg.Seed, *loss)
-	}
-	if *crashRate > 0 {
-		cfg.FaultCrashes = int(*crashRate * cfg.Duration / 100)
-		if cfg.FaultCrashes == 0 {
-			cfg.FaultCrashes = 1
-		}
-	}
-	cfg.EpochAuth = *auth
-	cfg.Watchdog = *watchdog
-	cfg.ByzantineNodes = *byzantine
-	cfg.ByzantineRate = *byzRate
 	cfg.TraceCap = 0
 	if *showTrace {
 		cfg.TraceCap = 2000
 	}
-
-	switch *defense {
-	case "hbp":
-		cfg.Defense = experiments.HBP
-	case "pushback":
-		cfg.Defense = experiments.Pushback
-	case "pushback-levelk":
-		cfg.Defense = experiments.PushbackLevelK
-	case "stackpi":
-		cfg.Defense = experiments.StackPiFilter
-	case "none":
-		cfg.Defense = experiments.NoDefense
-	default:
-		fmt.Fprintf(os.Stderr, "unknown defense %q\n", *defense)
-		os.Exit(2)
-	}
-	switch *placement {
-	case "even":
-		cfg.Placement = topology.Even
-	case "close":
-		cfg.Placement = topology.Close
-	case "far":
-		cfg.Placement = topology.Far
-	default:
-		fmt.Fprintf(os.Stderr, "unknown placement %q\n", *placement)
-		os.Exit(2)
-	}
-	if *onoff != "" {
-		var ton, toff float64
-		if _, err := fmt.Sscanf(strings.ReplaceAll(*onoff, ",", " "), "%f %f", &ton, &toff); err != nil {
-			fmt.Fprintf(os.Stderr, "bad -onoff %q: %v\n", *onoff, err)
-			os.Exit(2)
-		}
-		cfg.OnOff = &experiments.OnOffSpec{Ton: ton, Toff: toff}
-	}
+	cfg.Context = ctx
 
 	res, err := experiments.RunTree(cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted — no results (the run was cancelled before completing);", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -161,5 +158,70 @@ func main() {
 	}
 	if *showTrace && res.Trace != nil {
 		fmt.Printf("\ndefense event log (%d events, %d evicted):\n%s", res.Trace.Len(), res.Trace.Dropped(), res.Trace.String())
+	}
+}
+
+// remote submits the case to a hbpsimd daemon and polls it to a
+// terminal state, printing the daemon's result summary.
+func remote(ctx context.Context, base string, spec scenario.TreeSpec) int {
+	base = strings.TrimRight(base, "/")
+	suiteBody, _ := json.Marshal(scenario.SuiteSpec{
+		Name:  "hbpsim",
+		Cases: []scenario.CaseSpec{{Name: "cli", Tree: &spec}},
+	})
+	resp, err := http.Post(base+"/suites", "application/json", bytes.NewReader(suiteBody))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var created struct {
+		Suite scenario.Suite `json:"suite"`
+		Runs  []scenario.Run `json:"runs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated || len(created.Runs) != 1 {
+		fmt.Fprintf(os.Stderr, "submit failed: status %d err %v\n", resp.StatusCode, err)
+		return 1
+	}
+	runURL := base + "/runs/" + created.Runs[0].ID
+	for {
+		select {
+		case <-ctx.Done():
+			req, _ := http.NewRequest(http.MethodDelete, runURL, nil)
+			if dresp, derr := http.DefaultClient.Do(req); derr == nil {
+				dresp.Body.Close()
+			}
+			fmt.Fprintln(os.Stderr, "interrupted — cancelled the remote run; partial results may be journaled on the daemon")
+			return 130
+		case <-time.After(250 * time.Millisecond):
+		}
+		resp, err := http.Get(runURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		var run scenario.Run
+		err = json.NewDecoder(resp.Body).Decode(&run)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if !run.State.Terminal() {
+			continue
+		}
+		if run.State != scenario.StatePassed {
+			fmt.Fprintf(os.Stderr, "run %s: %s (%+v)\n", run.ID, run.State, run.Error)
+			return 1
+		}
+		t := run.Result.Tree
+		fmt.Printf("run %s passed (attempt %d) on %s\n", run.ID, run.Attempts, base)
+		fmt.Printf("mean before attack: %.1f%%\nmean during attack: %.1f%%\n",
+			100*t.MeanBefore, 100*t.MeanDuringAttack)
+		fmt.Printf("captures: %d attackers, %d collateral; control messages: %d; events: %d\n",
+			t.AttackersCaptured, t.CollateralBlocks, t.CtrlMessages, t.EventsFired)
+		fmt.Printf("fingerprint: %s\n", run.Result.Fingerprint)
+		return 0
 	}
 }

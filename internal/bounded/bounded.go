@@ -38,6 +38,16 @@ func NewDedup(capacity int) *Dedup {
 // Len returns the number of remembered identifiers.
 func (d *Dedup) Len() int { return len(d.seen) }
 
+// Reset forgets every remembered identifier, returning the set to its
+// construction state (capacity and eviction counter are preserved).
+// Run teardown uses it so a completed scenario's state accounting
+// returns to zero.
+func (d *Dedup) Reset() {
+	clear(d.seen)
+	d.ring = d.ring[:0]
+	d.head = 0
+}
+
 // Cap returns the configured capacity.
 func (d *Dedup) Cap() int { return d.cap }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/hbp"
@@ -308,6 +309,35 @@ func (d *Defense) RestartRouter(n *netsim.Node) {
 	a.Blocks = old.Blocks
 	d.routers[n.ID] = a
 	d.rec(trace.RouterRestarted, int(n.ID), -1, -1, "")
+}
+
+// Close tears down every piece of live defense state at end of run:
+// all router sessions (with their lease timers), every in-flight
+// reliable transfer, and the legacy relays' dedup windows. After Close
+// returns, StateSize reads zero — the leak-checked teardown contract a
+// supervised scenario run asserts before its resources are reused.
+// Cumulative counters (captures, control stats, peak state) survive,
+// so Close composes with result collection. Teardown order is sorted,
+// keeping the event-heap mutations of timer cancellation
+// deterministic.
+func (d *Defense) Close() {
+	ids := make([]netsim.NodeID, 0, len(d.routers))
+	for id := range d.routers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d.routers[id].crash()
+	}
+	d.abandonPending(func(*pendingSend) bool { return true })
+	lids := make([]netsim.NodeID, 0, len(d.legacy))
+	for id := range d.legacy {
+		lids = append(lids, id)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	for _, id := range lids {
+		d.legacy[id].seen.Reset()
+	}
 }
 
 // OpenSessions counts live honeypot sessions across all deployed

@@ -132,6 +132,12 @@ type Simulator struct {
 	// state: Reset preserves it (but zeroes the fired counter, so the
 	// budget restarts with the new run).
 	EventLimit uint64
+
+	// interrupt, when non-nil, is polled every interruptEvery fired
+	// events; a non-nil return aborts RunUntil with that error. See
+	// SetInterrupt.
+	interrupt      func() error
+	interruptEvery uint64
 }
 
 // ErrEventLimit is returned by Run and RunUntil when Simulator.EventLimit
@@ -329,6 +335,33 @@ func (t *Timer) Pending() bool { return t.e.Pending() }
 // completes. Pending events remain queued.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// DefaultInterruptEvery is the event-batch size between interrupt
+// polls when SetInterrupt is given a non-positive interval. Checking
+// roughly once per thousand events keeps the poll invisible next to
+// dispatch work while bounding cancellation latency to well under a
+// millisecond of wall time.
+const DefaultInterruptEvery = 1024
+
+// SetInterrupt installs a cooperative cancellation checkpoint: check
+// is polled once per `every` fired events (DefaultInterruptEvery when
+// every <= 0), and a non-nil return makes RunUntil stop — after the
+// currently dispatching event, never mid-handler — and return that
+// error. Pending events stay queued, so the owner can drain or resume.
+//
+// The checkpoint never perturbs event order or the simulated clock; a
+// run that is not interrupted is bit-identical with or without an
+// interrupt installed. Pass nil to remove the checkpoint. The intended
+// check is a closure over a context.Context's Err method, giving the
+// run-to-completion loops of the experiment runners a supervised,
+// cancellable lifecycle.
+func (s *Simulator) SetInterrupt(every uint64, check func() error) {
+	if every == 0 {
+		every = DefaultInterruptEvery
+	}
+	s.interrupt = check
+	s.interruptEvery = every
+}
+
 // Run dispatches events until the queue is empty, Stop is called, or
 // the event limit is hit.
 func (s *Simulator) Run() error {
@@ -342,6 +375,14 @@ func (s *Simulator) Run() error {
 func (s *Simulator) RunUntil(end float64) error {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
+		// Cooperative checkpoint: polled between events (never
+		// mid-handler, never after the head event is popped) so an
+		// interrupted run keeps its whole pending queue.
+		if s.interrupt != nil && s.fired%s.interruptEvery == 0 {
+			if err := s.interrupt(); err != nil {
+				return err
+			}
+		}
 		idx := s.heap[0]
 		r := &s.recs[idx]
 		if r.time > end {
@@ -371,12 +412,52 @@ func (s *Simulator) RunUntil(end float64) error {
 	return nil
 }
 
+// DrainedEvent is one pending event handed back by DrainPending. For
+// typed events (ScheduleTyped) the operands and kind are populated and
+// Handler is nil; for closure events only Handler is set. Neither is
+// invoked — the drain exists so the owner can reclaim resources the
+// event record was keeping alive (pooled packets riding typed link
+// events, above all) instead of leaking them when a run is torn down.
+type DrainedEvent struct {
+	Time    float64
+	Name    string
+	Handler Handler
+	Fn      TypedFunc
+	A, B    any
+	Kind    uint8
+}
+
+// DrainPending removes every pending event without firing it, passing
+// each to visit (which may be nil) in deterministic (time, seq) order.
+// The clock, fired counter and event limit are untouched, so a drain
+// composes with result collection after RunUntil. This is the
+// teardown path a completed run must take before leak-checking pooled
+// resources: Reset alone drops the slab's references, which silently
+// strands any pooled packet still riding an in-flight event.
+func (s *Simulator) DrainPending(visit func(DrainedEvent)) {
+	for len(s.heap) > 0 {
+		idx := s.heap[0]
+		r := &s.recs[idx]
+		if visit != nil {
+			visit(DrainedEvent{
+				Time: r.time, Name: r.name,
+				Handler: r.h, Fn: r.fn, A: r.a, B: r.b, Kind: r.kind,
+			})
+		}
+		s.heapRemove(0)
+		s.release(idx)
+	}
+}
+
 // Reset discards all pending events and rewinds the clock to zero. The
 // slab and free list are retained for reuse, and every outstanding
 // Event handle is invalidated (Pending reports false; Cancel is a
 // no-op). EventLimit is preserved — it is configuration, not run state
 // — while the fired counter restarts at zero, so the event budget
-// applies afresh to the next run.
+// applies afresh to the next run. Reset drops event payload references
+// without visiting them; when pending events may hold pooled resources
+// (packets in typed link events), DrainPending first, so the pool's
+// accounting survives the teardown.
 func (s *Simulator) Reset() {
 	for _, idx := range s.heap {
 		s.release(idx)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -153,6 +154,22 @@ type TreeConfig struct {
 	SampleInterval float64
 	// Seed drives attacker target choice, spoofing, client jitter.
 	Seed int64
+
+	// Context, when non-nil, installs a cooperative cancellation
+	// checkpoint in the run: the simulator polls Context.Err at
+	// event-batch boundaries and RunTree returns a wrapped
+	// context.Canceled / DeadlineExceeded instead of running to
+	// completion. The checkpoint never perturbs event order, so an
+	// uncancelled run is bit-identical with or without a context. The
+	// scenario service sets it on every supervised run; nil keeps the
+	// historical run-to-completion behavior.
+	Context context.Context `json:"-"`
+	// EventLimit, when non-zero, is the simulated-event deadline: the
+	// run aborts with des.ErrEventLimit after that many dispatched
+	// events. It is the guard against pathological self-rescheduling
+	// scenarios in a long-lived service, complementing the wall-clock
+	// deadline the Context carries.
+	EventLimit uint64
 }
 
 // DefaultTreeConfig returns the Fig. 9-style baseline scenario:

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,11 @@ type Scale struct {
 	TimeFactor float64
 	// Runs is the per-point repetition count for validation sweeps.
 	Runs int
+	// Ctx, when non-nil, threads cooperative cancellation into every
+	// run a figure generator launches (see TreeConfig.Context). The
+	// figure drivers set it from their signal context so a ^C aborts
+	// the current run instead of waiting out a full sweep.
+	Ctx context.Context
 }
 
 // FullScale approximates the paper's setup.
@@ -45,6 +51,7 @@ func (s Scale) treeConfig() TreeConfig {
 		cfg.NumAttackers = max
 	}
 	cfg.AttackRate = 2.5e6 / float64(cfg.NumAttackers)
+	cfg.Context = s.Ctx
 	return cfg
 }
 
@@ -87,6 +94,7 @@ func Fig6(scale Scale) (*Table, error) {
 	}
 	add := func(panel string, param string, cfg ValidationConfig) error {
 		cfg.Runs = scale.Runs
+		cfg.Context = scale.Ctx
 		r, err := RunValidation(cfg)
 		if err != nil {
 			return err

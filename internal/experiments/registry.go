@@ -1,0 +1,50 @@
+package experiments
+
+// FigureGen regenerates one table of the evaluation at the given
+// scale.
+type FigureGen func(Scale) (*Table, error)
+
+// Figures returns the full generator registry keyed by figure id —
+// the paper's numbered figures plus the extension studies. cmd/figures
+// and the scenario service share it so a figure requested over either
+// surface runs exactly the same code.
+func Figures() map[string]FigureGen {
+	return map[string]FigureGen{
+		"5":  func(Scale) (*Table, error) { return Fig5(), nil },
+		"6":  Fig6,
+		"7":  func(s Scale) (*Table, error) { return Fig7(s), nil },
+		"8":  Fig8,
+		"9":  func(s Scale) (*Table, error) { return Fig9(s), nil },
+		"10": Fig10,
+		"11": Fig11,
+		"12": Fig12,
+		// Extensions beyond the paper's figures (see EXPERIMENTS.md).
+		"levelk":       ExtLevelK,
+		"follower":     ExtFollower,
+		"overhead":     ExtRoamingOverhead,
+		"load":         ExtLoad,
+		"interas":      ExtInterAS,
+		"stackpi":      ExtStackPi,
+		"spie":         ExtSPIE,
+		"defenses":     ExtAllDefenses,
+		"threshold":    ExtThreshold,
+		"eq4":          ExtEq4,
+		"deployment":   ExtDeployment,
+		"onoff":        ExtOnOffValidation,
+		"faults":       ExtFaults,
+		"byzantine":    ExtByzantine,
+		"hierarchical": ExtHierarchical,
+	}
+}
+
+// PaperFigureOrder is the presentation order of the paper's figures.
+func PaperFigureOrder() []string {
+	return []string{"5", "6", "7", "8", "9", "10", "11", "12"}
+}
+
+// ExtFigureOrder is the presentation order of the extension studies.
+func ExtFigureOrder() []string {
+	return []string{"levelk", "follower", "overhead", "load", "interas", "stackpi",
+		"spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults",
+		"byzantine", "hierarchical"}
+}

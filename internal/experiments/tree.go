@@ -70,7 +70,27 @@ type TreeResult struct {
 	// EventsFired is the total simulator events dispatched over the
 	// run; benchmarks divide it by wall time for an events/sec rate.
 	EventsFired uint64
+	// Leak is the post-teardown resource audit: after results are
+	// collected, RunTree closes the defense and drains the network, and
+	// both gauges must read zero. A supervised scenario run refuses to
+	// report success otherwise.
+	Leak LeakReport
 }
+
+// LeakReport is the leak-checked teardown audit of one completed run.
+type LeakReport struct {
+	// PacketsOutstanding is netsim.Network.PacketsOutstanding after
+	// the drain: pool packets some handler or agent stranded past
+	// their terminal point.
+	PacketsOutstanding int64
+	// DefenseState is core.Defense.StateSize after Close: sessions,
+	// dedup entries or pending transfers that survived teardown (0 for
+	// non-HBP defenses).
+	DefenseState int
+}
+
+// Clean reports whether the teardown reclaimed everything.
+func (l LeakReport) Clean() bool { return l.PacketsOutstanding == 0 && l.DefenseState == 0 }
 
 // RunTree executes one tree scenario end to end.
 func RunTree(cfg TreeConfig) (*TreeResult, error) {
@@ -81,6 +101,13 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		cfg.SampleInterval = 1
 	}
 	sim := des.New()
+	if cfg.EventLimit > 0 {
+		sim.EventLimit = cfg.EventLimit
+	}
+	if cfg.Context != nil {
+		ctx := cfg.Context
+		sim.SetInterrupt(0, ctx.Err)
+	}
 	tr := topology.NewTree(sim, cfg.Topology)
 	rng := des.NewRNG(cfg.Seed)
 
@@ -151,11 +178,6 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		}
 		def.OnCapture = func(c core.Capture) { res.Captures = append(res.Captures, c) }
 		hbpDef = def
-		defer func() {
-			res.CtrlMessages = def.MsgSent
-			res.Ctrl = def.Ctrl
-			res.OpenSessionsAtEnd = def.OpenSessions()
-		}()
 	case Pushback, PushbackLevelK:
 		defended := make([]netsim.NodeID, len(tr.Servers))
 		for i, s := range tr.Servers {
@@ -352,7 +374,14 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		}
 	})
 	if err := sim.RunUntil(cfg.Duration); err != nil {
-		return nil, err
+		// Cancelled and event-limited runs still release their pooled
+		// resources before reporting the abort: the scenario service
+		// reuses the process for the next run.
+		if hbpDef != nil {
+			hbpDef.Close()
+		}
+		tr.Net.Drain()
+		return nil, fmt.Errorf("experiments: run aborted at t=%.1fs after %d events: %w", sim.Now(), sim.Fired(), err)
 	}
 
 	res.Throughput = mon.Series()
@@ -383,13 +412,24 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		res.FaultLossCount = inj.LostToNoise()
 		res.FaultOutageCount = inj.LostToFailure()
 	}
+	if byzAdapter != nil {
+		res.ByzantineInjected = byzAdapter.Injected
+	}
+	// Leak-checked teardown: collect every live gauge first (Close wipes
+	// the open-session count), then release defense state and drain the
+	// network so the pool audit sees a quiescent run. Leak must read
+	// clean — a supervised scenario run fails otherwise.
 	if hbpDef != nil {
 		res.Sec = hbpDef.Sec
 		res.PeakState = hbpDef.PeakState
 		res.StateBudget = hbpDef.StateBudget()
+		res.CtrlMessages = hbpDef.MsgSent
+		res.Ctrl = hbpDef.Ctrl
+		res.OpenSessionsAtEnd = hbpDef.OpenSessions()
+		hbpDef.Close()
+		res.Leak.DefenseState = hbpDef.StateSize()
 	}
-	if byzAdapter != nil {
-		res.ByzantineInjected = byzAdapter.Injected
-	}
+	tr.Net.Drain()
+	res.Leak.PacketsOutstanding = tr.Net.PacketsOutstanding()
 	return res, nil
 }

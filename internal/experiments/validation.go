@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,6 +39,10 @@ type ValidationConfig struct {
 	Seed int64
 	// MaxEpochs caps each run's length in epochs (safety).
 	MaxEpochs int
+	// Context, when non-nil, installs the same cooperative
+	// cancellation checkpoint as TreeConfig.Context in every run of
+	// the sweep.
+	Context context.Context `json:"-"`
 }
 
 // DefaultValidationConfig mirrors the Fig. 6 setup.
@@ -116,6 +121,9 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 // oneValidationRun returns the capture time of a single run.
 func oneValidationRun(cfg ValidationConfig, k, run int) (float64, bool, error) {
 	sim := des.New()
+	if cfg.Context != nil {
+		sim.SetInterrupt(0, cfg.Context.Err)
+	}
 	tr := topology.NewString(sim, cfg.Hops, cfg.PoolSize,
 		topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
 	pcfg := roaming.Config{
@@ -218,6 +226,9 @@ func RunValidationProgressive(cfg ValidationConfig) (*ValidationResult, error) {
 
 func oneProgressiveRun(cfg ValidationConfig, k, run int) (float64, bool, error) {
 	sim := des.New()
+	if cfg.Context != nil {
+		sim.SetInterrupt(0, cfg.Context.Err)
+	}
 	tr := topology.NewString(sim, cfg.Hops, cfg.PoolSize,
 		topology.LinkClass{Bandwidth: 1e7, Delay: 0.002})
 	pcfg := roaming.Config{

@@ -1,0 +1,38 @@
+package faults
+
+import (
+	"errors"
+
+	"repro/internal/des"
+)
+
+// ErrInfraCrash is the injected harness-mortality error: the simulated
+// infrastructure running a scenario died (OOM-killed worker, preempted
+// VM, torn-down container) rather than the scenario itself failing.
+// The scenario supervisor classifies it as retryable — unlike a panic
+// or a deadline, a crashed worker says nothing about the run's inputs.
+var ErrInfraCrash = errors.New("faults: injected infrastructure crash")
+
+// InfraCrash is the chaos knob for the scenario service: each run
+// attempt independently dies with probability Prob. It models the
+// environment killing workers, not the simulation misbehaving, so the
+// supervisor's retry loop is the component under test.
+type InfraCrash struct {
+	// Prob is the per-attempt crash probability in [0, 1).
+	Prob float64
+}
+
+// Roll reports whether the attempt identified by seed dies to an
+// injected crash. The draw is a pure function of (Prob, seed): the
+// same attempt crashes or survives identically across process
+// restarts, which keeps supervised suites replayable.
+func (ic InfraCrash) Roll(seed int64) bool {
+	if ic.Prob <= 0 {
+		return false
+	}
+	// Mix with a fixed odd constant so the draw is decorrelated from
+	// the scenario's own use of the seed.
+	mix := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	rng := des.NewRNG(int64(mix))
+	return rng.Float64() < ic.Prob
+}

@@ -87,11 +87,16 @@ func defensePkg(path string) bool {
 
 // simulationPkg reports whether determinism rules apply to path:
 // everything except command/example drivers (which may time wall-clock
-// progress) and the lint suite itself.
+// progress), the scenario service (a wall-clock supervisor over
+// simulations, not a simulation itself — its deadlines, backoff and
+// journal timestamps are real time by design), and the lint suite
+// itself.
 func simulationPkg(path string) bool {
 	for _, seg := range strings.Split(path, "/") {
 		switch seg {
 		case "cmd", "examples", "main":
+			return false
+		case "scenario":
 			return false
 		case "lint", "linttest":
 			return false

@@ -22,6 +22,11 @@ type Network struct {
 	// global) so concurrent simulations in separate goroutines — the
 	// parallel experiment runner — never share packet memory.
 	pktFree []*Packet
+	// pktAllocs / pktFrees count pool hand-outs and returns; their
+	// difference is the outstanding-packet gauge the leak-checked run
+	// teardown asserts back to zero (see PacketsOutstanding).
+	pktAllocs int64
+	pktFrees  int64
 }
 
 // maxPooledPackets bounds the free list; beyond it released packets
@@ -34,6 +39,7 @@ const maxPooledPackets = 1 << 16
 // when available. In steady state (every pool packet reaching a
 // terminal point) this makes per-packet allocation cost disappear.
 func (nw *Network) NewPacket() *Packet {
+	nw.pktAllocs++
 	if n := len(nw.pktFree); n > 0 {
 		p := nw.pktFree[n-1]
 		nw.pktFree = nw.pktFree[:n-1]
@@ -42,6 +48,16 @@ func (nw *Network) NewPacket() *Packet {
 	}
 	return &Packet{}
 }
+
+// PacketsOutstanding is the number of pool packets handed out and not
+// yet recycled — the run-teardown leak gauge. After a run has been
+// fully torn down (traffic stopped, Network.Drain called) it must read
+// zero; a positive residue means some handler or agent strands packets
+// past their terminal point. Packets allocated as literals (&Packet{}
+// in tests) are charged on free but not on allocation, so the gauge
+// can go negative in literal-heavy tests; the leak check only applies
+// to scenarios whose traffic uses the pool, which is all of them.
+func (nw *Network) PacketsOutstanding() int64 { return nw.pktAllocs - nw.pktFrees }
 
 // ClonePacket returns a shallow copy of p drawn from the pool.
 // Payloads are shared. Use it when a hook or handler needs packet
@@ -60,6 +76,7 @@ func (nw *Network) freePacket(p *Packet) {
 	if p.freed {
 		panic("netsim: packet double free")
 	}
+	nw.pktFrees++
 	*p = Packet{freed: true}
 	if len(nw.pktFree) < maxPooledPackets {
 		nw.pktFree = append(nw.pktFree, p)
@@ -200,6 +217,33 @@ func (nw *Network) Path(a, b NodeID) []*Node {
 		}
 	}
 	return path
+}
+
+// Drain tears down all in-transit packet state after a run: every
+// pending link event still holding a packet (serialization or
+// propagation in flight) is cancelled and its packet recycled, and
+// every port's output queues are flushed back to the pool. Statistics
+// counters are untouched, so Drain composes with result collection;
+// only the packets themselves are reclaimed. After the traffic sources
+// are stopped and Drain returns, PacketsOutstanding must read zero —
+// that is the leak-checked teardown contract of a completed run.
+//
+// Drain assumes the usual one-network-per-simulator layout: the typed
+// events it reclaims packets from are matched by operand type, so a
+// second network sharing the simulator would have its in-flight
+// packets freed into the wrong pool.
+func (nw *Network) Drain() {
+	nw.Sim.DrainPending(func(ev des.DrainedEvent) {
+		if p, ok := ev.B.(*Packet); ok && !p.freed {
+			nw.freePacket(p)
+		}
+	})
+	for _, l := range nw.links {
+		for _, pt := range [2]*Port{l.a, l.b} {
+			pt.q.flush(nw)
+			pt.busy = false
+		}
+	}
 }
 
 // TotalQueueDrops sums drop-tail losses over every port.

@@ -1,0 +1,24 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// fingerprint hashes the canonical JSON encoding of v. encoding/json
+// marshals struct fields in declaration order and map keys sorted, so
+// for the result types here the encoding — and therefore the digest —
+// is canonical: two runs agree on the fingerprint iff they agree on
+// every deterministic field.
+func fingerprint(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// The result types are plain data; a marshal failure is a
+		// programming error, not an input condition.
+		panic(fmt.Sprintf("scenario: fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// EntryType tags one journal record.
+type EntryType string
+
+const (
+	// EntrySuite records a suite's creation.
+	EntrySuite EntryType = "suite"
+	// EntrySubmitted records a run's admission to the queue.
+	EntrySubmitted EntryType = "submitted"
+	// EntryStarted records a worker picking the run up (one per
+	// attempt).
+	EntryStarted EntryType = "started"
+	// EntryFinished records the terminal state.
+	EntryFinished EntryType = "finished"
+)
+
+// Entry is one append-only journal record. The journal is the crash
+// ledger, not the result store: it carries enough to reconstruct every
+// run's lifecycle position after a daemon restart (a run with a
+// started entry but no finished entry was lost mid-flight), plus the
+// result fingerprint so recovered history stays comparable.
+type Entry struct {
+	Type  EntryType `json:"type"`
+	Time  time.Time `json:"time"`
+	Suite string    `json:"suite,omitempty"`
+	// SuiteName is set on EntrySuite.
+	SuiteName string `json:"suite_name,omitempty"`
+	Run       string `json:"run,omitempty"`
+	// Spec is set on EntrySubmitted so a recovered run is
+	// resubmittable.
+	Spec *CaseSpec `json:"spec,omitempty"`
+	// Attempt is set on EntryStarted.
+	Attempt int `json:"attempt,omitempty"`
+	// State, Error and Fingerprint are set on EntryFinished.
+	State       State     `json:"state,omitempty"`
+	Error       *RunError `json:"error,omitempty"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+}
+
+// Journal is an append-only JSONL ledger. Every write is flushed and
+// synced before Record returns: after a crash the journal may miss at
+// most the transition in flight, never hold a torn prefix of one.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenJournal opens (creating if needed) the journal at path, first
+// reading back every intact record for recovery. A trailing partial
+// line — the write the previous process died inside — is dropped, not
+// an error.
+func OpenJournal(path string) (*Journal, []Entry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: open journal: %w", err)
+	}
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	valid := int64(0)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn tail from a crash mid-write; recovery stops here
+			// and the next Record overwrites it.
+			break
+		}
+		entries = append(entries, e)
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("scenario: read journal: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("scenario: truncate torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("scenario: seek journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, entries, nil
+}
+
+// Record appends one entry durably.
+func (j *Journal) Record(e Entry) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("scenario: marshal journal entry: %w", err)
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("scenario: write journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("scenario: flush journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Recover reconstructs run records from journal entries: terminal runs
+// come back as journaled, and any run submitted or started but never
+// finished is marked StateInterrupted — the previous daemon died while
+// holding it. The returned runs carry enough spec to resubmit.
+func Recover(entries []Entry) (suites map[string]string, runs []*Run) {
+	suites = map[string]string{}
+	byID := map[string]*Run{}
+	for _, e := range entries {
+		switch e.Type {
+		case EntrySuite:
+			suites[e.Suite] = e.SuiteName
+		case EntrySubmitted:
+			r := &Run{ID: e.Run, Suite: e.Suite, State: StateInterrupted, SubmittedAt: e.Time}
+			if e.Spec != nil {
+				r.Spec = *e.Spec
+			}
+			byID[e.Run] = r
+			runs = append(runs, r)
+		case EntryStarted:
+			if r := byID[e.Run]; r != nil {
+				r.Attempts = e.Attempt
+				r.StartedAt = e.Time
+			}
+		case EntryFinished:
+			if r := byID[e.Run]; r != nil {
+				r.State = e.State
+				r.Error = e.Error
+				r.FinishedAt = e.Time
+				if e.Fingerprint != "" {
+					r.Result = &CaseResult{Kind: r.Spec.EffectiveKind(), Fingerprint: e.Fingerprint}
+				}
+			}
+		}
+	}
+	return suites, runs
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJournalRoundTrip: a daemon generation writes its lifecycle, and
+// the next generation recovers terminal runs verbatim.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	r := NewRunner(Config{Workers: 1, Journal: j}, nil)
+	r.Start()
+	s, err := r.CreateSuite("persisted")
+	if err != nil {
+		t.Fatalf("CreateSuite: %v", err)
+	}
+	run, err := r.Submit(s.ID, CaseSpec{Name: "keep", Tree: quickTree(3)})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := waitTerminal(t, r, run.ID, 60*time.Second)
+	if got.State != StatePassed {
+		t.Fatalf("state = %s (err %+v)", got.State, got.Error)
+	}
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Second generation.
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	r2 := NewRunner(Config{Workers: 1, Journal: j2}, entries)
+	rec, ok := r2.GetRun(run.ID)
+	if !ok {
+		t.Fatalf("run %s not recovered", run.ID)
+	}
+	if rec.State != StatePassed {
+		t.Fatalf("recovered state = %s, want passed", rec.State)
+	}
+	if rec.Result == nil || rec.Result.Fingerprint != got.Result.Fingerprint {
+		t.Fatalf("recovered fingerprint %+v != original %s", rec.Result, got.Result.Fingerprint)
+	}
+	// New IDs must not collide with recovered ones.
+	r2.Start()
+	defer r2.Drain(context.Background()) //nolint:errcheck
+	s2, err := r2.CreateSuite("second")
+	if err != nil {
+		t.Fatalf("CreateSuite gen2: %v", err)
+	}
+	if s2.ID == s.ID {
+		t.Fatalf("suite ID %s reused after recovery", s2.ID)
+	}
+	run2, err := r2.Submit(s2.ID, CaseSpec{Name: "fresh", Tree: quickTree(4)})
+	if err != nil {
+		t.Fatalf("Submit gen2: %v", err)
+	}
+	if run2.ID == run.ID {
+		t.Fatalf("run ID %s reused after recovery", run2.ID)
+	}
+}
+
+// TestJournalMarksInterrupted: a run journaled as started but never
+// finished — the daemon died holding it — recovers as interrupted and
+// can be resubmitted.
+func TestJournalMarksInterrupted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	now := time.Now()
+	spec := CaseSpec{Name: "orphan", Tree: quickTree(5)}
+	for _, e := range []Entry{
+		{Type: EntrySuite, Time: now, Suite: "s-1", SuiteName: "crashed"},
+		{Type: EntrySubmitted, Time: now, Suite: "s-1", Run: "r-1", Spec: &spec},
+		{Type: EntryStarted, Time: now, Suite: "s-1", Run: "r-1", Attempt: 1},
+	} {
+		if err := j.Record(e); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	j.Close()
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	r := NewRunner(Config{Workers: 1, Journal: j2}, entries)
+	r.Start()
+	defer r.Drain(context.Background()) //nolint:errcheck
+	rec, ok := r.GetRun("r-1")
+	if !ok || rec.State != StateInterrupted {
+		t.Fatalf("recovered run = %+v, want interrupted", rec)
+	}
+	if rec.Attempts != 1 {
+		t.Fatalf("recovered attempts = %d, want 1", rec.Attempts)
+	}
+	// The interrupted run resumes as a fresh supervised run.
+	run, err := r.Resubmit("r-1")
+	if err != nil {
+		t.Fatalf("Resubmit: %v", err)
+	}
+	if got := waitTerminal(t, r, run.ID, 60*time.Second); got.State != StatePassed {
+		t.Fatalf("resubmitted run state = %s (err %+v)", got.State, got.Error)
+	}
+}
+
+// TestJournalTornTail: a crash mid-write leaves a torn last line; the
+// reopen drops it and appends cleanly after the intact prefix.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Record(Entry{Type: EntrySuite, Time: time.Now(), Suite: "s-1", SuiteName: "ok"}); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open for tearing: %v", err)
+	}
+	f.WriteString(`{"type":"submitted","suite":"s-1","ru`) //nolint:errcheck
+	f.Close()
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen torn journal: %v", err)
+	}
+	if len(entries) != 1 || entries[0].SuiteName != "ok" {
+		t.Fatalf("recovered entries = %+v, want the one intact record", entries)
+	}
+	// The journal must be appendable after truncating the torn tail.
+	if err := j2.Record(Entry{Type: EntrySuite, Time: time.Now(), Suite: "s-2", SuiteName: "after"}); err != nil {
+		t.Fatalf("Record after tear: %v", err)
+	}
+	j2.Close()
+	_, entries, err = OpenJournal(path)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("after repair got %d entries, want 2", len(entries))
+	}
+}

@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Runner) {
+	t.Helper()
+	r := NewRunner(cfg, nil)
+	r.Start()
+	srv := httptest.NewServer(NewServer(r))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		r.Drain(ctx) //nolint:errcheck
+	})
+	return srv, r
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestServerSuiteLifecycle drives the happy path over HTTP: create a
+// suite with inline cases, poll to completion, read results back.
+func TestServerSuiteLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 2})
+	spec := SuiteSpec{
+		Name: "http-suite",
+		Cases: []CaseSpec{
+			{Name: "a", Tree: quickTree(1)},
+			{Name: "b", Tree: quickTree(2)},
+		},
+	}
+	resp, body := postJSON(t, srv.URL+"/suites", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /suites = %d: %s", resp.StatusCode, body)
+	}
+	var created suiteResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("decode create response: %v", err)
+	}
+	if len(created.Runs) != 2 {
+		t.Fatalf("created %d runs, want 2", len(created.Runs))
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var got suiteResponse
+		getJSON(t, srv.URL+"/suites/"+created.Suite.ID, &got)
+		done := 0
+		for _, run := range got.Runs {
+			if run.State.Terminal() {
+				if run.State != StatePassed {
+					t.Fatalf("run %s: state %s (err %+v)", run.ID, run.State, run.Error)
+				}
+				if run.Result == nil || run.Result.Fingerprint == "" {
+					t.Fatalf("run %s passed without a fingerprint", run.ID)
+				}
+				done++
+			}
+		}
+		if done == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("suite never finished: %+v", got.Runs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServerBackpressure: a full queue answers 503 with Retry-After.
+func TestServerBackpressure(t *testing.T) {
+	srv, r := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	resp, body := postJSON(t, srv.URL+"/suites", SuiteSpec{Name: "bp"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create suite = %d: %s", resp.StatusCode, body)
+	}
+	var created suiteResponse
+	json.Unmarshal(body, &created) //nolint:errcheck
+	suiteURL := fmt.Sprintf("%s/suites/%s/cases", srv.URL, created.Suite.ID)
+
+	// Block the single worker, then fill the queue.
+	resp, body = postJSON(t, suiteURL, CaseSpec{Name: "blocker", Tree: longTree(1)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker = %d: %s", resp.StatusCode, body)
+	}
+	var blocker Run
+	json.Unmarshal(body, &blocker) //nolint:errcheck
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _ := r.GetRun(blocker.ID)
+		if got.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp, body = postJSON(t, suiteURL, CaseSpec{Name: "fill", Tree: quickTree(2)}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fill = %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, suiteURL, CaseSpec{Name: "reject", Tree: quickTree(3)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow = %d: %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	// Cancel the blocker over HTTP; the backlog then drains.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/runs/"+blocker.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", dresp.StatusCode)
+	}
+	if got := waitTerminal(t, r, blocker.ID, 30*time.Second); got.State != StateCancelled {
+		t.Fatalf("blocker state = %s after DELETE", got.State)
+	}
+}
+
+// TestServerValidation: malformed specs are rejected up front with
+// 400, not accepted and failed later.
+func TestServerValidation(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	cases := []SuiteSpec{
+		{Name: ""},
+		{Name: "bad", Cases: []CaseSpec{{Name: "x", Tree: &TreeSpec{Defense: "nonsense"}}}},
+		{Name: "bad2", Cases: []CaseSpec{{Name: "x", Kind: "figure"}}},
+		{Name: "bad3", Cases: []CaseSpec{{Name: "x", Figure: &FigureSpec{Fig: "99"}}}},
+		{Name: "dup", Cases: []CaseSpec{{Name: "x", Tree: quickTree(1)}, {Name: "x", Tree: quickTree(2)}}},
+	}
+	for i, spec := range cases {
+		if resp, body := postJSON(t, srv.URL+"/suites", spec); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d (%s), want 400", i, resp.StatusCode, body)
+		}
+	}
+	if resp, body := postJSON(t, srv.URL+"/suites", SuiteSpec{Name: "ok"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("empty suite rejected: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerHealthz reports queue depth.
+func TestServerHealthz(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueCap: 7})
+	var h map[string]any
+	resp := getJSON(t, srv.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, h)
+	}
+	if int(h["queue_cap"].(float64)) != 7 {
+		t.Fatalf("queue_cap = %v, want 7", h["queue_cap"])
+	}
+}
+
+// TestServerNotFound: unknown suite and run IDs are 404.
+func TestServerNotFound(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	if resp := getJSON(t, srv.URL+"/suites/s-999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown suite = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/runs/r-999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown run = %d", resp.StatusCode)
+	}
+}
