@@ -19,3 +19,9 @@ func BenchmarkHotPathTypedEvent(b *testing.B) { benchhot.TypedEvent(b) }
 // BenchmarkHotPathHierarchical is the unified two-level scenario
 // (inter-AS walk + embedded per-AS router-level traceback).
 func BenchmarkHotPathHierarchical(b *testing.B) { benchhot.Hierarchical(b) }
+
+// The forest pair brackets the parallel engine: identical event
+// schedules (the fingerprint invariant), so Shard1/Shard8 ns/op is
+// pure engine speedup on multi-core hosts.
+func BenchmarkHotPathForestShard1(b *testing.B) { benchhot.Forest(1)(b) }
+func BenchmarkHotPathForestShard8(b *testing.B) { benchhot.Forest(8)(b) }

@@ -40,11 +40,15 @@ var baseline = map[string]Result{
 }
 
 type report struct {
-	Note      string            `json:"note"`
-	Go        string            `json:"go"`
-	Generated string            `json:"generated_by"`
-	Baseline  map[string]Result `json:"baseline"`
-	Current   map[string]Result `json:"current"`
+	Note      string `json:"note"`
+	Go        string `json:"go"`
+	Generated string `json:"generated_by"`
+	// GOMAXPROCS records the core budget the numbers were taken on:
+	// the ForestShard1/ForestShard8 ratio is only a real speedup
+	// measurement when it is > 1.
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Baseline   map[string]Result `json:"baseline"`
+	Current    map[string]Result `json:"current"`
 }
 
 func measure(f func(*testing.B)) Result {
@@ -76,15 +80,18 @@ func main() {
 		Note: "simulation hot-path trajectory: baseline = pre-refactor " +
 			"(pointer events, per-hop closures, literal packets); " +
 			"current = event slab + typed link events + packet pool",
-		Go:        runtime.Version(),
-		Generated: "go run ./cmd/benchhotpath",
-		Baseline:  baseline,
+		Go:         runtime.Version(),
+		Generated:  "go run ./cmd/benchhotpath",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Baseline:   baseline,
 		Current: map[string]Result{
 			"Fig8":         measure(benchhot.Fig8),
 			"Forwarding":   measure(benchhot.Forwarding),
 			"EventQueue":   measure(benchhot.EventQueue),
 			"TypedEvent":   measure(benchhot.TypedEvent),
 			"Hierarchical": measure(benchhot.Hierarchical),
+			"ForestShard1": measure(benchhot.Forest(1)),
+			"ForestShard8": measure(benchhot.Forest(8)),
 		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -98,7 +105,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *outPath)
-	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent", "Hierarchical"} {
+	fmt.Printf("GOMAXPROCS=%d (forest shard speedup needs >1 core)\n", runtime.GOMAXPROCS(0))
+	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent", "Hierarchical", "ForestShard1", "ForestShard8"} {
 		cur := rep.Current[name]
 		if base, ok := baseline[name]; ok {
 			fmt.Printf("  %-11s %14.1f ns/op (was %14.1f)  %8d allocs/op (was %8d)\n",

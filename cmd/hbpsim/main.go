@@ -55,6 +55,7 @@ func main() {
 	watchdog := flag.Bool("watchdog", false, "enable the stall watchdog that re-seeds evicted session trees (hbp only)")
 	byzantine := flag.Int("byzantine", 0, "number of subverted routers forging/replaying/amplifying control frames (hbp only)")
 	byzRate := flag.Float64("byz-rate", 2, "hostile frames per second per subverted router")
+	shards := flag.Int("shards", 0, "event-engine shards (0 or 1 sequential; N>1 hosts the run on a sharded engine, bit-identical results)")
 	server := flag.String("server", "", "submit to a running hbpsimd at this base URL instead of executing locally")
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		Watchdog:    *watchdog,
 		Byzantine:   *byzantine,
 		ByzRate:     *byzRate,
+		Shards:      *shards,
 	}
 	cfg, err := spec.Config()
 	if err != nil {

@@ -71,6 +71,50 @@ func Hierarchical(b *testing.B) {
 	}
 }
 
+// forestConfig is the reduced-scale sharded forest scenario: 8
+// independent HBP trees joined in a cross-traffic ring, one tree per
+// cluster part, placed round-robin over the requested shard count.
+func forestConfig(shards int) experiments.ForestConfig {
+	cfg := experiments.DefaultForestConfig()
+	cfg.Parts = 8
+	cfg.LeavesPerPart = 16
+	cfg.AttackersPerPart = 3
+	cfg.Duration = 20
+	cfg.AttackStart = 2
+	cfg.AttackEnd = 18
+	cfg.Shards = shards
+	return cfg
+}
+
+// Forest returns a benchmark body running the sharded forest at the
+// given engine width. The 1-shard and 8-shard entries bracket the
+// parallel engine: identical work (the fingerprint invariant pins the
+// event schedule bit-for-bit), so the ns/op ratio is pure engine
+// speedup — 1x on a single-core host, approaching the core count on
+// real parallel hardware.
+func Forest(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := forestConfig(shards)
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = int64(i + 1)
+			r, err := experiments.RunShardedForest(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Captures == 0 {
+				b.Fatal("no captures")
+			}
+			if !r.Leak.Clean() {
+				b.Fatalf("leaked: %+v", r.Leak)
+			}
+			events += r.EventsFired
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
 // Forwarding measures steady-state per-packet cost over a 10-hop
 // path using pooled packets (20 events per op: serialization +
 // propagation at each hop).

@@ -49,10 +49,17 @@ type eventRec struct {
 	gen     uint32
 	heapIdx int32
 	kind    uint8
-	h       Handler
-	fn      TypedFunc
-	a, b    any
-	name    string
+	// cls is the ordering class among simultaneous events: 0 for
+	// locally scheduled events (FIFO by seq), 1 for cross-shard channel
+	// deliveries (ordered by the partition-independent channel key that
+	// rides in seq — see Channel). Locals fire before deliveries at the
+	// same instant, a rule that is itself placement-independent because
+	// an event's class depends only on whether its edge is a cut edge.
+	cls  uint8
+	h    Handler
+	fn   TypedFunc
+	a, b any
+	name string
 }
 
 // Event is a generation-stamped handle to a scheduled callback. The
@@ -203,6 +210,7 @@ func (s *Simulator) schedule(t float64, name string, h Handler, fn TypedFunc, a,
 	r.time = t
 	r.seq = s.seq
 	s.seq++
+	r.cls = 0
 	r.h = h
 	r.fn = fn
 	r.a = a
@@ -374,6 +382,21 @@ func (s *Simulator) Run() error {
 // exhausted.
 func (s *Simulator) RunUntil(end float64) error {
 	s.stopped = false
+	if err := s.runWindow(end, true); err != nil {
+		return err
+	}
+	if !math.IsInf(end, 1) && end > s.now {
+		s.now = end
+	}
+	return nil
+}
+
+// runWindow dispatches events with time < bound (time <= bound when
+// inclusive), honoring Stop, the event limit and the interrupt hook.
+// Unlike RunUntil it neither clears a Stop left by an earlier window
+// nor advances the clock to the bound: the sharded coordinator calls
+// it once per conservative window and performs both at run boundaries.
+func (s *Simulator) runWindow(bound float64, inclusive bool) error {
 	for len(s.heap) > 0 && !s.stopped {
 		// Cooperative checkpoint: polled between events (never
 		// mid-handler, never after the head event is popped) so an
@@ -385,7 +408,7 @@ func (s *Simulator) RunUntil(end float64) error {
 		}
 		idx := s.heap[0]
 		r := &s.recs[idx]
-		if r.time > end {
+		if r.time > bound || (!inclusive && r.time == bound) {
 			break
 		}
 		// Copy the dispatch fields out and recycle the slot before the
@@ -406,10 +429,36 @@ func (s *Simulator) RunUntil(end float64) error {
 			fn(a, b, kind)
 		}
 	}
-	if !math.IsInf(end, 1) && end > s.now {
-		s.now = end
-	}
 	return nil
+}
+
+// nextEventTime returns the timestamp of the earliest pending event.
+// The coordinator uses it to size the next conservative window.
+func (s *Simulator) nextEventTime() (float64, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.recs[s.heap[0]].time, true
+}
+
+// scheduleMsg injects a cross-shard channel delivery: a typed event in
+// ordering class 1 whose seq is the partition-independent channel key
+// (channel id, per-channel sequence) rather than a draw from the local
+// seq counter. The coordinator calls it at window barriers only.
+func (s *Simulator) scheduleMsg(t float64, fn TypedFunc, a, b any, kind uint8, key uint64) {
+	s.checkTime(t, "channel delivery")
+	idx := s.alloc()
+	r := &s.recs[idx]
+	r.time = t
+	r.seq = key
+	r.cls = 1
+	r.h = nil
+	r.fn = fn
+	r.a = a
+	r.b = b
+	r.kind = kind
+	r.name = ""
+	s.heapPush(idx)
 }
 
 // DrainedEvent is one pending event handed back by DrainPending. For
@@ -454,7 +503,10 @@ func (s *Simulator) DrainPending(visit func(DrainedEvent)) {
 // Event handle is invalidated (Pending reports false; Cancel is a
 // no-op). EventLimit is preserved — it is configuration, not run state
 // — while the fired counter restarts at zero, so the event budget
-// applies afresh to the next run. Reset drops event payload references
+// applies afresh to the next run. An installed interrupt hook is
+// removed: it is run state (typically a closure over the cancelled
+// run's context), and a stale checkpoint must not leak into the next
+// run on a reused simulator. Reset drops event payload references
 // without visiting them; when pending events may hold pooled resources
 // (packets in typed link events), DrainPending first, so the pool's
 // accounting survives the teardown.
@@ -467,16 +519,25 @@ func (s *Simulator) Reset() {
 	s.seq = 0
 	s.fired = 0
 	s.stopped = false
+	s.interrupt = nil
+	s.interruptEvery = 0
 }
 
 // --- index heap over the slab ---------------------------------------
 
-// lessRec orders slots by (time, seq): earlier time first, FIFO among
-// simultaneous events.
+// lessRec orders slots by (time, cls, seq): earlier time first; among
+// simultaneous events, locally scheduled events (cls 0, FIFO by local
+// seq) before channel deliveries (cls 1, ordered by channel key). The
+// key never references which shard scheduled what, so the relative
+// order of any two events is identical however the model is placed
+// across shards — the heart of the shards=1 ≡ shards=N guarantee.
 func (s *Simulator) lessRec(a, b int32) bool {
 	ra, rb := &s.recs[a], &s.recs[b]
 	if ra.time != rb.time {
 		return ra.time < rb.time
+	}
+	if ra.cls != rb.cls {
+		return ra.cls < rb.cls
 	}
 	return ra.seq < rb.seq
 }

@@ -22,6 +22,21 @@ func (g *RNG) Split(label int64) *RNG {
 	return NewRNG(g.r.Int63() ^ (label * 0x5851F42D4C957F2D))
 }
 
+// DeriveSeed mixes a stable label into a base seed with the splitmix64
+// finalizer, yielding an independent child seed. It is a pure function
+// of (base, label): the result does not depend on how many other
+// children exist or in which order they are derived, so seeds keyed by
+// a stable model label (a shard index, an AS number, a retry attempt)
+// are identical across partitionings of the same scenario. The
+// scenario runner's retry seeds (scenario.AttemptSeed) and the sharded
+// engine's per-shard RNG streams both use it.
+func DeriveSeed(base, label int64) int64 {
+	mix := uint64(base) ^ (uint64(label) * 0xbf58476d1ce4e5b9)
+	mix ^= mix >> 27
+	mix *= 0x94d049bb133111eb
+	return int64(mix)
+}
+
 // Float64 returns a uniform draw in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

@@ -170,6 +170,17 @@ type TreeConfig struct {
 	// scenarios in a long-lived service, complementing the wall-clock
 	// deadline the Context carries.
 	EventLimit uint64
+
+	// Shards selects the event engine. 0 or 1 runs the sequential
+	// engine. N > 1 hosts the run on shard 0 of an N-shard
+	// conservative-lookahead engine (des.ShardedSimulator): the model
+	// itself stays on one shard — the full defense stack couples every
+	// router, so this scenario family cannot be cut — making the knob
+	// a determinism regression net for the sharded driver rather than
+	// a speedup. A fixed seed must produce bit-identical results at
+	// every value. Genuinely parallel workloads live in the sharded
+	// forest figures (RunShardedForest).
+	Shards int
 }
 
 // DefaultTreeConfig returns the Fig. 9-style baseline scenario:
@@ -220,6 +231,8 @@ func (c TreeConfig) Validate() error {
 		return fmt.Errorf("experiments: bad run timing (%v, %v, %v)", c.Duration, c.AttackStart, c.AttackEnd)
 	case c.Faults != nil && (c.Faults.Loss.Prob < 0 || c.Faults.Loss.Prob >= 1):
 		return fmt.Errorf("experiments: fault loss probability %v out of [0,1)", c.Faults.Loss.Prob)
+	case c.Shards < 0:
+		return fmt.Errorf("experiments: negative shard count %d", c.Shards)
 	}
 	return c.Pool.Validate()
 }

@@ -14,10 +14,10 @@ import (
 // intra-AS model, dispersed attackers — and folds everything
 // observable into a string: the exact inter-AS capture sequence, every
 // embedded sub-network's counters and residual state, and the outer
-// defense counters.
-func hierarchicalFingerprint(t *testing.T) string {
+// defense counters. The engine is injected so the hosted-sharded
+// variant can drive the same model.
+func hierarchicalFingerprint(t *testing.T, sim *des.Simulator, runUntil func(float64) error) string {
 	t.Helper()
-	sim := des.New()
 	g := asnet.NewGraph(sim)
 	_, stubs, err := asnet.GenerateTopology(g, asnet.TopoParams{Transits: 6, Stubs: 10, ExtraLinks: 3, Seed: 11})
 	if err != nil {
@@ -41,7 +41,7 @@ func hierarchicalFingerprint(t *testing.T) string {
 		start := 0.5 + 0.7*float64(i)
 		sim.At(start, func() { atk.Start() })
 	}
-	if err := sim.RunUntil(600); err != nil {
+	if err := runUntil(600); err != nil {
 		t.Fatal(err)
 	}
 	for _, sub := range em.Subs() {
@@ -59,8 +59,9 @@ func hierarchicalFingerprint(t *testing.T) string {
 // or in the coupling between them — shows up as a flaky diff here.
 // Also exercised under -race in CI.
 func TestHierarchicalFingerprint(t *testing.T) {
-	a := hierarchicalFingerprint(t)
-	b := hierarchicalFingerprint(t)
+	sim1, sim2 := des.New(), des.New()
+	a := hierarchicalFingerprint(t, sim1, sim1.RunUntil)
+	b := hierarchicalFingerprint(t, sim2, sim2.RunUntil)
 	if a != b {
 		t.Fatalf("same seed produced different runs:\n%s\nvs\n%s", a, b)
 	}
@@ -69,6 +70,20 @@ func TestHierarchicalFingerprint(t *testing.T) {
 	}
 	if !strings.Contains(a, "sub as=") {
 		t.Fatalf("no embedded intra-AS network was instantiated: %s", a)
+	}
+}
+
+// TestHierarchicalFingerprintHosted checks the unified hierarchical
+// scenario on the hosted-sharded seam: both planes on shard 0 of a
+// multi-shard engine must match the sequential fingerprint exactly.
+func TestHierarchicalFingerprintHosted(t *testing.T) {
+	seq := des.New()
+	ref := hierarchicalFingerprint(t, seq, seq.RunUntil)
+	for _, shards := range []int{2, 8} {
+		ss := des.NewSharded(11, shards)
+		if got := hierarchicalFingerprint(t, ss.Shard(0), ss.RunUntil); got != ref {
+			t.Fatalf("hosted on %d shards diverged from the sequential engine:\n%s\nvs\n%s", shards, ref, got)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func RunTrees(cfgs []TreeConfig) ([]*TreeResult, error) {
 		//hbplint:ignore determinism deliberate batch-level concurrency: every worker owns a private simulator and RNG, and results land in a slot indexed by input position, so the merged output is order-independent.
 		go func() {
 			defer wg.Done()
+			//hbplint:ignore determinism driver-side work queue: job indices only, each run owns a private simulator, results land in input-position slots.
 			for i := range jobs {
 				r, err := RunTree(cfgs[i])
 				results[i], errs[i] = r, err
@@ -41,7 +42,9 @@ func RunTrees(cfgs []TreeConfig) ([]*TreeResult, error) {
 feed:
 	for i := range cfgs {
 		select {
+		//hbplint:ignore determinism driver-side work queue: which worker takes a job never affects results (slots are input-indexed).
 		case jobs <- i:
+		//hbplint:ignore determinism driver-side abort signal: only stops feeding new jobs, never reorders completed results.
 		case <-abort:
 			break feed
 		}

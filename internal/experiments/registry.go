@@ -34,6 +34,7 @@ func Figures() map[string]FigureGen {
 		"faults":       ExtFaults,
 		"byzantine":    ExtByzantine,
 		"hierarchical": ExtHierarchical,
+		"sharded":      ExtSharded,
 	}
 }
 
@@ -46,5 +47,5 @@ func PaperFigureOrder() []string {
 func ExtFigureOrder() []string {
 	return []string{"levelk", "follower", "overhead", "load", "interas", "stackpi",
 		"spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults",
-		"byzantine", "hierarchical"}
+		"byzantine", "hierarchical", "sharded"}
 }

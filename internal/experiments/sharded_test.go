@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func quickForestConfig() ForestConfig {
+	cfg := DefaultForestConfig()
+	cfg.Parts = 4
+	cfg.LeavesPerPart = 12
+	cfg.AttackersPerPart = 3
+	cfg.Duration = 20
+	cfg.AttackStart = 2
+	cfg.AttackEnd = 18
+	return cfg
+}
+
+// TestForestFingerprintAcrossShards is the headline invariant of the
+// parallel engine at full-model scale: the same forest — HBP defenses,
+// roaming pools, attackers, cross traffic — produces a bit-identical
+// fingerprint and event count whether it runs on 1 shard or spread
+// over 8.
+func TestForestFingerprintAcrossShards(t *testing.T) {
+	cfg := quickForestConfig()
+	ref, err := RunShardedForest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Captures == 0 {
+		t.Fatal("no captures: the defense was not exercised")
+	}
+	for i, d := range ref.SinkDelivered {
+		if d == 0 {
+			t.Fatalf("part %d's sink received no cross traffic: the cut links were not exercised", i)
+		}
+	}
+	if !ref.Leak.Clean() {
+		t.Fatalf("reference run leaked: %+v", ref.Leak)
+	}
+	refFP := ref.Fingerprint()
+
+	for _, shards := range []int{2, 4, 8} {
+		cfg.Shards = shards
+		res, err := RunShardedForest(cfg)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if got := res.Fingerprint(); got != refFP {
+			t.Fatalf("%d shards diverged from the 1-shard run\n--- 1 shard\n%s\n--- %d shards\n%s", shards, refFP, shards, got)
+		}
+		if res.EventsFired != ref.EventsFired {
+			t.Fatalf("%d shards fired %d events, 1 shard fired %d", shards, res.EventsFired, ref.EventsFired)
+		}
+		if !res.Leak.Clean() {
+			t.Fatalf("%d shards leaked: %+v", shards, res.Leak)
+		}
+	}
+
+	cfg.Shards = 1
+	cfg.Seed = 2
+	other, err := RunShardedForest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint() == refFP {
+		t.Fatal("different seed produced an identical fingerprint")
+	}
+}
+
+// TestForestEventLimit aborts a sharded run via the cluster-wide event
+// budget and checks the teardown still reclaims every packet.
+func TestForestEventLimit(t *testing.T) {
+	cfg := quickForestConfig()
+	cfg.Shards = 2
+	cfg.EventLimit = 5000
+	_, err := RunShardedForest(cfg)
+	if !errors.Is(err, des.ErrEventLimit) {
+		t.Fatalf("want ErrEventLimit, got %v", err)
+	}
+}
+
+// TestForestValidate covers the config error paths.
+func TestForestValidate(t *testing.T) {
+	for name, mut := range map[string]func(*ForestConfig){
+		"no-parts":          func(c *ForestConfig) { c.Parts = 0 },
+		"negative-shards":   func(c *ForestConfig) { c.Shards = -1 },
+		"too-few-leaves":    func(c *ForestConfig) { c.LeavesPerPart = 1 },
+		"too-many-zombies":  func(c *ForestConfig) { c.AttackersPerPart = c.LeavesPerPart },
+		"bad-window":        func(c *ForestConfig) { c.AttackStart = c.AttackEnd },
+		"negative-cross":    func(c *ForestConfig) { c.CrossRate = -1 },
+		"zero-packet-size":  func(c *ForestConfig) { c.PacketSize = 0 },
+		"zero-attack-rate":  func(c *ForestConfig) { c.AttackRate = 0 },
+		"inverted-duration": func(c *ForestConfig) { c.Duration = -1 },
+	} {
+		cfg := DefaultForestConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+}

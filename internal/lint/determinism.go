@@ -20,6 +20,11 @@ import (
 //   - the global math/rand and math/rand/v2 generators — randomness
 //     comes from seeded per-run des.RNG streams;
 //   - goroutine spawns — a simulation run is one logical thread;
+//   - raw Go channel operations (send, receive, range) — arrival
+//     order at a channel is a scheduler race. Cross-shard
+//     communication rides des.Channel's timestamped sends, which the
+//     sharded engine merges under a partition-independent total
+//     order;
 //   - map iteration whose order escapes into scheduled events, sent
 //     messages or emitted results. Order-independent loop bodies
 //     (pure accumulation, deletes, collect-into-slice followed by a
@@ -27,7 +32,7 @@ import (
 //     over sorted keys.
 var Determinism = &analysis.Analyzer{
 	Name:     "determinism",
-	Doc:      "forbid wall-clock time, global rand, goroutines, and map-iteration order leaks in simulation code",
+	Doc:      "forbid wall-clock time, global rand, goroutines, raw channel ops, and map-iteration order leaks in simulation code",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runDeterminism,
 }
@@ -55,6 +60,8 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 		(*ast.CallExpr)(nil),
 		(*ast.GoStmt)(nil),
 		(*ast.RangeStmt)(nil),
+		(*ast.SendStmt)(nil),
+		(*ast.UnaryExpr)(nil),
 	}
 	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
@@ -69,7 +76,14 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 		case *ast.CallExpr:
 			checkForbiddenCall(pass, ig, n)
 		case *ast.RangeStmt:
+			checkChanRange(pass, ig, n)
 			checkMapRange(pass, ig, n, stack)
+		case *ast.SendStmt:
+			ig.report(n.Pos(), "raw channel send in simulation code: arrival order is a scheduler race; route cross-shard communication through des.Channel's timestamped, deterministically merged sends")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ig.report(n.Pos(), "raw channel receive in simulation code: arrival order is a scheduler race; route cross-shard communication through des.Channel's timestamped, deterministically merged sends")
+			}
 		}
 		return true
 	})
@@ -104,6 +118,20 @@ func checkForbiddenCall(pass *analysis.Pass, ig *ignores, call *ast.CallExpr) {
 	if why, ok := names[fn.Name()]; ok {
 		ig.report(call.Pos(), "%s.%s in simulation code: %s", fn.Pkg().Name(), fn.Name(), why)
 	}
+}
+
+// checkChanRange flags `for ... range ch` over a channel: the values
+// a ranged channel yields, and the order they arrive in, depend on
+// goroutine scheduling.
+func checkChanRange(pass *analysis.Pass, ig *ignores, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	ig.report(rng.Pos(), "range over a raw channel in simulation code: arrival order is a scheduler race; route cross-shard communication through des.Channel's timestamped, deterministically merged sends")
 }
 
 // checkMapRange flags `for ... range m` over a map unless the loop

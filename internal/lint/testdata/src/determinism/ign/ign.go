@@ -11,3 +11,9 @@ func MissingReason() int64 {
 	/* want `hbplint:ignore determinism directive is missing a reason` */ //hbplint:ignore determinism
 	return time.Now().Unix()
 }
+
+func SuppressedChannel(ch chan int) int {
+	ch <- 1 //hbplint:ignore determinism corpus fixture: driver-side channel, results merged order-independently
+	//hbplint:ignore determinism corpus fixture: driver-side channel, results merged order-independently
+	return <-ch
+}

@@ -15,9 +15,9 @@ type state struct {
 }
 
 func Bad(s *state, emit func(int)) {
-	_ = time.Now() // want `time\.Now in simulation code`
-	_ = rand.Int() // want `global rand\.Int in simulation code`
-	go emit(0)     // want `goroutine spawn in simulation code`
+	_ = time.Now()            // want `time\.Now in simulation code`
+	_ = rand.Int()            // want `global rand\.Int in simulation code`
+	go emit(0)                // want `goroutine spawn in simulation code`
 	for k := range s.counts { // want `map iteration order may escape into simulation state`
 		emit(k)
 	}
@@ -27,6 +27,21 @@ func Bad(s *state, emit func(int)) {
 	}
 	emit(len(keys))
 }
+
+func BadChannels(ch chan int, done chan struct{}) {
+	ch <- 1   // want `raw channel send in simulation code`
+	v := <-ch // want `raw channel receive in simulation code`
+	emitInt(v)
+	select {
+	case ch <- 2: // want `raw channel send in simulation code`
+	case <-done: // want `raw channel receive in simulation code`
+	}
+	for v := range ch { // want `range over a raw channel in simulation code`
+		emitInt(v)
+	}
+}
+
+func emitInt(int) {}
 
 func Good(s *state, seed int64, emit func(int)) {
 	// A seeded generator is the deterministic path.

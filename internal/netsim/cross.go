@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Cluster is a network partitioned into parts, one Network per part,
+// driven by a sharded simulator. Parts are a property of the model —
+// which nodes belong together — while the placement decides only which
+// shard executes each part. Links inside a part are ordinary duplex
+// links; links whose endpoints live in different parts become a pair
+// of unidirectional half links whose traffic crosses through
+// des.Channels with the link's propagation delay as lookahead. Cut
+// edges are channel-routed at every placement — even when both parts
+// share a shard — which is what makes a run's event schedule identical
+// for every shard count.
+//
+// Node IDs are allocated cluster-globally in creation order, so a
+// packet's Src/Dst addressing and the routing tables span the whole
+// cluster exactly as they span a single Network.
+//
+// Build rules for determinism: create nodes and links in a fixed order
+// that does not depend on the placement, and give every cross-part
+// link a strictly positive delay (it becomes the conservative
+// lookahead bounding how far shards run ahead).
+type Cluster struct {
+	Sim *des.ShardedSimulator
+
+	parts   []*Network
+	shardOf []int
+	nodes   []*Node // cluster-global ID order
+}
+
+// NewCluster returns a cluster with one empty part network per entry
+// of place; place[i] names the shard that executes part i. A part's
+// Network binds to that shard's Simulator, so model components built
+// on the part schedule on the right shard automatically.
+func NewCluster(ss *des.ShardedSimulator, place []int) *Cluster {
+	if len(place) == 0 {
+		panic("netsim: cluster needs at least one part")
+	}
+	cl := &Cluster{Sim: ss, shardOf: make([]int, len(place))}
+	for part, shard := range place {
+		if shard < 0 || shard >= ss.Shards() {
+			panic(fmt.Sprintf("netsim: part %d placed on shard %d of %d", part, shard, ss.Shards()))
+		}
+		cl.shardOf[part] = shard
+		cl.parts = append(cl.parts, New(ss.Shard(shard)))
+	}
+	return cl
+}
+
+// Parts returns the number of parts.
+func (cl *Cluster) Parts() int { return len(cl.parts) }
+
+// Part returns part i's Network.
+func (cl *Cluster) Part(i int) *Network { return cl.parts[i] }
+
+// ShardOf returns the shard executing part i.
+func (cl *Cluster) ShardOf(i int) int { return cl.shardOf[i] }
+
+// AddNode creates a node on the given part with a cluster-global ID.
+func (cl *Cluster) AddNode(part int, name string) *Node {
+	n := cl.parts[part].addNodeWithID(NodeID(len(cl.nodes)), name)
+	cl.nodes = append(cl.nodes, n)
+	return n
+}
+
+// Nodes returns every node in the cluster, indexed by NodeID.
+func (cl *Cluster) Nodes() []*Node { return cl.nodes }
+
+// Node returns the node with the given cluster-global ID, or nil.
+func (cl *Cluster) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(cl.nodes) {
+		return nil
+	}
+	return cl.nodes[int(id)]
+}
+
+// partOf returns the part index owning n.
+func (cl *Cluster) partOf(n *Node) int {
+	for i, nw := range cl.parts {
+		if nw == n.net {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("netsim: node %v not in cluster", n))
+}
+
+// Connect joins two cluster nodes. Same-part endpoints get an ordinary
+// duplex link. Endpoints on different parts get two unidirectional
+// half links (one egress port each) whose traffic crosses through a
+// pair of des.Channels created here in call order — the call order is
+// therefore part of the model and must not depend on placement. Cross
+// links require delay > 0; it becomes the channels' lookahead.
+func (cl *Cluster) Connect(a, b *Node, bandwidth, delay float64) {
+	pa, pb := cl.partOf(a), cl.partOf(b)
+	if pa == pb {
+		cl.parts[pa].Connect(a, b, bandwidth, delay)
+		return
+	}
+	if a.PortTo(b) != nil {
+		panic(fmt.Sprintf("netsim: duplicate link %v<->%v", a, b))
+	}
+	if bandwidth <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	if delay <= 0 {
+		panic("netsim: cross-part link needs positive delay (it is the conservative lookahead)")
+	}
+	mk := func(n *Node, nw *Network) *Port {
+		l := &Link{Bandwidth: bandwidth, Delay: delay, net: nw}
+		pt := &Port{node: n, link: l, q: newOutQueue(), index: len(n.ports)}
+		l.a = pt
+		n.ports = append(n.ports, pt)
+		nw.links = append(nw.links, l)
+		return pt
+	}
+	qa := mk(a, cl.parts[pa])
+	qb := mk(b, cl.parts[pb])
+	qa.far, qb.far = qb, qa
+	qa.remote = cl.Sim.NewChannel(cl.shardOf[pa], cl.shardOf[pb], delay)
+	qb.remote = cl.Sim.NewChannel(cl.shardOf[pb], cl.shardOf[pa], delay)
+}
+
+// ComputeRoutes fills every node's next-hop table with shortest paths
+// over the whole cluster (hop count; ties broken by discovery order,
+// which follows node-creation and port-attachment order and is thus
+// placement-independent). Call it instead of the per-part
+// ComputeRoutes, after the topology is final.
+func (cl *Cluster) ComputeRoutes() {
+	n := len(cl.nodes)
+	for _, src := range cl.nodes {
+		src.routes = make([]*Port, n)
+	}
+	queue := make([]*Node, 0, n)
+	visited := make([]bool, n)
+	for _, dst := range cl.nodes {
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = queue[:0]
+		queue = append(queue, dst)
+		visited[dst.ID] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, pt := range cur.ports {
+				back := pt.Far() // nb's egress port toward cur
+				if back == nil {
+					continue
+				}
+				nb := back.node
+				if visited[nb.ID] {
+					continue
+				}
+				visited[nb.ID] = true
+				nb.routes[dst.ID] = back
+				queue = append(queue, nb)
+			}
+		}
+	}
+}
+
+// PathHops returns the hop count from a to b across the cluster
+// (0 for a==b, -1 if unreachable). Routes must be computed.
+func (cl *Cluster) PathHops(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	cur := cl.Node(a)
+	hops := 0
+	for cur != nil && cur.ID != b {
+		next := cur.NextHop(b)
+		if next == nil {
+			return -1
+		}
+		cur = next.farNode()
+		hops++
+		if hops > len(cl.nodes) {
+			return -1
+		}
+	}
+	if cur == nil {
+		return -1
+	}
+	return hops
+}
+
+// PacketsOutstanding sums the per-part leak gauges. A completed,
+// drained run must read zero — cross-part ownership transfers charge a
+// free on the source part and an allocation on the destination part,
+// so the cluster-wide sum balances even for packets reclaimed
+// mid-transfer.
+func (cl *Cluster) PacketsOutstanding() int64 {
+	var t int64
+	for _, nw := range cl.parts {
+		t += nw.PacketsOutstanding()
+	}
+	return t
+}
+
+// TotalQueueDrops sums drop-tail losses over every part.
+func (cl *Cluster) TotalQueueDrops() int64 {
+	var t int64
+	for _, nw := range cl.parts {
+		t += nw.TotalQueueDrops()
+	}
+	return t
+}
+
+// Drain tears down all in-transit packet state after a run, the
+// cluster analogue of Network.Drain. Because parts placed on the same
+// shard share that shard's event heap, packets are routed back to
+// their owning part's pool through the port operand riding on every
+// link event; packets still in cut-edge transit (buffered in a channel
+// outbox or injected but unfired) first complete their ownership
+// transfer to the destination part.
+func (cl *Cluster) Drain() {
+	cl.Sim.DrainPending(func(ev des.DrainedEvent) {
+		if pt, ok := ev.A.(*Port); ok {
+			pt.node.net.reclaimDrained(ev)
+		}
+	})
+	for _, nw := range cl.parts {
+		nw.flushPorts()
+	}
+}

@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
 
 // Link is a full-duplex point-to-point link: two independent
 // directions, each with its own output queue at the sending port.
@@ -50,7 +54,7 @@ func (l *Link) B() *Port { return l.b }
 // Other returns the far endpoint node relative to n.
 func (l *Link) Other(n *Node) *Node {
 	if l.a.node == n {
-		return l.b.node
+		return l.a.farNode()
 	}
 	return l.a.node
 }
@@ -61,7 +65,7 @@ func (l *Link) TxTime(size int) float64 {
 }
 
 func (l *Link) String() string {
-	return fmt.Sprintf("link %v<->%v %.3gbps %.3gs", l.a.node, l.b.node, l.Bandwidth, l.Delay)
+	return fmt.Sprintf("link %v<->%v %.3gbps %.3gs", l.a.node, l.a.farNode(), l.Bandwidth, l.Delay)
 }
 
 // Port is one node's attachment to one link direction pair. Output
@@ -75,6 +79,15 @@ type Port struct {
 	q     *outQueue
 	busy  bool
 	index int // position in node.ports, cached at attachment
+
+	// remote/far are set only on cross-part egress ports (Cluster
+	// links whose endpoints live on different part networks). remote is
+	// the des.Channel carrying this direction's traffic; far is the
+	// receiving port at the other end — the reverse direction's egress
+	// port, exactly as peer doubles as the ingress port on an ordinary
+	// duplex link. peer is nil on such ports.
+	remote *des.Channel
+	far    *Port
 
 	// BlockedIngress, when set, drops every packet arriving at this
 	// port. It models the access-switch port shutdown installed when
@@ -101,8 +114,27 @@ func (pt *Port) Node() *Node { return pt.node }
 // Link returns the attached link.
 func (pt *Port) Link() *Link { return pt.link }
 
-// Peer returns the port at the far end of the link.
+// Peer returns the port at the far end of the link. It is nil on a
+// cross-part egress port; use Far for a lookup that spans both.
 func (pt *Port) Peer() *Port { return pt.peer }
+
+// Far returns the receiving port at the other end, whether the link is
+// local (the duplex peer) or a cross-part half link.
+func (pt *Port) Far() *Port {
+	if pt.peer != nil {
+		return pt.peer
+	}
+	return pt.far
+}
+
+// farNode returns the node at the other end of the port's link, or nil
+// for a detached port.
+func (pt *Port) farNode() *Node {
+	if f := pt.Far(); f != nil {
+		return f.node
+	}
+	return nil
+}
 
 // Index returns this port's position among its node's ports, the
 // simulator analogue of an interface identifier. Edge-router packet
@@ -151,6 +183,11 @@ func (pt *Port) enqueue(p *Packet) {
 const (
 	evTxDone uint8 = iota // serialization finished at the sending port
 	evArrive              // propagation finished; packet reaches the peer port
+	// kindCrossArrive tags a propagation completion that crossed a
+	// part boundary through a des.Channel. The distinct kind lets
+	// teardown drains recognise a packet whose pool-ownership transfer
+	// is still in flight (see Port.txDone and Network.reclaimDrained).
+	kindCrossArrive
 )
 
 // linkDispatch is the des.TypedFunc for link events. It is a
@@ -196,9 +233,30 @@ func (pt *Port) txDone(p *Packet) {
 	}
 	pt.TxPackets++
 	pt.TxBytes += int64(p.Size)
+	if pt.remote != nil {
+		// Cross-part hop: the packet object itself crosses (zero copy),
+		// so ownership moves pools. The source part charges the free
+		// here without recycling or zeroing; the destination charges the
+		// matching allocation when the delivery fires (crossArrive) or
+		// when teardown drains it mid-transfer.
+		pt.node.net.pktFrees++
+		pt.remote.Send(pt.link.Delay, crossArrive, pt.far, p, kindCrossArrive)
+		pt.startTx()
+		return
+	}
 	sim := pt.node.net.Sim
 	sim.ScheduleTyped(sim.Now()+pt.link.Delay, linkDispatch, pt.peer, p, evArrive)
 	pt.startTx()
+}
+
+// crossArrive is the des.TypedFunc for cross-part deliveries: it
+// completes the pool-ownership transfer begun in txDone, then hands
+// the packet to the receiving port like any other arrival.
+func crossArrive(a, b any, _ uint8) {
+	pt := a.(*Port)
+	p := b.(*Packet)
+	pt.node.net.pktAllocs++
+	pt.arrive(p)
 }
 
 // arrive handles p reaching this (receiving) port after propagation.

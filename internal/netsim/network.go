@@ -17,6 +17,12 @@ type Network struct {
 
 	nodes []*Node
 	links []*Link
+	// idIndex maps NodeID → node. For a standalone network IDs are
+	// dense (AddNode numbers them 0..n-1) and the index mirrors nodes;
+	// for a network that is one part of a Cluster, IDs are allocated
+	// cluster-globally and the index is sparse, with nil holes for IDs
+	// living on other parts.
+	idIndex []*Node
 
 	// pktFree is the packet pool's free list. It is per-network (not
 	// global) so concurrent simulations in separate goroutines — the
@@ -90,20 +96,38 @@ func New(sim *des.Simulator) *Network {
 
 // AddNode creates a node with the given debug name.
 func (nw *Network) AddNode(name string) *Node {
-	n := &Node{ID: NodeID(len(nw.nodes)), Name: name, net: nw}
+	return nw.addNodeWithID(NodeID(len(nw.nodes)), name)
+}
+
+// addNodeWithID creates a node carrying an externally allocated ID.
+// Cluster uses it to hand out cluster-global IDs; standalone networks
+// must not mix it with AddNode's dense numbering.
+func (nw *Network) addNodeWithID(id NodeID, name string) *Node {
+	if id < 0 {
+		panic("netsim: negative node ID")
+	}
+	if nw.Node(id) != nil {
+		panic(fmt.Sprintf("netsim: duplicate node ID %d", id))
+	}
+	n := &Node{ID: id, Name: name, net: nw}
 	nw.nodes = append(nw.nodes, n)
+	for int(id) >= len(nw.idIndex) {
+		nw.idIndex = append(nw.idIndex, nil)
+	}
+	nw.idIndex[id] = n
 	return n
 }
 
 // Nodes returns all nodes, indexed by NodeID.
 func (nw *Network) Nodes() []*Node { return nw.nodes }
 
-// Node returns the node with the given ID, or nil.
+// Node returns the node with the given ID, or nil. For a Cluster part
+// this resolves only locally owned nodes; remote IDs return nil.
 func (nw *Network) Node(id NodeID) *Node {
-	if id < 0 || int(id) >= len(nw.nodes) {
+	if id < 0 || int(id) >= len(nw.idIndex) {
 		return nil
 	}
-	return nw.nodes[int(id)]
+	return nw.idIndex[id]
 }
 
 // Links returns all links in creation order.
@@ -140,14 +164,15 @@ func (nw *Network) Connect(a, b *Node, bandwidth, delay float64) *Link {
 // (hop count; ties broken by discovery order, which is deterministic).
 // Call it after the topology is final and before traffic starts.
 func (nw *Network) ComputeRoutes() {
-	n := len(nw.nodes)
+	bound := len(nw.idIndex)
 	for _, src := range nw.nodes {
-		src.routes = make([]*Port, n)
+		src.routes = make([]*Port, bound)
 	}
 	// BFS from every destination, recording each visited node's parent
-	// port toward the destination.
-	queue := make([]*Node, 0, n)
-	visited := make([]bool, n)
+	// port toward the destination. Cross-part ports (nil peer) are
+	// skipped: routes spanning parts are the Cluster's job.
+	queue := make([]*Node, 0, len(nw.nodes))
+	visited := make([]bool, bound)
 	for _, dst := range nw.nodes {
 		for i := range visited {
 			visited[i] = false
@@ -159,6 +184,9 @@ func (nw *Network) ComputeRoutes() {
 			cur := queue[0]
 			queue = queue[1:]
 			for _, pt := range cur.ports {
+				if pt.peer == nil {
+					continue
+				}
 				nb := pt.peer.node
 				if visited[nb.ID] {
 					continue
@@ -234,12 +262,36 @@ func (nw *Network) Path(a, b NodeID) []*Node {
 // packets freed into the wrong pool.
 func (nw *Network) Drain() {
 	nw.Sim.DrainPending(func(ev des.DrainedEvent) {
-		if p, ok := ev.B.(*Packet); ok && !p.freed {
-			nw.freePacket(p)
-		}
+		nw.reclaimDrained(ev)
 	})
+	nw.flushPorts()
+}
+
+// reclaimDrained recycles the packet (if any) riding on one drained
+// link event. A cross-part delivery whose transfer bookkeeping has not
+// completed (the source part already charged the free, the destination
+// has not yet charged the allocation) completes the transfer first so
+// the per-part gauges stay balanced.
+func (nw *Network) reclaimDrained(ev des.DrainedEvent) {
+	p, ok := ev.B.(*Packet)
+	if !ok || p.freed {
+		return
+	}
+	if ev.Kind == kindCrossArrive {
+		nw.pktAllocs++
+	}
+	nw.freePacket(p)
+}
+
+// flushPorts returns every queued packet to the pool and clears the
+// transmit-busy latches — the port half of Drain. Cross-part half
+// links have only their local port.
+func (nw *Network) flushPorts() {
 	for _, l := range nw.links {
 		for _, pt := range [2]*Port{l.a, l.b} {
+			if pt == nil {
+				continue
+			}
 			pt.q.flush(nw)
 			pt.busy = false
 		}
@@ -250,7 +302,11 @@ func (nw *Network) Drain() {
 func (nw *Network) TotalQueueDrops() int64 {
 	var t int64
 	for _, l := range nw.links {
-		t += l.a.QueueDrops() + l.b.QueueDrops()
+		for _, pt := range [2]*Port{l.a, l.b} {
+			if pt != nil {
+				t += pt.QueueDrops()
+			}
+		}
 	}
 	return t
 }

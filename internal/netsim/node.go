@@ -165,18 +165,21 @@ func (n *Node) NextHop(dst NodeID) *Port {
 // or nil if they are not adjacent.
 func (n *Node) PortTo(neighbor *Node) *Port {
 	for _, pt := range n.ports {
-		if pt.Peer().Node() == neighbor {
+		if pt.farNode() == neighbor {
 			return pt
 		}
 	}
 	return nil
 }
 
-// Neighbors returns all directly connected nodes.
+// Neighbors returns all directly connected nodes, including neighbors
+// across part boundaries.
 func (n *Node) Neighbors() []*Node {
 	out := make([]*Node, 0, len(n.ports))
 	for _, pt := range n.ports {
-		out = append(out, pt.Peer().Node())
+		if nb := pt.farNode(); nb != nil {
+			out = append(out, nb)
+		}
 	}
 	return out
 }

@@ -256,6 +256,15 @@ func (r *Runner) Cancel(runID string) error {
 	}
 }
 
+// snapshot copies a run under the runner's lock. Handlers need it for
+// runs returned by Submit/Resubmit: by the time the HTTP response is
+// encoded, a worker may already be flipping the run to StateRunning.
+func (r *Runner) snapshot(run *Run) Run {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return run.Snapshot()
+}
+
 // GetRun returns a snapshot of the run.
 func (r *Runner) GetRun(id string) (Run, bool) {
 	r.mu.Lock()
@@ -522,16 +531,15 @@ func (r *Runner) backoff(ctx context.Context, baseSeed int64, attempt int) bool 
 // AttemptSeed derives the scenario seed for a retry attempt. Attempt 1
 // runs the base seed unchanged — a supervised first attempt is
 // bit-identical to a solo run — and later attempts mix the attempt
-// number in so a retried run explores fresh randomness rather than
-// deterministically re-hitting a seed-dependent failure.
+// number in (des.DeriveSeed, the same splitmix derivation the sharded
+// engine uses for per-shard RNG streams) so a retried run explores
+// fresh randomness rather than deterministically re-hitting a
+// seed-dependent failure.
 func AttemptSeed(base int64, attempt int) int64 {
 	if attempt <= 1 {
 		return base
 	}
-	mix := uint64(base) ^ (uint64(attempt) * 0xbf58476d1ce4e5b9)
-	mix ^= mix >> 27
-	mix *= 0x94d049bb133111eb
-	return int64(mix)
+	return des.DeriveSeed(base, int64(attempt))
 }
 
 // Backoff computes the deterministic jittered exponential delay before

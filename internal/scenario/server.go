@@ -109,7 +109,7 @@ func (s *Server) submitCase(w http.ResponseWriter, req *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, run.Snapshot())
+	writeJSON(w, http.StatusAccepted, s.runner.snapshot(run))
 }
 
 func (s *Server) getRun(w http.ResponseWriter, req *http.Request) {
@@ -139,7 +139,7 @@ func (s *Server) resubmitRun(w http.ResponseWriter, req *http.Request) {
 		httpError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, run.Snapshot())
+	writeJSON(w, http.StatusAccepted, s.runner.snapshot(run))
 }
 
 func (s *Server) healthz(w http.ResponseWriter, req *http.Request) {

@@ -73,18 +73,18 @@ type CaseSpec struct {
 // TreeSpec mirrors cmd/hbpsim's flag set as a JSON document. Zero
 // values mean "the default", exactly as an omitted flag does.
 type TreeSpec struct {
-	Defense     string  `json:"defense,omitempty"`      // hbp, pushback, pushback-levelk, stackpi, none
-	Leaves      int     `json:"leaves,omitempty"`       // default 200
-	Attackers   int     `json:"attackers,omitempty"`    // default 25
-	RateMbps    float64 `json:"rate_mbps,omitempty"`    // default 0.1
-	Placement   string  `json:"placement,omitempty"`    // even, close, far
+	Defense     string  `json:"defense,omitempty"`   // hbp, pushback, pushback-levelk, stackpi, none
+	Leaves      int     `json:"leaves,omitempty"`    // default 200
+	Attackers   int     `json:"attackers,omitempty"` // default 25
+	RateMbps    float64 `json:"rate_mbps,omitempty"` // default 0.1
+	Placement   string  `json:"placement,omitempty"` // even, close, far
 	Progressive bool    `json:"progressive,omitempty"`
 	OnOff       string  `json:"onoff,omitempty"` // "ton,toff" seconds
 	RED         bool    `json:"red,omitempty"`
-	DeployFrac  float64 `json:"deploy,omitempty"`    // default 1
-	DurationSec float64 `json:"duration,omitempty"`  // default 100
-	EpochSec    float64 `json:"epoch,omitempty"`     // default 10
-	Seed        int64   `json:"seed,omitempty"`      // default 1
+	DeployFrac  float64 `json:"deploy,omitempty"`   // default 1
+	DurationSec float64 `json:"duration,omitempty"` // default 100
+	EpochSec    float64 `json:"epoch,omitempty"`    // default 10
+	Seed        int64   `json:"seed,omitempty"`     // default 1
 	Reliable    bool    `json:"reliable,omitempty"`
 	LossProb    float64 `json:"loss,omitempty"`
 	CrashRate   float64 `json:"crash_rate,omitempty"` // crashes per 100 s
@@ -92,6 +92,10 @@ type TreeSpec struct {
 	Watchdog    bool    `json:"watchdog,omitempty"`
 	Byzantine   int     `json:"byzantine,omitempty"`
 	ByzRate     float64 `json:"byz_rate,omitempty"`
+	// Shards selects the event engine width (experiments.TreeConfig's
+	// Shards knob): 0 or 1 sequential, N > 1 hosted on a sharded
+	// engine. Results are bit-identical at every value.
+	Shards int `json:"shards,omitempty"`
 }
 
 // FigureSpec names one cmd/figures generator and a scale.
@@ -231,6 +235,10 @@ func (t TreeSpec) Config() (experiments.TreeConfig, error) {
 	if t.ByzRate > 0 {
 		cfg.ByzantineRate = t.ByzRate
 	}
+	if t.Shards < 0 {
+		return cfg, fmt.Errorf("negative shard count %d", t.Shards)
+	}
+	cfg.Shards = t.Shards
 
 	switch t.Defense {
 	case "", "hbp":

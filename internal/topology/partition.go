@@ -1,0 +1,336 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// Partition is a placement-ready decomposition of a Tree into
+// subtree-aligned parts. Part 0 is the victim network — Root, ServerGW
+// and the server pool — and every other part is a router subtree,
+// starting at AS granularity (the level-1 subtrees of PartitionAS) and
+// recursively split toward the requested granularity target. Parts are
+// a property of the topology and the target alone: placing the same
+// partition on a different shard count changes only Assign — never the
+// parts, the cut or the lookahead — which is what keeps a sharded
+// run's event schedule identical at every shard count.
+type Partition struct {
+	// Parts is the number of logical parts.
+	Parts int
+	// PartOf assigns every node (router and host) to a part.
+	PartOf map[netsim.NodeID]int
+	// Weights is the per-part cost estimate driving placement.
+	Weights []float64
+	// Assign maps part → shard; filled by Place.
+	Assign []int
+	// Cut lists the links whose endpoints lie in different parts, in
+	// link-creation order — the inter-AS (and, after splitting,
+	// intra-AS backbone) core links.
+	Cut []*netsim.Link
+	// Lookahead is the minimum propagation delay over the cut — the
+	// conservative run-ahead bound a sharded run of this partition
+	// gets. Zero when the cut is empty (single-part trees).
+	Lookahead float64
+}
+
+// DefaultPartTarget is the granularity NewShardedTree partitions to.
+// It is deliberately a constant rather than the shard count: more
+// parts than shards gives the placement freedom to balance, and a
+// shard-count-independent partition keeps the cut — and therefore the
+// event schedule — bit-identical across shard counts.
+const DefaultPartTarget = 32
+
+// Partition decomposes the tree into at least target parts (topology
+// permitting). It starts from the AS partition — each level-1 subtree
+// a part — and, while short of the target, splits the heaviest part at
+// its head router: the head and its directly attached hosts stay, and
+// each child subtree becomes a part of its own. The cost model charges
+// a part its end-host count plus half its router count: hosts dominate
+// event load (every one is a traffic endpoint), routers add queueing
+// work roughly proportional to their number.
+func (t *Tree) Partition(target int) *Partition {
+	if target < 1 {
+		panic("topology: need a positive partition target")
+	}
+
+	// Rooted router structure: parent/children by BFS from Root over
+	// router-to-router links, plus per-router weights (attached hosts
+	// weigh 1, the router itself 0.5).
+	children := map[netsim.NodeID][]*netsim.Node{}
+	parent := map[netsim.NodeID]*netsim.Node{}
+	own := map[netsim.NodeID]float64{}
+	order := []*netsim.Node{t.Root}
+	seen := map[netsim.NodeID]bool{t.Root.ID: true}
+	for i := 0; i < len(order); i++ {
+		r := order[i]
+		own[r.ID] = 0.5
+		for _, pt := range r.Ports() {
+			nb := pt.Far().Node()
+			if t.IsHost(nb) {
+				own[r.ID]++
+				continue
+			}
+			if seen[nb.ID] {
+				continue
+			}
+			seen[nb.ID] = true
+			parent[nb.ID] = r
+			children[r.ID] = append(children[r.ID], nb)
+			order = append(order, nb)
+		}
+	}
+	subtree := map[netsim.NodeID]float64{}
+	for i := len(order) - 1; i >= 0; i-- {
+		r := order[i]
+		w := own[r.ID]
+		for _, c := range children[r.ID] {
+			w += subtree[c.ID]
+		}
+		subtree[r.ID] = w
+	}
+
+	// parts[i] is the head router of part i. A split part keeps only
+	// its head (and the head's hosts); each child subtree becomes a new
+	// part, appended in child order so part numbering is deterministic.
+	type partState struct {
+		head   *netsim.Node
+		weight float64
+		split  bool
+	}
+	newPart := func(head *netsim.Node) partState {
+		return partState{head: head, weight: subtree[head.ID]}
+	}
+	parts := []partState{{head: t.Root, split: true, weight: own[t.Root.ID]}}
+	for _, c := range children[t.Root.ID] {
+		if c == t.ServerGW {
+			parts[0].weight += subtree[c.ID]
+			continue
+		}
+		parts = append(parts, newPart(c))
+	}
+	splittable := func(p partState) bool {
+		return !p.split && len(children[p.head.ID]) > 0
+	}
+	for len(parts) < target {
+		best := -1
+		for i, p := range parts {
+			if splittable(p) && (best < 0 || p.weight > parts[best].weight) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, c := range children[parts[best].head.ID] {
+			parts = append(parts, newPart(c))
+		}
+		parts[best].weight = own[parts[best].head.ID]
+		parts[best].split = true
+	}
+
+	p := &Partition{
+		Parts:   len(parts),
+		PartOf:  make(map[netsim.NodeID]int, len(t.Net.Nodes())),
+		Weights: make([]float64, len(parts)),
+	}
+	headPart := map[netsim.NodeID]int{}
+	for i, ps := range parts {
+		headPart[ps.head.ID] = i
+		p.Weights[i] = ps.weight
+	}
+	headPart[t.ServerGW.ID] = 0
+	// Routers inherit the part of their nearest head ancestor; BFS
+	// order visits parents first, so the parent's part is always
+	// resolved before its children ask for it.
+	for _, r := range order {
+		if part, ok := headPart[r.ID]; ok {
+			p.PartOf[r.ID] = part
+			continue
+		}
+		p.PartOf[r.ID] = p.PartOf[parent[r.ID].ID]
+	}
+	for _, s := range t.Servers {
+		p.PartOf[s.ID] = 0
+	}
+	for _, leaf := range t.Leaves {
+		acc := t.AccessRouter(leaf)
+		if acc == nil {
+			panic(fmt.Sprintf("topology: leaf %v has no access router", leaf))
+		}
+		p.PartOf[leaf.ID] = p.PartOf[acc.ID]
+	}
+
+	for _, l := range t.Net.Links() {
+		a, b := l.A().Node(), l.B().Node()
+		if p.PartOf[a.ID] != p.PartOf[b.ID] {
+			p.Cut = append(p.Cut, l)
+			if p.Lookahead == 0 || l.Delay < p.Lookahead {
+				p.Lookahead = l.Delay
+			}
+		}
+	}
+	return p
+}
+
+// Place assigns parts to shards with longest-processing-time greedy
+// order and records the result in Assign: heaviest part first onto the
+// least-loaded shard, ties toward lower part and shard indices, so the
+// heaviest shard exceeds the mean load by at most one part's weight.
+func (p *Partition) Place(shards int) []int {
+	if shards < 1 {
+		panic("topology: need at least one shard")
+	}
+	order := make([]int, p.Parts)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return p.Weights[order[i]] > p.Weights[order[j]]
+	})
+	load := make([]float64, shards)
+	p.Assign = make([]int, p.Parts)
+	for _, part := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		p.Assign[part] = best
+		load[best] += p.Weights[part]
+	}
+	return p.Assign
+}
+
+// ShardedTree is a Tree rebuilt on a Cluster: same nodes, same links,
+// same IDs, with each AS-aligned part placed on a shard of the given
+// sharded simulator and the cut links routed through channels.
+type ShardedTree struct {
+	Cluster *netsim.Cluster
+	Part    *Partition
+
+	Root, ServerGW *netsim.Node
+	Servers        []*netsim.Node
+	Leaves         []*netsim.Node
+	Routers        []*netsim.Node
+	Bottleneck     *netsim.Link
+
+	access map[netsim.NodeID]*netsim.Node
+	hosts  map[netsim.NodeID]bool
+}
+
+// NewShardedTree builds the Params tree for a sharded run: the
+// reference tree is generated on a scratch simulator (identical RNG
+// draws, so node IDs, names and link order match a sequential NewTree
+// exactly), partitioned, and replayed node-by-node and link-by-link
+// onto a Cluster over the simulator's shards. Replaying in creation
+// order makes channel creation order — the cross-part delivery
+// tie-break — independent of the shard count.
+func NewShardedTree(ss *des.ShardedSimulator, p Params) *ShardedTree {
+	ref := NewTree(des.New(), p)
+	part := ref.Partition(DefaultPartTarget)
+	part.Place(ss.Shards())
+	cl := netsim.NewCluster(ss, part.Assign)
+	for _, n := range ref.Net.Nodes() {
+		cl.AddNode(part.PartOf[n.ID], n.Name)
+	}
+	for _, l := range ref.Net.Links() {
+		cl.Connect(cl.Node(l.A().Node().ID), cl.Node(l.B().Node().ID), l.Bandwidth, l.Delay)
+	}
+	cl.ComputeRoutes()
+
+	st := &ShardedTree{
+		Cluster: cl,
+		Part:    part,
+		access:  make(map[netsim.NodeID]*netsim.Node, len(ref.access)),
+		hosts:   make(map[netsim.NodeID]bool, len(ref.hosts)),
+	}
+	st.Root = cl.Node(ref.Root.ID)
+	st.ServerGW = cl.Node(ref.ServerGW.ID)
+	st.Bottleneck = st.Root.PortTo(st.ServerGW).Link()
+	remap := func(ns []*netsim.Node) []*netsim.Node {
+		out := make([]*netsim.Node, len(ns))
+		for i, n := range ns {
+			out[i] = cl.Node(n.ID)
+		}
+		return out
+	}
+	st.Servers = remap(ref.Servers)
+	st.Leaves = remap(ref.Leaves)
+	st.Routers = remap(ref.Routers)
+	for _, leaf := range ref.Leaves {
+		st.access[leaf.ID] = cl.Node(ref.AccessRouter(leaf).ID)
+		st.hosts[leaf.ID] = true
+	}
+	for _, s := range ref.Servers {
+		st.hosts[s.ID] = true
+	}
+	return st
+}
+
+// GrowTree replays a whole Params tree into one part of a cluster —
+// the building block of forest workloads, where each part hosts an
+// independent tree and only deliberately added links (sinks, ring
+// links) cross part boundaries. The reference tree is generated on a
+// scratch simulator so RNG draws, node order and link order are
+// exactly those of a sequential NewTree; node IDs are remapped to the
+// cluster-global space. The caller is responsible for route
+// computation (Cluster.ComputeRoutes, after all parts and cross links
+// exist).
+func GrowTree(cl *netsim.Cluster, part int, p Params) *Tree {
+	ref := NewTree(des.New(), p)
+	remap := make(map[netsim.NodeID]*netsim.Node, len(ref.Net.Nodes()))
+	for _, n := range ref.Net.Nodes() {
+		remap[n.ID] = cl.AddNode(part, n.Name)
+	}
+	for _, l := range ref.Net.Links() {
+		cl.Connect(remap[l.A().Node().ID], remap[l.B().Node().ID], l.Bandwidth, l.Delay)
+	}
+	t := &Tree{
+		Net:      cl.Part(part),
+		Root:     remap[ref.Root.ID],
+		ServerGW: remap[ref.ServerGW.ID],
+		access:   make(map[netsim.NodeID]*netsim.Node, len(ref.access)),
+		depth:    make(map[netsim.NodeID]int, len(ref.depth)),
+		hosts:    make(map[netsim.NodeID]bool, len(ref.hosts)),
+	}
+	t.Bottleneck = t.Root.PortTo(t.ServerGW).Link()
+	remapAll := func(ns []*netsim.Node) []*netsim.Node {
+		out := make([]*netsim.Node, len(ns))
+		for i, n := range ns {
+			out[i] = remap[n.ID]
+		}
+		return out
+	}
+	t.Servers = remapAll(ref.Servers)
+	t.Leaves = remapAll(ref.Leaves)
+	t.Routers = remapAll(ref.Routers)
+	for _, leaf := range ref.Leaves {
+		t.access[remap[leaf.ID].ID] = remap[ref.AccessRouter(leaf).ID]
+		t.hosts[remap[leaf.ID].ID] = true
+	}
+	for _, s := range ref.Servers {
+		t.hosts[remap[s.ID].ID] = true
+	}
+	for _, r := range ref.Routers {
+		if d, ok := ref.depth[r.ID]; ok {
+			t.depth[remap[r.ID].ID] = d
+		}
+	}
+	return t
+}
+
+// AccessRouter returns the first-hop router of an end host.
+func (st *ShardedTree) AccessRouter(leaf *netsim.Node) *netsim.Node { return st.access[leaf.ID] }
+
+// IsHost reports whether a node is an end host (leaf or server).
+func (st *ShardedTree) IsHost(n *netsim.Node) bool { return st.hosts[n.ID] }
+
+// LeafHops returns the router-hop distance from a leaf to ServerGW
+// across the cluster.
+func (st *ShardedTree) LeafHops(leaf *netsim.Node) int {
+	return st.Cluster.PathHops(leaf.ID, st.ServerGW.ID)
+}

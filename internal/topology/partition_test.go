@@ -1,0 +1,170 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func minimalParams() Params {
+	p := DefaultParams()
+	p.Leaves = 1
+	p.Servers = 1
+	p.HopDist = []float64{1}
+	return p
+}
+
+// TestPartitionBalancedPaperTree checks the LPT placement on a
+// 1000-leaf paper tree: all nodes assigned, and no shard loaded more
+// than the greedy bound (mean plus one part's weight) above the rest.
+func TestPartitionBalancedPaperTree(t *testing.T) {
+	p := DefaultParams()
+	p.Leaves = 1000
+	tr := NewTree(des.New(), p)
+	const shards = 8
+	pr := tr.Partition(DefaultPartTarget)
+	pr.Place(shards)
+
+	if len(pr.PartOf) != len(tr.Net.Nodes()) {
+		t.Fatalf("assigned %d of %d nodes", len(pr.PartOf), len(tr.Net.Nodes()))
+	}
+	if pr.Parts <= shards {
+		t.Fatalf("only %d parts for %d shards — placement has no freedom", pr.Parts, shards)
+	}
+	var total, maxPart float64
+	for part, w := range pr.Weights {
+		if w <= 0 {
+			t.Fatalf("part %d has weight %v", part, w)
+		}
+		total += w
+		if w > maxPart {
+			maxPart = w
+		}
+	}
+	load := make([]float64, shards)
+	for part, shard := range pr.Assign {
+		if shard < 0 || shard >= shards {
+			t.Fatalf("part %d assigned to shard %d", part, shard)
+		}
+		load[shard] += pr.Weights[part]
+	}
+	mean := total / shards
+	for shard, l := range load {
+		if l > mean+maxPart {
+			t.Fatalf("shard %d load %.1f exceeds LPT bound %.1f (mean %.1f + heaviest part %.1f)", shard, l, mean+maxPart, mean, maxPart)
+		}
+	}
+}
+
+// TestPartitionDegenerate covers the smallest constructible tree and
+// more shards than parts.
+func TestPartitionDegenerate(t *testing.T) {
+	tr := NewTree(des.New(), minimalParams())
+	pr := tr.Partition(DefaultPartTarget)
+	if pr.Parts != 2 {
+		t.Fatalf("minimal tree has %d parts, want 2 (victim network + one subtree)", pr.Parts)
+	}
+	// More shards than the topology has parts: placement must still be
+	// valid, with the surplus shards simply left idle.
+	for part, shard := range pr.Place(8) {
+		if shard < 0 || shard >= 8 {
+			t.Fatalf("part %d assigned to shard %d", part, shard)
+		}
+	}
+	if len(pr.Cut) != 1 {
+		t.Fatalf("minimal tree has %d cut links, want 1", len(pr.Cut))
+	}
+
+	for part, shard := range pr.Place(1) {
+		if shard != 0 {
+			t.Fatalf("part %d assigned to shard %d with a single shard", part, shard)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partition(0) did not panic")
+		}
+	}()
+	tr.Partition(0)
+}
+
+// TestPartitionStableAcrossShardCounts pins that parts and cut are a
+// property of the topology and the granularity target: re-partitioning
+// and re-placing on different shard counts changes only Assign.
+func TestPartitionStableAcrossShardCounts(t *testing.T) {
+	tr := NewTree(des.New(), DefaultParams())
+	a, b := tr.Partition(DefaultPartTarget), tr.Partition(DefaultPartTarget)
+	a.Place(1)
+	b.Place(8)
+	if a.Parts != b.Parts || len(a.Cut) != len(b.Cut) || a.Lookahead != b.Lookahead {
+		t.Fatalf("partition structure changed with shard count: %d/%d parts, %d/%d cuts", a.Parts, b.Parts, len(a.Cut), len(b.Cut))
+	}
+	for id, part := range a.PartOf {
+		if b.PartOf[id] != part {
+			t.Fatalf("node %d moved from part %d to %d with shard count", id, part, b.PartOf[id])
+		}
+	}
+}
+
+// TestPartitionCutDelaysRespectLookahead is the conservative-sync
+// safety property: every cross-part link's delay is at least the
+// declared lookahead, over a spread of topology seeds.
+func TestPartitionCutDelaysRespectLookahead(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		p := DefaultParams()
+		p.Seed = seed
+		tr := NewTree(des.New(), p)
+		pr := tr.Partition(DefaultPartTarget)
+		if pr.Lookahead <= 0 {
+			t.Fatalf("seed %d: non-positive lookahead %v", seed, pr.Lookahead)
+		}
+		inCut := 0
+		for _, l := range tr.Net.Links() {
+			crosses := pr.PartOf[l.A().Node().ID] != pr.PartOf[l.B().Node().ID]
+			if crosses {
+				inCut++
+				if l.Delay < pr.Lookahead {
+					t.Fatalf("seed %d: cut link %v delay %v below lookahead %v", seed, l, l.Delay, pr.Lookahead)
+				}
+			}
+		}
+		if inCut != len(pr.Cut) {
+			t.Fatalf("seed %d: %d links cross parts but Cut lists %d", seed, inCut, len(pr.Cut))
+		}
+	}
+}
+
+// TestShardedTreeMatchesReference checks the cluster replay: identical
+// node population, identical leaf-to-gateway distances, and exactly
+// the partition's cut links crossing part networks.
+func TestShardedTreeMatchesReference(t *testing.T) {
+	p := DefaultParams()
+	ref := NewTree(des.New(), p)
+	ss := des.NewSharded(p.Seed, 4)
+	st := NewShardedTree(ss, p)
+
+	if got, want := len(st.Cluster.Nodes()), len(ref.Net.Nodes()); got != want {
+		t.Fatalf("cluster has %d nodes, reference %d", got, want)
+	}
+	if st.Bottleneck.Bandwidth != ref.Bottleneck.Bandwidth || st.Bottleneck.Delay != ref.Bottleneck.Delay {
+		t.Fatal("bottleneck link parameters diverged")
+	}
+	for i, leaf := range st.Leaves {
+		want := ref.LeafHops(ref.Leaves[i])
+		if got := st.LeafHops(leaf); got != want {
+			t.Fatalf("leaf %d: %d hops across cluster, %d in reference", i, got, want)
+		}
+	}
+	crossPorts := 0
+	for _, n := range st.Cluster.Nodes() {
+		for _, pt := range n.Ports() {
+			if pt.Peer() == nil {
+				crossPorts++
+			}
+		}
+	}
+	if crossPorts != 2*len(st.Part.Cut) {
+		t.Fatalf("%d cross-part egress ports, want 2 per cut link (%d cuts)", crossPorts, len(st.Part.Cut))
+	}
+}
