@@ -17,13 +17,10 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +54,7 @@ func main() {
 	byzRate := flag.Float64("byz-rate", 2, "hostile frames per second per subverted router")
 	shards := flag.Int("shards", 0, "event-engine shards (0 or 1 sequential; N>1 hosts the run on a sharded engine, bit-identical results)")
 	server := flag.String("server", "", "submit to a running hbpsimd at this base URL instead of executing locally")
+	fleetURL := flag.String("fleet", "", "submit to a hbpfleet coordinator at this base URL (same API as -server; the fleet picks a worker)")
 	flag.Parse()
 
 	spec := scenario.TreeSpec{
@@ -90,8 +88,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *server != "" {
-		os.Exit(remote(ctx, *server, spec))
+	if *fleetURL != "" && *server != "" {
+		fmt.Fprintln(os.Stderr, "-server and -fleet are mutually exclusive")
+		os.Exit(2)
+	}
+	if target := *server + *fleetURL; target != "" {
+		os.Exit(remote(ctx, target, spec))
 	}
 
 	// The JSON spec reads 0 attackers as "default"; the flag means a
@@ -163,67 +165,49 @@ func main() {
 	}
 }
 
-// remote submits the case to a hbpsimd daemon and polls it to a
-// terminal state, printing the daemon's result summary.
+// remote submits the case to a hbpsimd daemon or hbpfleet coordinator
+// (they serve the same API) and polls it to a terminal state, printing
+// the remote result summary. Submission rides out 503 backpressure:
+// the client honors the server's Retry-After under a capped jittered
+// backoff instead of failing on a momentarily full queue.
 func remote(ctx context.Context, base string, spec scenario.TreeSpec) int {
-	base = strings.TrimRight(base, "/")
-	suiteBody, _ := json.Marshal(scenario.SuiteSpec{
+	client := scenario.NewClient(base)
+	created, err := client.CreateSuite(ctx, scenario.SuiteSpec{
 		Name:  "hbpsim",
 		Cases: []scenario.CaseSpec{{Name: "cli", Tree: &spec}},
 	})
-	resp, err := http.Post(base+"/suites", "application/json", bytes.NewReader(suiteBody))
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "submit failed: %v\n", err)
+		return 1
+	}
+	if len(created.Runs) != 1 {
+		fmt.Fprintf(os.Stderr, "submit failed: expected 1 run, got %d\n", len(created.Runs))
+		return 1
+	}
+	id := created.Runs[0].ID
+	run, err := client.WaitRun(ctx, id, 250*time.Millisecond)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancel with a fresh context: the signal context is done.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			client.CancelRun(cancelCtx, id) //nolint:errcheck // best-effort on the interrupt path
+			cancel()
+			fmt.Fprintln(os.Stderr, "interrupted — cancelled the remote run; partial results may be journaled on the daemon")
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	var created struct {
-		Suite scenario.Suite `json:"suite"`
-		Runs  []scenario.Run `json:"runs"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&created)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusCreated || len(created.Runs) != 1 {
-		fmt.Fprintf(os.Stderr, "submit failed: status %d err %v\n", resp.StatusCode, err)
+	if run.State != scenario.StatePassed {
+		fmt.Fprintf(os.Stderr, "run %s: %s (%+v)\n", run.ID, run.State, run.Error)
 		return 1
 	}
-	runURL := base + "/runs/" + created.Runs[0].ID
-	for {
-		select {
-		case <-ctx.Done():
-			req, _ := http.NewRequest(http.MethodDelete, runURL, nil)
-			if dresp, derr := http.DefaultClient.Do(req); derr == nil {
-				dresp.Body.Close()
-			}
-			fmt.Fprintln(os.Stderr, "interrupted — cancelled the remote run; partial results may be journaled on the daemon")
-			return 130
-		case <-time.After(250 * time.Millisecond):
-		}
-		resp, err := http.Get(runURL)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		var run scenario.Run
-		err = json.NewDecoder(resp.Body).Decode(&run)
-		resp.Body.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		if !run.State.Terminal() {
-			continue
-		}
-		if run.State != scenario.StatePassed {
-			fmt.Fprintf(os.Stderr, "run %s: %s (%+v)\n", run.ID, run.State, run.Error)
-			return 1
-		}
-		t := run.Result.Tree
-		fmt.Printf("run %s passed (attempt %d) on %s\n", run.ID, run.Attempts, base)
-		fmt.Printf("mean before attack: %.1f%%\nmean during attack: %.1f%%\n",
-			100*t.MeanBefore, 100*t.MeanDuringAttack)
-		fmt.Printf("captures: %d attackers, %d collateral; control messages: %d; events: %d\n",
-			t.AttackersCaptured, t.CollateralBlocks, t.CtrlMessages, t.EventsFired)
-		fmt.Printf("fingerprint: %s\n", run.Result.Fingerprint)
-		return 0
-	}
+	t := run.Result.Tree
+	fmt.Printf("run %s passed (attempt %d) on %s\n", run.ID, run.Attempts, base)
+	fmt.Printf("mean before attack: %.1f%%\nmean during attack: %.1f%%\n",
+		100*t.MeanBefore, 100*t.MeanDuringAttack)
+	fmt.Printf("captures: %d attackers, %d collateral; control messages: %d; events: %d\n",
+		t.AttackersCaptured, t.CollateralBlocks, t.CtrlMessages, t.EventsFired)
+	fmt.Printf("fingerprint: %s\n", run.Result.Fingerprint)
+	return 0
 }

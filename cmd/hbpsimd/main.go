@@ -13,6 +13,13 @@
 // Batch mode runs one suite to completion and exits (no HTTP):
 //
 //	hbpsimd -suite examples/scenario-service/experiments-suite.json -out results/
+//
+// Worker mode joins a hbpfleet coordinator instead of serving its own
+// API: the daemon pulls leased assignments, executes them with the
+// same deterministic executor, heartbeats while running, and reports
+// outcomes; SIGINT/SIGTERM stops pulling and exits:
+//
+//	hbpsimd -worker -coordinator http://127.0.0.1:9090 -name w1 -workers 2
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/scenario"
 )
 
@@ -44,7 +52,14 @@ func main() {
 	resubmit := flag.Bool("resubmit-interrupted", false, "re-queue runs the previous daemon died holding")
 	suitePath := flag.String("suite", "", "batch mode: run this suite spec (JSON) to completion and exit")
 	outDir := flag.String("out", "", "batch mode: write one JSON artifact per case into this directory")
+	worker := flag.Bool("worker", false, "worker mode: pull leased runs from a hbpfleet coordinator instead of serving HTTP")
+	coordinator := flag.String("coordinator", "", "worker mode: coordinator base URL, e.g. http://127.0.0.1:9090")
+	name := flag.String("name", "", "worker mode: worker name (default the hostname)")
 	flag.Parse()
+
+	if *worker {
+		os.Exit(workerMode(*coordinator, *name, *workers, *maxEvents))
+	}
 
 	var journal *scenario.Journal
 	var recovered []scenario.Entry
@@ -99,6 +114,37 @@ func main() {
 		os.Exit(1)
 	}
 	log.Print("drained cleanly")
+}
+
+// workerMode registers with a hbpfleet coordinator and executes
+// leased assignments until interrupted. The fleet layer owns all
+// failure handling — a worker that dies mid-run simply stops
+// heartbeating and the coordinator re-dispatches.
+func workerMode(coordinator, name string, capacity int, maxEvents uint64) int {
+	if coordinator == "" {
+		log.Print("worker mode needs -coordinator")
+		return 2
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+		if name == "" {
+			name = "hbpsimd-worker"
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := fleet.NewWorker(fleet.WorkerConfig{
+		Name:      name,
+		Capacity:  capacity,
+		MaxEvents: maxEvents,
+	}, fleet.NewRemoteCoord(coordinator))
+	log.Printf("worker %q joining fleet at %s (%d slots)", name, coordinator, capacity)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Print(err)
+		return 1
+	}
+	log.Print("worker stopped")
+	return 0
 }
 
 // resubmitInterrupted re-queues journal-recovered interrupted runs.

@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"time"
+
+	"repro/internal/des"
+)
+
+// WorkerFaultKind enumerates the ways a fleet worker can betray its
+// coordinator. These are the failure modes the dispatch layer exists
+// to survive — HoneyMesh-style elastic defense fleets lose hosts
+// exactly like this — and the chaos soak injects all of them at once
+// against the exactly-once invariant.
+type WorkerFaultKind int
+
+const (
+	// WorkerHealthy: the attempt runs and reports normally.
+	WorkerHealthy WorkerFaultKind = iota
+	// WorkerCrash: the worker dies before executing — no completion,
+	// no further heartbeats; only lease expiry gets the run back.
+	WorkerCrash
+	// WorkerHang: the worker wedges mid-run — it holds the lease and
+	// the run, heartbeats stop, nothing is ever reported.
+	WorkerHang
+	// WorkerSlow: the worker finishes the run but reports the
+	// completion late, typically after its lease has already expired
+	// and the run was re-dispatched — the duplicate-completion path.
+	WorkerSlow
+)
+
+func (k WorkerFaultKind) String() string {
+	switch k {
+	case WorkerHealthy:
+		return "healthy"
+	case WorkerCrash:
+		return "crash"
+	case WorkerHang:
+		return "hang"
+	case WorkerSlow:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// WorkerFault is one drawn fault decision for a (worker, run, attempt)
+// triple.
+type WorkerFault struct {
+	Kind WorkerFaultKind
+	// SlowBy is how long a WorkerSlow completion is withheld.
+	SlowBy time.Duration
+}
+
+// PartitionWindow drops every coordinator↔worker message for one
+// worker over a half-open window of that worker's message sequence
+// numbers. Indexing by message count instead of wall time keeps the
+// plan a pure function of the seed — the same plan partitions the
+// same messages on every test machine and under -race slowdowns.
+type PartitionWindow struct {
+	// Worker names the partitioned worker.
+	Worker string
+	// From and To bound the dropped messages: seq in [From, To).
+	From, To uint64
+}
+
+// WorkerPlan is the deterministic chaos schedule for a worker fleet.
+// Every decision is a pure function of (Seed, worker, run, attempt) or
+// (Seed, worker, message seq): replaying a plan replays its faults
+// bit-for-bit, which is what lets the chaos soak assert exact
+// invariants instead of statistical ones.
+type WorkerPlan struct {
+	// Seed decorrelates this plan from the scenarios it torments.
+	Seed int64
+	// CrashProb, HangProb and SlowProb are per-(run,attempt) fault
+	// probabilities; their sum must stay below 1 and the remainder is
+	// the healthy path.
+	CrashProb float64
+	HangProb  float64
+	SlowProb  float64
+	// SlowBy is the completion delay for drawn WorkerSlow faults
+	// (default 200 ms — comfortably past the chaos soak's leases).
+	SlowBy time.Duration
+	// Partitions are scheduled message-drop windows per worker.
+	Partitions []PartitionWindow
+	// DropProb additionally drops each coordinator↔worker message
+	// independently — background packet loss on the control path.
+	DropProb float64
+}
+
+// Draw decides the fault for one execution attempt. The draw mixes the
+// worker name, run ID and attempt number into the plan seed, so the
+// same attempt draws the same fate across process restarts while
+// different attempts (including re-dispatches of the same run) draw
+// independently.
+func (p *WorkerPlan) Draw(worker, run string, attempt int) WorkerFault {
+	if p == nil || p.CrashProb+p.HangProb+p.SlowProb <= 0 {
+		return WorkerFault{Kind: WorkerHealthy}
+	}
+	rng := des.NewRNG(p.derive(worker, des.DeriveSeed(hashLabel(run), int64(attempt))))
+	u := rng.Float64()
+	f := WorkerFault{Kind: WorkerHealthy}
+	switch {
+	case u < p.CrashProb:
+		f.Kind = WorkerCrash
+	case u < p.CrashProb+p.HangProb:
+		f.Kind = WorkerHang
+	case u < p.CrashProb+p.HangProb+p.SlowProb:
+		f.Kind = WorkerSlow
+		f.SlowBy = p.SlowBy
+		if f.SlowBy <= 0 {
+			f.SlowBy = 200 * time.Millisecond
+		}
+	}
+	return f
+}
+
+// DropMessage decides whether one coordinator↔worker message is lost:
+// inside any scheduled partition window for the worker, or to the
+// independent background drop probability. seq is the worker's own
+// monotonic message counter (registrations, leases, heartbeats and
+// completions all count).
+func (p *WorkerPlan) DropMessage(worker string, seq uint64) bool {
+	if p == nil {
+		return false
+	}
+	for _, w := range p.Partitions {
+		if w.Worker == worker && seq >= w.From && seq < w.To {
+			return true
+		}
+	}
+	if p.DropProb > 0 {
+		rng := des.NewRNG(p.derive(worker, int64(seq)^0x7ed558cc))
+		return rng.Float64() < p.DropProb
+	}
+	return false
+}
+
+// derive folds a worker label and a discriminator into the plan seed.
+func (p *WorkerPlan) derive(worker string, label int64) int64 {
+	return des.DeriveSeed(des.DeriveSeed(p.Seed, hashLabel(worker)), label)
+}
+
+// hashLabel maps a string identity to a seed label (FNV-1a).
+func hashLabel(s string) int64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}

@@ -87,16 +87,17 @@ func defensePkg(path string) bool {
 
 // simulationPkg reports whether determinism rules apply to path:
 // everything except command/example drivers (which may time wall-clock
-// progress), the scenario service (a wall-clock supervisor over
-// simulations, not a simulation itself — its deadlines, backoff and
-// journal timestamps are real time by design), and the lint suite
-// itself.
+// progress), the scenario service and fleet dispatch layers
+// (wall-clock supervisors over simulations, not simulations themselves
+// — their deadlines, leases, backoff and journal timestamps are real
+// time by design, and the journal ledger fsyncs real files), and the
+// lint suite itself.
 func simulationPkg(path string) bool {
 	for _, seg := range strings.Split(path, "/") {
 		switch seg {
 		case "cmd", "examples", "main":
 			return false
-		case "scenario":
+		case "scenario", "fleet", "jsonl":
 			return false
 		case "lint", "linttest":
 			return false

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRidesOutSaturation: a saturated daemon — full queue, no
+// worker draining it yet — answers 503 + Retry-After; the client must
+// back off and land the submission once capacity frees up, instead of
+// failing on the first rejection.
+func TestClientRidesOutSaturation(t *testing.T) {
+	r := NewRunner(Config{Workers: 1, QueueCap: 1}, nil)
+	// The pool is intentionally NOT started: the queue stays full
+	// until the test opens the drain.
+	var rejected atomic.Int64
+	inner := NewServer(r)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rw := &statusRecorder{ResponseWriter: w}
+		inner.ServeHTTP(rw, req)
+		if rw.status == http.StatusServiceUnavailable {
+			rejected.Add(1)
+		}
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.BackoffBase = 20 * time.Millisecond
+	c.BackoffMax = 100 * time.Millisecond // cap beats the server's 1 s Retry-After
+	c.Seed = 42
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	created, err := c.CreateSuite(ctx, SuiteSpec{Name: "saturation"})
+	if err != nil {
+		t.Fatalf("CreateSuite: %v", err)
+	}
+	if _, err := c.SubmitCase(ctx, created.Suite.ID, CaseSpec{Name: "filler", Tree: quickTree(7)}); err != nil {
+		t.Fatalf("filler submit: %v", err)
+	}
+
+	// Open the drain once the client has eaten at least one 503.
+	go func() {
+		for rejected.Load() == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		r.Start()
+	}()
+
+	run, err := c.SubmitCase(ctx, created.Suite.ID, CaseSpec{Name: "patient", Tree: quickTree(8)})
+	if err != nil {
+		t.Fatalf("saturated submit did not recover: %v (after %d rejections)", err, rejected.Load())
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("server never rejected; the test exercised nothing")
+	}
+	got, err := c.WaitRun(ctx, run.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitRun: %v", err)
+	}
+	if got.State != StatePassed {
+		t.Fatalf("patient run state %s (err %+v), want passed", got.State, got.Error)
+	}
+	if err := r.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestClientHonorsRetryAfter: a Retry-After above the computed backoff
+// but below the cap raises the wait to what the server asked for.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"backpressure"}`)) //nolint:errcheck
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"suite":{"id":"s-1","name":"x"},"runs":[]}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.BackoffBase = time.Millisecond
+	c.BackoffMax = 5 * time.Second
+	c.Seed = 1
+	start := time.Now()
+	if _, err := c.CreateSuite(context.Background(), SuiteSpec{Name: "x"}); err != nil {
+		t.Fatalf("CreateSuite: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("client waited only %v; Retry-After of 1s was not honored", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestClientGivesUpEventually: endless 503s exhaust MaxSubmitRetries
+// rather than looping forever.
+func TestClientGivesUpEventually(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"always full"}`)) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.BackoffBase = time.Millisecond
+	c.BackoffMax = 2 * time.Millisecond
+	c.MaxSubmitRetries = 3
+	c.Seed = 1
+	_, err := c.CreateSuite(context.Background(), SuiteSpec{Name: "x"})
+	if err == nil {
+		t.Fatal("submission against a permanently saturated server succeeded")
+	}
+	if calls.Load() != 4 { // initial try + 3 retries
+		t.Fatalf("server saw %d calls, want 4", calls.Load())
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -29,6 +29,15 @@ func runAttempt(ctx context.Context, spec *CaseSpec, seed int64, maxEvents uint6
 	return executeCase(ctx, spec, seed, maxEvents)
 }
 
+// ExecuteAttempt runs one panic-isolated attempt of a case — the unit
+// a fleet worker executes on behalf of a coordinator. The caller owns
+// the supervision envelope (context deadline, seed derivation, retry
+// policy); ExecuteAttempt only guarantees a panicking executor comes
+// back as a typed error instead of taking the worker process down.
+func ExecuteAttempt(ctx context.Context, spec *CaseSpec, seed int64, maxEvents uint64) (*CaseResult, error) {
+	return runAttempt(ctx, spec, seed, maxEvents)
+}
+
 // RunCaseSolo executes one case outside any supervision — no retries,
 // deadlines, chaos or panic isolation. It is the isolation baseline:
 // a healthy supervised first attempt must produce a result fingerprint

@@ -1,12 +1,9 @@
 package scenario
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"os"
-	"sync"
 	"time"
+
+	"repro/internal/jsonl"
 )
 
 // EntryType tags one journal record.
@@ -47,52 +44,24 @@ type Entry struct {
 	Fingerprint string    `json:"fingerprint,omitempty"`
 }
 
-// Journal is an append-only JSONL ledger. Every write is flushed and
-// synced before Record returns: after a crash the journal may miss at
-// most the transition in flight, never hold a torn prefix of one.
+// Journal is the run lifecycle's append-only JSONL ledger, a typed
+// face over internal/jsonl: every write is flushed and synced before
+// Record returns, and after a crash the journal may miss at most the
+// transition in flight, never hold a torn prefix of one.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	log *jsonl.Log[Entry]
 }
 
 // OpenJournal opens (creating if needed) the journal at path, first
-// reading back every intact record for recovery. A trailing partial
-// line — the write the previous process died inside — is dropped, not
+// reading back every intact record for recovery. A damaged or torn
+// tail — the write the previous process died inside — is dropped, not
 // an error.
 func OpenJournal(path string) (*Journal, []Entry, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	log, entries, err := jsonl.Open[Entry](path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("scenario: open journal: %w", err)
+		return nil, nil, err
 	}
-	var entries []Entry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	valid := int64(0)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			// Torn tail from a crash mid-write; recovery stops here
-			// and the next Record overwrites it.
-			break
-		}
-		entries = append(entries, e)
-		valid += int64(len(line)) + 1
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("scenario: read journal: %w", err)
-	}
-	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("scenario: truncate torn journal tail: %w", err)
-	}
-	if _, err := f.Seek(valid, 0); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("scenario: seek journal: %w", err)
-	}
-	return &Journal{f: f, w: bufio.NewWriter(f)}, entries, nil
+	return &Journal{log: log}, entries, nil
 }
 
 // Record appends one entry durably.
@@ -100,19 +69,7 @@ func (j *Journal) Record(e Entry) error {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	b, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("scenario: marshal journal entry: %w", err)
-	}
-	if _, err := j.w.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("scenario: write journal: %w", err)
-	}
-	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("scenario: flush journal: %w", err)
-	}
-	return j.f.Sync()
+	return j.log.Record(e)
 }
 
 // Close flushes and closes the underlying file.
@@ -120,13 +77,7 @@ func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
-	}
-	return j.f.Close()
+	return j.log.Close()
 }
 
 // Recover reconstructs run records from journal entries: terminal runs
@@ -136,6 +87,7 @@ func (j *Journal) Close() error {
 func Recover(entries []Entry) (suites map[string]string, runs []*Run) {
 	suites = map[string]string{}
 	byID := map[string]*Run{}
+	finished := map[string]bool{}
 	for _, e := range entries {
 		switch e.Type {
 		case EntrySuite:
@@ -153,7 +105,11 @@ func Recover(entries []Entry) (suites map[string]string, runs []*Run) {
 				r.StartedAt = e.Time
 			}
 		case EntryFinished:
-			if r := byID[e.Run]; r != nil {
+			if r := byID[e.Run]; r != nil && !finished[e.Run] {
+				// First completion wins: a duplicate finished record
+				// (a crash between journaling and acking can replay
+				// one) must not rewrite an already-terminal run.
+				finished[e.Run] = true
 				r.State = e.State
 				r.Error = e.Error
 				r.FinishedAt = e.Time

@@ -123,6 +123,63 @@ func TestJournalMarksInterrupted(t *testing.T) {
 	}
 }
 
+// TestJournalMultiRecordTornTail: damage spanning several trailing
+// lines — a damaged record followed by an intact-looking one and a
+// torn one — recovers only the records before the first damaged line;
+// nothing after a hole is resurrected.
+func TestJournalMultiRecordTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	body := `{"type":"suite","suite":"s-1","suite_name":"ok"}` + "\n" +
+		`{"type":"submitted","suite":"s-1","run":"r-1","spec":{"name":"a"}}` + "\n" +
+		`{"type":"started","suite":"s-1","run":` + "\n" + // damaged
+		`{"type":"finished","suite":"s-1","run":"r-1","state":"passed"}` + "\n" + // after the hole
+		`{"type":"fin` // torn
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open multi-torn journal: %v", err)
+	}
+	defer j.Close()
+	if len(entries) != 2 || entries[1].Type != EntrySubmitted {
+		t.Fatalf("recovered %+v, want the 2-record pre-damage prefix", entries)
+	}
+	// The finished record after the hole was dropped, so the run
+	// recovers as interrupted, not passed.
+	_, runs := Recover(entries)
+	if len(runs) != 1 || runs[0].State != StateInterrupted {
+		t.Fatalf("recovered runs = %+v, want one interrupted run", runs)
+	}
+}
+
+// TestJournalDuplicateCompletion: a crash between journaling a finished
+// record and acknowledging it can replay the record on the next
+// generation. Recovery must keep the first terminal state and ignore
+// the duplicate — a run is never double-counted or rewritten.
+func TestJournalDuplicateCompletion(t *testing.T) {
+	spec := CaseSpec{Name: "dup", Tree: quickTree(5)}
+	entries := []Entry{
+		{Type: EntrySuite, Suite: "s-1", SuiteName: "dup-suite"},
+		{Type: EntrySubmitted, Suite: "s-1", Run: "r-1", Spec: &spec},
+		{Type: EntryStarted, Suite: "s-1", Run: "r-1", Attempt: 1},
+		{Type: EntryFinished, Suite: "s-1", Run: "r-1", State: StatePassed, Fingerprint: "aaaa"},
+		{Type: EntryFinished, Suite: "s-1", Run: "r-1", State: StateFailed,
+			Error: &RunError{Kind: ErrRun, Message: "replayed stale record"}},
+	}
+	_, runs := Recover(entries)
+	if len(runs) != 1 {
+		t.Fatalf("recovered %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.State != StatePassed || r.Error != nil {
+		t.Fatalf("duplicate completion rewrote the run: state %s err %+v, want passed/nil", r.State, r.Error)
+	}
+	if r.Result == nil || r.Result.Fingerprint != "aaaa" {
+		t.Fatalf("first completion's fingerprint lost: %+v", r.Result)
+	}
+}
+
 // TestJournalTornTail: a crash mid-write leaves a torn last line; the
 // reopen drops it and appends cleanly after the intact prefix.
 func TestJournalTornTail(t *testing.T) {

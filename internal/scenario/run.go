@@ -62,6 +62,10 @@ const (
 	// ErrRun: any other executor error (bad config reaching the
 	// executor, simulation error).
 	ErrRun ErrorKind = "error"
+	// ErrWorkerLost: the fleet coordinator exhausted its dispatch
+	// budget for the run — every worker that leased it crashed, hung
+	// or partitioned away before reporting a result.
+	ErrWorkerLost ErrorKind = "worker-lost"
 )
 
 // RunError is the recorded cause of a failed or cancelled run.

@@ -311,6 +311,40 @@ func (r *Runner) QueueDepth() (depth, capacity int) {
 	return r.queue.Len(), r.queue.Cap()
 }
 
+// Health is the live/schedulable snapshot readyz serves: a daemon is
+// alive whenever it answers, but only schedulable when it is not
+// draining and has queue headroom — the distinction a fleet
+// coordinator (and the CI smoke) needs to route work.
+type Health struct {
+	QueueDepth int  `json:"queue"`
+	QueueCap   int  `json:"queue_cap"`
+	InFlight   int  `json:"in_flight"`
+	Draining   bool `json:"draining"`
+}
+
+// Ready reports whether the runner can accept a submission right now.
+func (h Health) Ready() bool {
+	return !h.Draining && h.QueueDepth < h.QueueCap
+}
+
+// Health returns the current schedulability snapshot.
+func (r *Runner) Health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inFlight := 0
+	for _, run := range r.runs {
+		if run.State == StateRunning {
+			inFlight++
+		}
+	}
+	return Health{
+		QueueDepth: r.queue.Len(),
+		QueueCap:   r.queue.Cap(),
+		InFlight:   inFlight,
+		Draining:   r.draining,
+	}
+}
+
 // Drain stops admissions, lets queued and running work finish, and
 // returns when the pool is idle. If ctx expires first every live run
 // is cancelled (finishing as StateCancelled) and Drain still waits for
@@ -494,6 +528,16 @@ func (r *Runner) finish(run *Run, state State, re *RunError, result *CaseResult)
 // distinguishes a client cancel (the run's own context was cancelled)
 // from an attempt deadline (only the per-attempt timeout fired).
 func classify(err error, attempt int, baseCtx context.Context) *RunError {
+	return ClassifyError(err, attempt, baseCtx.Err() != nil)
+}
+
+// ClassifyError maps an executor error to its typed RunError.
+// cancelled reports whether the run's own (not per-attempt) context
+// was cancelled, which distinguishes a client/drain cancel from an
+// attempt wall deadline. Exported for fleet workers, which supervise
+// attempts themselves but must report the same error taxonomy the
+// local runner records.
+func ClassifyError(err error, attempt int, cancelled bool) *RunError {
 	var pe *panicError
 	var le *leakError
 	switch {
@@ -505,7 +549,7 @@ func classify(err error, attempt int, baseCtx context.Context) *RunError {
 		return &RunError{Kind: ErrInfra, Message: err.Error(), Attempt: attempt}
 	case errors.Is(err, des.ErrEventLimit):
 		return &RunError{Kind: ErrEventLimit, Message: err.Error(), Attempt: attempt}
-	case errors.Is(err, context.Canceled) && baseCtx.Err() != nil:
+	case errors.Is(err, context.Canceled) && cancelled:
 		return &RunError{Kind: ErrCancelled, Message: err.Error(), Attempt: attempt}
 	case errors.Is(err, context.DeadlineExceeded):
 		return &RunError{Kind: ErrWallDeadline, Message: err.Error(), Attempt: attempt}

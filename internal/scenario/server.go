@@ -17,6 +17,7 @@ import (
 //	DELETE /runs/{id}         cancel the run
 //	POST   /runs/{id}/resubmit re-queue an interrupted run
 //	GET    /healthz           liveness + queue depth
+//	GET    /readyz            schedulability: 200 only when accepting work
 type Server struct {
 	runner *Runner
 	mux    *http.ServeMux
@@ -33,6 +34,7 @@ func NewServer(r *Runner) *Server {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.cancelRun)
 	s.mux.HandleFunc("POST /runs/{id}/resubmit", s.resubmitRun)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s
 }
 
@@ -40,8 +42,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	s.mux.ServeHTTP(w, req)
 }
 
-// suiteResponse is the GET /suites/{id} body.
-type suiteResponse struct {
+// SuiteStatus is the GET /suites/{id} (and POST /suites) body: the
+// suite plus snapshots of its runs.
+type SuiteStatus struct {
 	Suite Suite `json:"suite"`
 	Runs  []Run `json:"runs"`
 }
@@ -79,7 +82,7 @@ func (s *Server) createSuite(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	got, runs, _ := s.runner.GetSuite(suite.ID)
-	writeJSON(w, http.StatusCreated, suiteResponse{Suite: got, Runs: runs})
+	writeJSON(w, http.StatusCreated, SuiteStatus{Suite: got, Runs: runs})
 }
 
 func (s *Server) listSuites(w http.ResponseWriter, req *http.Request) {
@@ -92,7 +95,7 @@ func (s *Server) getSuite(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusNotFound, errors.New("no such suite"))
 		return
 	}
-	writeJSON(w, http.StatusOK, suiteResponse{Suite: suite, Runs: runs})
+	writeJSON(w, http.StatusOK, SuiteStatus{Suite: suite, Runs: runs})
 }
 
 func (s *Server) submitCase(w http.ResponseWriter, req *http.Request) {
@@ -149,6 +152,19 @@ func (s *Server) healthz(w http.ResponseWriter, req *http.Request) {
 		"queue":     depth,
 		"queue_cap": capacity,
 	})
+}
+
+// readyz distinguishes live from schedulable: a draining daemon or a
+// full queue answers 503 (with the same body) so a fleet coordinator
+// or smoke test can tell "up" from "will accept a run right now".
+func (s *Server) readyz(w http.ResponseWriter, req *http.Request) {
+	h := s.runner.Health()
+	code := http.StatusOK
+	if !h.Ready() {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, h)
 }
 
 // statusFor maps runner errors to HTTP statuses: backpressure and

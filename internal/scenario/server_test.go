@@ -71,7 +71,7 @@ func TestServerSuiteLifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("POST /suites = %d: %s", resp.StatusCode, body)
 	}
-	var created suiteResponse
+	var created SuiteStatus
 	if err := json.Unmarshal(body, &created); err != nil {
 		t.Fatalf("decode create response: %v", err)
 	}
@@ -81,7 +81,7 @@ func TestServerSuiteLifecycle(t *testing.T) {
 
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		var got suiteResponse
+		var got SuiteStatus
 		getJSON(t, srv.URL+"/suites/"+created.Suite.ID, &got)
 		done := 0
 		for _, run := range got.Runs {
@@ -112,7 +112,7 @@ func TestServerBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create suite = %d: %s", resp.StatusCode, body)
 	}
-	var created suiteResponse
+	var created SuiteStatus
 	json.Unmarshal(body, &created) //nolint:errcheck
 	suiteURL := fmt.Sprintf("%s/suites/%s/cases", srv.URL, created.Suite.ID)
 
@@ -191,6 +191,52 @@ func TestServerHealthz(t *testing.T) {
 	}
 	if int(h["queue_cap"].(float64)) != 7 {
 		t.Fatalf("queue_cap = %v, want 7", h["queue_cap"])
+	}
+}
+
+// TestServerReadyz: readyz distinguishes live from schedulable — 200
+// with headroom, 503 once the queue is full or the daemon drains,
+// while healthz stays 200 throughout.
+func TestServerReadyz(t *testing.T) {
+	r := NewRunner(Config{Workers: 1, QueueCap: 1}, nil)
+	// Pool not started: admitted work stays queued, so fullness is
+	// deterministic.
+	srv := httptest.NewServer(NewServer(r))
+	defer srv.Close()
+
+	var h Health
+	if resp := getJSON(t, srv.URL+"/readyz", &h); resp.StatusCode != http.StatusOK || !h.Ready() {
+		t.Fatalf("idle readyz = %d %+v, want 200/ready", resp.StatusCode, h)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/suites", SuiteSpec{
+		Name:  "fill",
+		Cases: []CaseSpec{{Name: "sit", Tree: quickTree(1)}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("fill suite = %d: %s", resp.StatusCode, body)
+	}
+	resp = getJSON(t, srv.URL+"/readyz", &h)
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Ready() || h.QueueDepth != 1 {
+		t.Fatalf("full readyz = %d %+v, want 503 with queue 1", resp.StatusCode, h)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("unready readyz without Retry-After")
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d while unready, want 200 (still live)", resp.StatusCode)
+	}
+
+	// Draining flips readyz to 503 regardless of queue depth.
+	r.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	resp = getJSON(t, srv.URL+"/readyz", &h)
+	if resp.StatusCode != http.StatusServiceUnavailable || !h.Draining {
+		t.Fatalf("draining readyz = %d %+v, want 503 with draining=true", resp.StatusCode, h)
 	}
 }
 
