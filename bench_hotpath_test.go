@@ -1,9 +1,16 @@
 package repro
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/benchhot"
+	"repro/internal/experiments"
 )
 
 // The BenchmarkHotPath* family tracks the zero-allocation refactor of
@@ -25,3 +32,118 @@ func BenchmarkHotPathHierarchical(b *testing.B) { benchhot.Hierarchical(b) }
 // pure engine speedup on multi-core hosts.
 func BenchmarkHotPathForestShard1(b *testing.B) { benchhot.Forest(1)(b) }
 func BenchmarkHotPathForestShard8(b *testing.B) { benchhot.Forest(8)(b) }
+
+// exercisedRoots maps every //hbplint:hotpath root to the benchmark
+// that drives it. Annotating a new root without extending this table —
+// and the benchmark coverage it documents — fails
+// TestHotPathRootsExercised, so the hotalloc-enforced region cannot
+// drift from what the BenchmarkHotPath* family actually measures.
+var exercisedRoots = map[string]string{
+	"des.Simulator.Run":   "BenchmarkHotPathFig8 / EventQueue / TypedEvent drive the dispatch loop",
+	"netsim.Node.Send":    "BenchmarkHotPathFig8 and Forwarding originate every packet here",
+	"netsim.linkDispatch": "BenchmarkHotPathForwarding and Fig8 forward packets hop by hop",
+	"netsim.crossArrive":  "BenchmarkHotPathForestShard8 delivers ring traffic across shard boundaries",
+}
+
+// TestHotPathRootsExercised is the benchmark guard: the set of
+// //hbplint:hotpath roots found in the simulator sources must equal
+// the exercisedRoots table, and the two scenarios the table cites
+// (Fig8 and the sharded forest) must actually run those code paths.
+func TestHotPathRootsExercised(t *testing.T) {
+	found := collectHotpathRoots(t, "internal/des", "internal/netsim")
+	for root := range found {
+		if _, ok := exercisedRoots[root]; !ok {
+			t.Errorf("//hbplint:hotpath root %s is not in the exercisedRoots table: name the benchmark that measures it (and make sure one does)", root)
+		}
+	}
+	for root, bench := range exercisedRoots {
+		if !found[root] {
+			t.Errorf("exercisedRoots lists %s (%s) but no //hbplint:hotpath directive marks it; remove the entry or restore the annotation", root, bench)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Exercise proof, on the benchmarks' own reduced-scale scenarios.
+	// Fig8 covers Run (events fired), Node.Send (originated packets)
+	// and linkDispatch (throughput samples exist only if packets
+	// crossed links hop by hop).
+	cfg := benchhot.Fig8Config()
+	cfg.Duration = 10
+	cfg.AttackEnd = 8
+	cfg.Seed = 1
+	r, err := experiments.RunTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EventsFired == 0 {
+		t.Error("Fig8 scenario fired no events; des.Simulator.Run was not exercised")
+	}
+	if r.Throughput.Len() == 0 {
+		t.Error("Fig8 scenario produced no throughput samples; the forwarding path was not exercised")
+	}
+	// The sharded forest at width 2 covers crossArrive: the parts form
+	// a cross-traffic ring placed round-robin over the shards, so ring
+	// traffic must cross a shard boundary to be delivered at all.
+	fcfg := benchhot.ForestConfig(2)
+	fcfg.Duration = 10
+	fcfg.AttackEnd = 8
+	fcfg.Seed = 1
+	fr, err := experiments.RunShardedForest(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.EventsFired == 0 || fr.Captures == 0 {
+		t.Errorf("sharded forest at width 2 fired %d events with %d captures; the cross-shard delivery path was not exercised", fr.EventsFired, fr.Captures)
+	}
+}
+
+// collectHotpathRoots parses the named directories' non-test sources
+// and returns the functions annotated //hbplint:hotpath, keyed as
+// pkg.Recv.Name (or pkg.Name for free functions).
+func collectHotpathRoots(t *testing.T, dirs ...string) map[string]bool {
+	t.Helper()
+	roots := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "hbplint:hotpath") {
+						continue
+					}
+					key := f.Name.Name + "."
+					if fd.Recv != nil && len(fd.Recv.List) > 0 {
+						rt := fd.Recv.List[0].Type
+						if star, ok := rt.(*ast.StarExpr); ok {
+							rt = star.X
+						}
+						if id, ok := rt.(*ast.Ident); ok {
+							key += id.Name + "."
+						}
+					}
+					roots[key+fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	return roots
+}

@@ -11,12 +11,32 @@
 // which handles package loading, build caching and diagnostic
 // formatting; hbplint itself only analyzes one compilation unit at a
 // time, exactly like the vet tool.
+//
+// Extra modes:
+//
+//	go run ./cmd/hbplint -ignores ./...
+//	    audit mode: list every //hbplint:ignore suppression with
+//	    file:line, analyzer and reason — the suppression debt at a
+//	    glance. Exits 1 if any directive is missing its reason.
+//
+//	go run ./cmd/hbplint -json ./...
+//	    emit diagnostics as JSON (the analysisflags format go vet
+//	    uses), for CI annotation tooling.
+//
+//	HBPLINT_STALE_IGNORES=1 go run ./cmd/hbplint ./...
+//	    additionally flag stale suppressions: directives whose line no
+//	    longer triggers the named analyzer.
 package main
 
 import (
 	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -31,8 +51,17 @@ func main() {
 		return // unreachable; Main exits
 	}
 
+	if len(args) > 0 && args[0] == "-ignores" {
+		if err := listIgnores(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "hbplint:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Standalone mode: let `go vet` drive this same binary over the
-	// requested package patterns.
+	// requested package patterns. Flags (e.g. -json) pass through to
+	// the vet driver, which forwards them to our unitchecker half.
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hbplint:", err)
@@ -67,4 +96,89 @@ func isUnitcheckerInvocation(args []string) bool {
 		}
 	}
 	return false
+}
+
+// listIgnores walks the given directories (package patterns like
+// ./... are accepted; the /... suffix is dropped) and prints every
+// //hbplint:ignore directive, sorted by position. Analyzer corpora
+// under testdata and vendored code are skipped — their directives are
+// fixtures, not suppression debt. Returns an error (exit 1) when a
+// directive is missing its written reason.
+func listIgnores(dirs []string) error {
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	type entry struct {
+		pos      token.Position
+		analyzer string
+		reason   string
+	}
+	fset := token.NewFileSet()
+	var out []entry
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		dir = strings.TrimSuffix(strings.TrimSuffix(dir, "/..."), "...")
+		if dir == "" {
+			dir = "."
+		}
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case "testdata", "vendor", ".git":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || seen[path] {
+				return nil
+			}
+			seen[path] = true
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "hbplint:ignore")
+					if !ok {
+						continue
+					}
+					e := entry{pos: fset.Position(c.Pos())}
+					if fields := strings.Fields(rest); len(fields) > 0 {
+						e.analyzer = fields[0]
+						e.reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, e)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		return out[i].pos.Line < out[j].pos.Line
+	})
+	missing := 0
+	for _, e := range out {
+		reason := e.reason
+		if reason == "" {
+			reason = "MISSING REASON"
+			missing++
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", e.pos.Filename, e.pos.Line, e.analyzer, reason)
+	}
+	fmt.Printf("%d active suppressions\n", len(out))
+	if missing > 0 {
+		return fmt.Errorf("%d suppression(s) missing a reason", missing)
+	}
+	return nil
 }

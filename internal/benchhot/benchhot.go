@@ -19,9 +19,11 @@ import (
 	"repro/internal/topology"
 )
 
-// fig8Config is the reduced-scale Fig. 8 HBP scenario used by the
+// Fig8Config is the reduced-scale Fig. 8 HBP scenario used by the
 // root BenchmarkFig8 (kept identical so numbers stay comparable).
-func fig8Config() experiments.TreeConfig {
+// Exported so the hot-path root guard test can run the very scenario
+// the benchmark measures.
+func Fig8Config() experiments.TreeConfig {
 	cfg := experiments.DefaultTreeConfig()
 	cfg.Topology.Leaves = 40
 	cfg.NumAttackers = 8
@@ -35,7 +37,7 @@ func fig8Config() experiments.TreeConfig {
 // Fig8 runs the throughput-over-time scenario for HBP once per
 // iteration, reporting allocations and the simulator's events/sec.
 func Fig8(b *testing.B) {
-	cfg := fig8Config()
+	cfg := Fig8Config()
 	b.ReportAllocs()
 	var events uint64
 	for i := 0; i < b.N; i++ {
@@ -71,10 +73,12 @@ func Hierarchical(b *testing.B) {
 	}
 }
 
-// forestConfig is the reduced-scale sharded forest scenario: 8
+// ForestConfig is the reduced-scale sharded forest scenario: 8
 // independent HBP trees joined in a cross-traffic ring, one tree per
 // cluster part, placed round-robin over the requested shard count.
-func forestConfig(shards int) experiments.ForestConfig {
+// Exported so the hot-path root guard test can run the very scenario
+// the benchmark measures.
+func ForestConfig(shards int) experiments.ForestConfig {
 	cfg := experiments.DefaultForestConfig()
 	cfg.Parts = 8
 	cfg.LeavesPerPart = 16
@@ -94,7 +98,7 @@ func forestConfig(shards int) experiments.ForestConfig {
 // real parallel hardware.
 func Forest(shards int) func(*testing.B) {
 	return func(b *testing.B) {
-		cfg := forestConfig(shards)
+		cfg := ForestConfig(shards)
 		b.ReportAllocs()
 		var events uint64
 		for i := 0; i < b.N; i++ {

@@ -174,6 +174,7 @@ func (s *Simulator) alloc() int32 {
 		idx = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
+		//hbplint:ignore hotalloc amortized slab growth: once the slab covers peak concurrent events, every alloc is a free-list pop; AllocsPerRun pins the steady state at 0.
 		s.recs = append(s.recs, eventRec{})
 		idx = int32(len(s.recs) - 1)
 	}
@@ -191,6 +192,7 @@ func (s *Simulator) release(idx int32) {
 	r.b = nil
 	r.name = ""
 	r.heapIdx = -1
+	//hbplint:ignore hotalloc free-list append into capacity released by alloc's pops; it can only grow to the slab's own length.
 	s.free = append(s.free, idx)
 }
 
@@ -372,6 +374,8 @@ func (s *Simulator) SetInterrupt(every uint64, check func() error) {
 
 // Run dispatches events until the queue is empty, Stop is called, or
 // the event limit is hit.
+//
+//hbplint:hotpath event-dispatch core; BenchmarkHotPathFig8/EventQueue measure this loop
 func (s *Simulator) Run() error {
 	return s.RunUntil(math.Inf(1))
 }
@@ -543,6 +547,7 @@ func (s *Simulator) lessRec(a, b int32) bool {
 }
 
 func (s *Simulator) heapPush(idx int32) {
+	//hbplint:ignore hotalloc amortized heap growth: the index heap's capacity tracks peak pending events, mirroring the slab; steady state is append-into-capacity.
 	s.heap = append(s.heap, idx)
 	s.recs[idx].heapIdx = int32(len(s.heap) - 1)
 	s.siftUp(int32(len(s.heap) - 1))

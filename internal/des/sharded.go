@@ -99,6 +99,7 @@ func (c *Channel) Send(delay float64, fn TypedFunc, a, b any, kind uint8) {
 	}
 	src := c.ss.shards[c.src]
 	c.seq++
+	//hbplint:ignore hotalloc amortized outbox growth: the queue is reused across windows (reset to len 0 at each barrier), so capacity reaches the per-window peak and stays.
 	c.queue = append(c.queue, message{
 		time: src.now + delay,
 		key:  uint64(c.id)<<32 | uint64(c.seq),

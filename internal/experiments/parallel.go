@@ -20,8 +20,10 @@ func RunTrees(cfgs []TreeConfig) ([]*TreeResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	//hbplint:ignore shardisolation batch-level join over independent runs: the WaitGroup synchronizes driver goroutines, never two shards of one simulation.
 	var wg sync.WaitGroup
 	jobs := make(chan int)
+	//hbplint:ignore shardisolation first-error latch for the driver pool; no simulation state flows through it.
 	var failed sync.Once
 	abort := make(chan struct{})
 	for w := 0; w < workers; w++ {

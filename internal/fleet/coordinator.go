@@ -132,7 +132,7 @@ func NewCoordinator(cfg Config, recoveredEntries []Entry) *Coordinator {
 		bumpCounter(&c.nextSuite, id)
 	}
 	for _, rec := range runs {
-		rr := &runRec{run: rec.run, dispatches: rec.dispatches, seedAttempt: rec.seedAttempt}
+		rr := &runRec{run: rec.run, dispatches: rec.dispatches, seedAttempt: rec.seedAttempt, cancelReq: rec.cancelReq}
 		if rr.seedAttempt <= 0 {
 			rr.seedAttempt = 1
 		}
@@ -274,8 +274,10 @@ func (c *Coordinator) Submit(suiteID string, spec scenario.CaseSpec) (RunStatus,
 
 // Cancel stops a run: queued runs terminate immediately; leased runs
 // get DirectiveAbort on their next heartbeat and finalize as cancelled
-// when the worker reports — or at lease expiry if it never does.
-// Cancelling a terminal run is a no-op.
+// when the worker reports — or at lease expiry if it never does. The
+// request itself is journaled before Cancel returns, so an
+// acknowledged cancel survives a coordinator restart instead of the
+// run silently re-executing. Cancelling a terminal run is a no-op.
 func (c *Coordinator) Cancel(runID string) error {
 	c.mu.Lock()
 	rec := c.runs[runID]
@@ -296,8 +298,15 @@ func (c *Coordinator) Cancel(runID string) error {
 		return c.cfg.Journal.Record(entry)
 	}
 	rec.cancelReq = true
+	entry := Entry{
+		Type: EntryCancelRequested, Time: time.Now(),
+		Suite: rec.run.Suite, Run: runID,
+	}
 	c.mu.Unlock()
-	return nil
+	// Journal before acknowledging: an acked cancel living only in
+	// memory would vanish with a coordinator crash, and recovery would
+	// requeue and re-execute a run the client was told is stopping.
+	return c.cfg.Journal.Record(entry)
 }
 
 // GetRun returns a snapshot of the run.
@@ -418,6 +427,19 @@ func (c *Coordinator) Lease(workerID string) (*Assignment, error) {
 	if rec == nil {
 		c.mu.Unlock()
 		return nil, nil
+	}
+	if rec.cancelReq {
+		// A journal-recovered cancel request: the client was told this
+		// run is stopping, so finalize it instead of re-dispatching.
+		entry := c.finalizeLocked(rec, Outcome{
+			State: scenario.StateCancelled,
+			Error: &scenario.RunError{Kind: scenario.ErrCancelled, Message: "cancel requested before coordinator restart"},
+		}, "")
+		c.mu.Unlock()
+		if err := c.cfg.Journal.Record(entry); err != nil {
+			return nil, err
+		}
+		return c.Lease(workerID)
 	}
 	rec.dispatches++
 	rec.dispatch = rec.dispatches

@@ -21,6 +21,12 @@ const (
 	// EntryRequeued records a run returning to the queue — lease
 	// expiry or a reported infra fault — with the reason.
 	EntryRequeued EntryType = "requeued"
+	// EntryCancelRequested records a client cancel acknowledged for a
+	// leased run. The acknowledgement is a promise that the run is
+	// stopping, so it must survive a coordinator crash: replay keeps
+	// the request pending and the run finalizes as cancelled instead of
+	// re-executing.
+	EntryCancelRequested EntryType = "cancel-requested"
 	// EntryCompleted records the first accepted terminal report.
 	EntryCompleted EntryType = "completed"
 )
@@ -97,6 +103,7 @@ type recovered struct {
 	run         *scenario.Run
 	dispatches  int
 	seedAttempt int
+	cancelReq   bool
 }
 
 // recover reconstructs suites and runs from journal entries. Terminal
@@ -133,6 +140,10 @@ func recoverEntries(entries []Entry) (suiteNames map[string]string, runs []*reco
 		case EntryRequeued:
 			if rec := byID[e.Run]; rec != nil && !rec.run.State.Terminal() && e.SeedAttempt > 0 {
 				rec.seedAttempt = e.SeedAttempt
+			}
+		case EntryCancelRequested:
+			if rec := byID[e.Run]; rec != nil && !rec.run.State.Terminal() {
+				rec.cancelReq = true
 			}
 		case EntryCompleted:
 			if rec := byID[e.Run]; rec != nil && !rec.run.State.Terminal() {

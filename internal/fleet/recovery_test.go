@@ -153,6 +153,78 @@ func TestCoordinatorRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestCancelRequestSurvivesRestart: Cancel acknowledges the client
+// only after the request is journaled, so a coordinator crash between
+// the ack and the worker's abort cannot resurrect the run — the next
+// generation finalizes it as cancelled instead of re-dispatching it.
+func TestCancelRequestSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.jsonl")
+	journal, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Journal = journal
+	c1 := NewCoordinator(cfg, nil)
+	c1.Start()
+
+	suite, err := c1.CreateSuite("cancel-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run is leased by a worker that hangs forever, so the cancel
+	// request stays pending — the worker never reports.
+	startWorker(t, c1, WorkerConfig{Name: "wedged", Faults: &faults.WorkerPlan{Seed: 4, HangProb: 1}})
+	st, err := c1.Submit(suite.ID, quickCase("doomed", 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJournaled(t, path, EntryDispatched, st.ID)
+	if err := c1.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The acknowledgement must already be durable when Cancel returns.
+	waitJournaled(t, path, EntryCancelRequested, st.ID)
+
+	// Crash: no drain, no abort delivered to the wedged worker.
+	c1.Stop()
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	journal2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	cfg2 := fastCfg()
+	cfg2.Journal = journal2
+	c2 := NewCoordinator(cfg2, entries)
+
+	// A healthy second-generation worker asks for work: the recovered
+	// run must finalize as cancelled, never re-execute.
+	wid, err := c2.Register(WorkerInfo{Name: "gen2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c2.Lease(wid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		t.Fatalf("cancelled run re-dispatched after restart: %+v", a)
+	}
+	got, ok := c2.GetRun(st.ID)
+	if !ok || got.State != scenario.StateCancelled {
+		t.Fatalf("run after restart: ok=%v %+v", ok, got)
+	}
+	if got.Error == nil || got.Error.Kind != scenario.ErrCancelled {
+		t.Fatalf("run error after restart: %+v", got.Error)
+	}
+	// The finalization is journaled too, so a third generation agrees.
+	waitJournaled(t, path, EntryCompleted, st.ID)
+}
+
 // TestFleetJournalTornTail: a crash can tear the last record and leave
 // intact-looking bytes beyond it; recovery keeps the valid prefix only
 // and the affected run comes back queued, not lost.

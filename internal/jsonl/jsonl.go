@@ -118,6 +118,7 @@ func (l *Log[E]) Record(e E) error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("jsonl: flush journal: %w", err)
 	}
+	//hbplint:ignore locksafety write-then-fsync under the lock IS the durability contract: releasing before the fsync would let a second Record interleave and ack an entry the disk never confirmed. Record still carries its blockingFact, so callers holding their own locks across it are flagged.
 	return l.f.Sync()
 }
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -21,11 +22,18 @@ import (
 // A key laundered through an intermediate variable is not tracked —
 // keep the derivation visible at the insert, or suppress with a
 // written reason.
+//
+// Laundering through a call IS tracked: every package except
+// internal/bounded (whose whole point is budgeted keyed state) exports
+// a keyedInsertFact naming the parameters a function feeds into raw map
+// keys, and a defense-package call passing a packet-derived argument in
+// such a position is a diagnostic.
 var BoundedGrowth = &analysis.Analyzer{
-	Name:     "boundedgrowth",
-	Doc:      "flag raw map inserts keyed by packet-derived values in defense packages; use internal/bounded",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runBoundedGrowth,
+	Name:      "boundedgrowth",
+	Doc:       "flag raw map inserts keyed by packet-derived values in defense packages; use internal/bounded",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	Run:       runBoundedGrowth,
+	FactTypes: []analysis.Fact{(*keyedInsertFact)(nil)},
 }
 
 // packetKeyFields are the attacker-controlled Packet fields whose
@@ -37,16 +45,29 @@ var packetKeyFields = map[string]bool{
 	"Seq":    true,
 }
 
+// boundedPkg reports whether path is the sanctioned keyed-state
+// container package: its inserts are budgeted by construction, so it
+// exports no keyedInsertFact and defense calls into it never flag.
+func boundedPkg(path string) bool {
+	return lastSegment(path) == "bounded"
+}
+
 func runBoundedGrowth(pass *analysis.Pass) (any, error) {
+	ig := newIgnores(pass, "boundedgrowth")
+	defer ig.finish()
+	var summaries map[*types.Func][]int
+	if !schedulerPkg(pass.Pkg.Path()) && !boundedPkg(pass.Pkg.Path()) {
+		summaries = exportKeyedInsertFacts(pass, ig)
+	}
 	if !defensePkg(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	ig := newIgnores(pass, "boundedgrowth")
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	nodeFilter := []ast.Node{
 		(*ast.AssignStmt)(nil),
 		(*ast.IncDecStmt)(nil),
+		(*ast.CallExpr)(nil),
 	}
 	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
@@ -62,10 +83,220 @@ func runBoundedGrowth(pass *analysis.Pass) (any, error) {
 			}
 		case *ast.IncDecStmt:
 			checkMapInsert(pass, ig, n.X)
+		case *ast.CallExpr:
+			checkLaunderedInsert(pass, ig, summaries, n)
 		}
 		return true
 	})
 	return nil, nil
+}
+
+// exportKeyedInsertFacts computes, for every function in the package,
+// the set of parameters whose values reach a raw map key — directly at
+// an insert, or by being passed onward into a keyed-insert position of
+// another function — exports a keyedInsertFact for each, and returns
+// the summaries for same-package call-site checks. Suppressed sites do
+// not contribute; closure bodies are not charged to their builder.
+func exportKeyedInsertFacts(pass *analysis.Pass, ig *ignores) map[*types.Func][]int {
+	ds := collectDecls(pass)
+	sets := map[*types.Func]map[int]bool{}
+	add := func(fn *types.Func, i int) bool {
+		s := sets[fn]
+		if s == nil {
+			s = map[int]bool{}
+			sets[fn] = s
+		}
+		if s[i] {
+			return false
+		}
+		s[i] = true
+		return true
+	}
+
+	// Direct inserts: m[k]... where k mentions a parameter.
+	for _, fn := range ds.funcs {
+		sig := fn.Type().(*types.Signature)
+		ast.Inspect(ds.body[fn].Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			var targets []ast.Expr
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				targets = st.Lhs
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{st.X}
+			default:
+				return true
+			}
+			for _, lhs := range targets {
+				for _, i := range insertKeyParams(pass.TypesInfo, ig, sig, lhs) {
+					add(fn, i)
+				}
+			}
+			return true
+		})
+	}
+
+	// Transitive laundering: passing a parameter into a keyed-insert
+	// position of a same-package function (by summary) or an imported
+	// one (by fact), to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range ds.funcs {
+			sig := fn.Type().(*types.Signature)
+			ast.Inspect(ds.body[fn].Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if ig.suppressed(call.Pos()) {
+					return true
+				}
+				for _, j := range calleeKeyParams(pass, sets, call) {
+					if j >= len(call.Args) {
+						continue
+					}
+					for _, i := range mentionedParams(pass.TypesInfo, sig, call.Args[j]) {
+						if add(fn, i) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	summaries := map[*types.Func][]int{}
+	for _, fn := range ds.funcs {
+		s := sets[fn]
+		if len(s) == 0 {
+			continue
+		}
+		params := make([]int, 0, len(s))
+		for i := range s {
+			params = append(params, i)
+		}
+		sort.Ints(params)
+		summaries[fn] = params
+		pass.ExportObjectFact(fn, &keyedInsertFact{Params: params})
+	}
+	return summaries
+}
+
+// insertKeyParams returns the parameter indices mentioned in the key of
+// a raw map insert target, or nil if lhs is not one (or is suppressed).
+func insertKeyParams(info *types.Info, ig *ignores, sig *types.Signature, lhs ast.Expr) []int {
+	idx, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	t := info.TypeOf(idx.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	if ig.suppressed(idx.Pos()) {
+		return nil
+	}
+	return mentionedParams(info, sig, idx.Index)
+}
+
+// mentionedParams returns the indices of sig's parameters mentioned
+// anywhere inside e, in source order.
+func mentionedParams(info *types.Info, sig *types.Signature, e ast.Expr) []int {
+	var out []int
+	seen := map[int]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if i := paramIndex(sig, obj); i >= 0 && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeKeyParams resolves a call's statically known callee to its
+// keyed-insert parameter indices: same-package callees by this run's
+// summaries, imported ones by fact.
+func calleeKeyParams(pass *analysis.Pass, sets map[*types.Func]map[int]bool, call *ast.CallExpr) []int {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == pass.Pkg {
+		s := sets[fn]
+		if len(s) == 0 {
+			return nil
+		}
+		params := make([]int, 0, len(s))
+		for i := range s {
+			params = append(params, i)
+		}
+		sort.Ints(params)
+		return params
+	}
+	fact := new(keyedInsertFact)
+	if !pass.ImportObjectFact(fn.Origin(), fact) {
+		return nil
+	}
+	return fact.Params
+}
+
+// checkLaunderedInsert flags a defense-package call that feeds a
+// packet-derived argument into a keyed-insert position of its callee.
+func checkLaunderedInsert(pass *analysis.Pass, ig *ignores, summaries map[*types.Func][]int, call *ast.CallExpr) {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var params []int
+	if fn.Pkg() == pass.Pkg {
+		params = summaries[fn]
+	} else {
+		fact := new(keyedInsertFact)
+		if !pass.ImportObjectFact(fn.Origin(), fact) {
+			return
+		}
+		params = fact.Params
+	}
+	for _, j := range params {
+		if j >= len(call.Args) {
+			continue
+		}
+		if desc := packetArgDesc(pass.TypesInfo, call.Args[j]); desc != "" {
+			ig.report(call.Pos(), "call to %s launders %s into a raw map key (parameter %d): attacker-controlled keys grow defense state without bound; use an internal/bounded container or an explicit budget", fn.FullName(), desc, j)
+			return
+		}
+	}
+}
+
+// packetArgDesc describes how arg is packet-derived for the laundering
+// diagnostic: a named key field, a whole packet (every key field rides
+// along), or "" when the argument is attacker-independent.
+func packetArgDesc(info *types.Info, arg ast.Expr) string {
+	if field := packetDerivedField(info, arg); field != "" {
+		return "packet field " + field
+	}
+	if isPacket(info.TypeOf(arg)) {
+		return "a packet"
+	}
+	return ""
 }
 
 func checkMapInsert(pass *analysis.Pass, ig *ignores, lhs ast.Expr) {

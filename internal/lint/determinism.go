@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -30,11 +31,17 @@ import (
 //     (pure accumulation, deletes, collect-into-slice followed by a
 //     sort) are recognized and allowed; anything else must iterate
 //     over sorted keys.
+//
+// Every package — including the wall-clock-by-design service layers —
+// additionally exports an impureFact for each function whose effect
+// depends on process state, so a simulation call into an exempt
+// package's helper no longer launders the nondeterminism out of sight.
 var Determinism = &analysis.Analyzer{
-	Name:     "determinism",
-	Doc:      "forbid wall-clock time, global rand, goroutines, raw channel ops, and map-iteration order leaks in simulation code",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runDeterminism,
+	Name:      "determinism",
+	Doc:       "forbid wall-clock time, global rand, goroutines, raw channel ops, and map-iteration order leaks in simulation code",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	Run:       runDeterminism,
+	FactTypes: []analysis.Fact{(*impureFact)(nil)},
 }
 
 // forbiddenCalls maps package path -> function names whose results
@@ -50,10 +57,20 @@ var forbiddenCalls = map[string]map[string]string{
 }
 
 func runDeterminism(pass *analysis.Pass) (any, error) {
+	ig := newIgnores(pass, "determinism")
+	defer ig.finish()
+	// The scheduler packages (runtime and friends) are process state
+	// itself; summarizing them would stamp an impureFact on every
+	// allocation path. Same denylist as locksafety, same reasoning.
+	// The testing package is likewise excluded: its timers read the
+	// wall clock by definition, and the only non-test callers are
+	// benchmark-harness helpers driving a *testing.B.
+	if !schedulerPkg(pass.Pkg.Path()) && !harnessPkg(pass.Pkg.Path()) {
+		exportImpureFacts(pass, ig)
+	}
 	if !simulationPkg(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	ig := newIgnores(pass, "determinism")
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	nodeFilter := []ast.Node{
@@ -75,6 +92,7 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 			ig.report(n.Pos(), "goroutine spawn in simulation code: a fixed-seed run is one logical thread; move concurrency to a driver with a deterministic merge")
 		case *ast.CallExpr:
 			checkForbiddenCall(pass, ig, n)
+			checkImportedImpure(pass, ig, n)
 		case *ast.RangeStmt:
 			checkChanRange(pass, ig, n)
 			checkMapRange(pass, ig, n, stack)
@@ -88,6 +106,145 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 		return true
 	})
 	return nil, nil
+}
+
+// harnessPkg reports whether path is the Go test harness, whose
+// wall-clock reads (b.ResetTimer, b.Elapsed) are the measurement
+// itself, never simulation state.
+func harnessPkg(path string) bool {
+	return path == "testing" || strings.HasPrefix(path, "testing/")
+}
+
+// exportImpureFacts computes a bottom-up impurity summary for every
+// function in the package and exports one impureFact per impure
+// function. It runs on every package, not just simulation ones: the
+// service layers read the wall clock by design and are exempt from
+// diagnostics, but their exported helpers must still carry the taint so
+// a simulation call site cannot launder a clock read through them.
+// Suppressed sites do not contribute (the written reason vouches that
+// the effect never reaches simulation state), and closure bodies are
+// charged to whoever runs the closure, not to its builder.
+func exportImpureFacts(pass *analysis.Pass, ig *ignores) {
+	ds := collectDecls(pass)
+	summaries := map[*types.Func]string{}
+	for _, fn := range ds.funcs {
+		if r := firstImpureSite(pass, ig, ds.body[fn].Body); r != "" {
+			summaries[fn] = r
+		}
+	}
+	localPropagate(pass, ds, summaries, func(callee *types.Func, s string) string {
+		return "calls " + callee.Name() + ", which is impure: " + s
+	})
+	for _, fn := range ds.funcs {
+		if s, ok := summaries[fn]; ok {
+			pass.ExportObjectFact(fn, &impureFact{Reason: s})
+		}
+	}
+}
+
+// firstImpureSite returns a description of the first unsuppressed
+// impure operation in body, in source order, or "".
+func firstImpureSite(pass *analysis.Pass, ig *ignores, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			if !ig.suppressed(n.Pos()) {
+				reason = "spawns a goroutine"
+			}
+			return false
+		case *ast.SendStmt:
+			if !ig.suppressed(n.Pos()) {
+				reason = "performs a raw channel send"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !ig.suppressed(n.Pos()) {
+				reason = "performs a raw channel receive"
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && !ig.suppressed(n.Pos()) {
+					reason = "ranges over a raw channel"
+				}
+			}
+		case *ast.CallExpr:
+			if ig.suppressed(n.Pos()) {
+				return true
+			}
+			if r := impureCallReason(pass, n); r != "" {
+				reason = r
+				return false
+			}
+			if callee := staticCallee(pass.TypesInfo, n); callee != nil && callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+				fact := new(impureFact)
+				if pass.ImportObjectFact(callee.Origin(), fact) {
+					reason = "calls " + callee.FullName() + ", which is impure: " + fact.Reason
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// impureCallReason classifies a direct call against the forbidden-call
+// table for fact purposes: a short description of why the callee
+// depends on process state, or "" if it does not.
+func impureCallReason(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	// The table describes the forbidden packages' exported API surface.
+	// When go vet analyzes those packages themselves, their internal
+	// helpers (rand.newSource, time's monotonic plumbing) must not
+	// match, or the whitelisted constructors inherit bogus facts.
+	if fn.Pkg() == pass.Pkg {
+		return ""
+	}
+	names, ok := forbiddenCalls[fn.Pkg().Path()]
+	if !ok {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "" // methods run on explicitly seeded generators
+	}
+	if names == nil {
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return ""
+		}
+		return "draws from the global " + fn.Pkg().Name() + " generator via " + fn.Pkg().Name() + "." + fn.Name()
+	}
+	if _, ok := names[fn.Name()]; ok {
+		return "reads wall-clock time via time." + fn.Name()
+	}
+	return ""
+}
+
+// checkImportedImpure flags a simulation call whose imported callee
+// carries an impureFact — the cross-package half of the impurity check.
+// Calls the forbidden-call table already owns are left to it, so a
+// direct time.Now never reports twice.
+func checkImportedImpure(pass *analysis.Pass, ig *ignores, call *ast.CallExpr) {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return
+	}
+	if impureCallReason(pass, call) != "" {
+		return
+	}
+	fact := new(impureFact)
+	if !pass.ImportObjectFact(fn.Origin(), fact) {
+		return
+	}
+	ig.report(call.Pos(), "call to %s, which is impure (%s): a fixed-seed run must depend only on its seed; take virtual time from des.Simulator and randomness from seeded des.RNG streams", fn.FullName(), fact.Reason)
 }
 
 func checkForbiddenCall(pass *analysis.Pass, ig *ignores, call *ast.CallExpr) {

@@ -1,0 +1,320 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse builds the CFG of the body of `func f()` wrapping src.
+func parse(t *testing.T, body string) (*Graph, *ast.FuncDecl) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body), fn
+}
+
+// stmtCalling finds the first statement in the graph whose subtree
+// calls the named function.
+func stmtCalling(t *testing.T, g *Graph, name string) Point {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for i, s := range b.Nodes {
+			if callsIdent(s, name) {
+				return Point{Block: b, Index: i}
+			}
+		}
+	}
+	t.Fatalf("no statement calling %s in graph", name)
+	return Point{}
+}
+
+func callsIdent(s ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// barriered runs the postdominance query: from the statement calling
+// "grant", must every normal-return path pass a statement calling
+// "record"?
+func barriered(t *testing.T, body string) bool {
+	t.Helper()
+	g, _ := parse(t, body)
+	p := stmtCalling(t, g, "grant")
+	return g.EveryPathHits(p, func(s ast.Stmt) bool { return callsIdent(s, "record") })
+}
+
+func TestBarrierStraightLine(t *testing.T) {
+	if !barriered(t, "grant()\nrecord()") {
+		t.Error("straight-line grant→record should be covered")
+	}
+	if barriered(t, "grant()\nother()") {
+		t.Error("grant with no record must fail the barrier query")
+	}
+}
+
+func TestBarrierBranches(t *testing.T) {
+	both := `
+grant()
+if cond() {
+	record()
+} else {
+	record()
+}`
+	if !barriered(t, both) {
+		t.Error("record on both branches covers every path")
+	}
+	oneArm := `
+grant()
+if cond() {
+	record()
+}`
+	if barriered(t, oneArm) {
+		t.Error("record on one branch leaves the fallthrough path uncovered")
+	}
+	afterJoin := `
+grant()
+if cond() {
+	x()
+} else {
+	y()
+}
+record()`
+	if !barriered(t, afterJoin) {
+		t.Error("record after the join covers both branch paths")
+	}
+}
+
+func TestBarrierEarlyReturn(t *testing.T) {
+	leak := `
+grant()
+if cond() {
+	return
+}
+record()`
+	if barriered(t, leak) {
+		t.Error("an early return before record is an uncovered path")
+	}
+}
+
+func TestBarrierPanicPathExempt(t *testing.T) {
+	// A path that unwinds never completes the transition; it does not
+	// need the barrier.
+	src := `
+grant()
+if cond() {
+	panic("boom")
+}
+record()`
+	if !barriered(t, src) {
+		t.Error("panicking paths are exempt from the barrier requirement")
+	}
+	// But panic on the happy path does not substitute for a barrier on
+	// a surviving path.
+	src2 := `
+grant()
+if cond() {
+	panic("boom")
+}
+other()`
+	if barriered(t, src2) {
+		t.Error("the non-panicking path is still uncovered")
+	}
+}
+
+func TestBarrierLoop(t *testing.T) {
+	// The barrier inside a conditional loop body does not cover the
+	// zero-iteration path.
+	src := `
+grant()
+for i := 0; i < n; i++ {
+	record()
+}`
+	if barriered(t, src) {
+		t.Error("a loop body barrier misses the zero-iteration path")
+	}
+	// An unconditional tail barrier after the loop does.
+	src2 := `
+grant()
+for i := 0; i < n; i++ {
+	work()
+}
+record()`
+	if !barriered(t, src2) {
+		t.Error("barrier after the loop covers all paths")
+	}
+}
+
+func TestBarrierSwitch(t *testing.T) {
+	noDefault := `
+grant()
+switch v() {
+case 1:
+	record()
+case 2:
+	record()
+}`
+	if barriered(t, noDefault) {
+		t.Error("switch without default can skip every case")
+	}
+	withDefault := `
+grant()
+switch v() {
+case 1:
+	record()
+default:
+	record()
+}`
+	if !barriered(t, withDefault) {
+		t.Error("default clause closes the skip path")
+	}
+}
+
+func TestBarrierSelect(t *testing.T) {
+	// A select without default blocks until a clause runs; a barrier
+	// in every clause therefore covers all paths.
+	src := `
+grant()
+select {
+case <-a:
+	record()
+case <-b:
+	record()
+}`
+	if !barriered(t, src) {
+		t.Error("barrier in every select clause covers all paths")
+	}
+	src2 := `
+grant()
+select {
+case <-a:
+	record()
+case <-b:
+	other()
+}`
+	if barriered(t, src2) {
+		t.Error("one clause without a barrier is an uncovered path")
+	}
+}
+
+func TestBarrierLabeledBreak(t *testing.T) {
+	src := `
+grant()
+outer:
+for {
+	for {
+		if cond() {
+			break outer
+		}
+		record()
+	}
+}
+record()`
+	if !barriered(t, src) {
+		t.Error("labeled break lands after the outer loop, before the tail record")
+	}
+	src2 := `
+grant()
+outer:
+for i := 0; i < n; i++ {
+	if cond() {
+		break outer
+	}
+	record()
+}`
+	if barriered(t, src2) {
+		t.Error("labeled break path skips the loop-body record")
+	}
+}
+
+func TestBarrierFallthrough(t *testing.T) {
+	src := `
+grant()
+switch v() {
+case 1:
+	other()
+	fallthrough
+case 2:
+	record()
+default:
+	record()
+}`
+	if !barriered(t, src) {
+		t.Error("fallthrough chains case 1 into case 2's record")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g, _ := parse(t, `
+a()
+send()
+if cond() {
+	b()
+}
+c()`)
+	p := stmtCalling(t, g, "send")
+	var names []string
+	for _, s := range g.ReachableFrom(p) {
+		for _, n := range []string{"a", "b", "c", "send"} {
+			if callsIdent(s, n) {
+				names = append(names, n)
+			}
+		}
+	}
+	got := strings.Join(names, ",")
+	for _, want := range []string{"b", "c"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ReachableFrom should include %s(), got [%s]", want, got)
+		}
+	}
+	for _, bad := range []string{"a", "send"} {
+		if strings.Contains(got, bad) {
+			t.Errorf("ReachableFrom must not include %s(), got [%s]", bad, got)
+		}
+	}
+}
+
+func TestReachableFromLoopWrapsAround(t *testing.T) {
+	// Inside a loop, statements textually before the send run again on
+	// the next iteration — they are reachable after it.
+	g, _ := parse(t, `
+for i := 0; i < n; i++ {
+	use()
+	send()
+}`)
+	p := stmtCalling(t, g, "send")
+	found := false
+	for _, s := range g.ReachableFrom(p) {
+		if callsIdent(s, "use") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop body statements before the send are reachable on the next iteration")
+	}
+}
+
+func TestPointOf(t *testing.T) {
+	g, fn := parse(t, "a()\nb()")
+	for _, s := range fn.Body.List {
+		if _, ok := g.PointOf(s); !ok {
+			t.Errorf("top-level statement not placed in any block: %v", s)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"os"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -20,6 +22,10 @@ type directive struct {
 	analyzer string
 	reason   string
 	pos      token.Pos
+	testFile bool
+	// used records whether any diagnostic was actually suppressed by
+	// this directive; the stale-ignore audit reports unused ones.
+	used bool
 }
 
 // ignores indexes the suppression directives of one package for one
@@ -28,15 +34,21 @@ type ignores struct {
 	pass *analysis.Pass
 	name string
 	// byLine maps file -> line -> directive for this analyzer.
-	byLine map[*token.File]map[int]directive
+	byLine map[*token.File]map[int]*directive
 }
+
+// staleAuditEnv turns finish()'s stale-suppression audit on. It is an
+// environment variable rather than a flag because go vet runs one
+// unitchecker process per package: the environment reaches them all
+// without threading a flag through the vet driver.
+const staleAuditEnv = "HBPLINT_STALE_IGNORES"
 
 // newIgnores scans the package's comments for //hbplint:ignore
 // directives naming the given analyzer. Directives without a reason
 // are reported immediately: an unexplained suppression is itself a
 // defect — the whole point of the directive is the written reason.
 func newIgnores(pass *analysis.Pass, name string) *ignores {
-	ig := &ignores{pass: pass, name: name, byLine: map[*token.File]map[int]directive{}}
+	ig := &ignores{pass: pass, name: name, byLine: map[*token.File]map[int]*directive{}}
 	for _, f := range pass.Files {
 		tf := pass.Fset.File(f.Pos())
 		if tf == nil {
@@ -57,17 +69,18 @@ func newIgnores(pass *analysis.Pass, name string) *ignores {
 				if len(fields) == 0 || fields[0] != name {
 					continue
 				}
-				d := directive{
+				d := &directive{
 					analyzer: fields[0],
 					reason:   strings.Join(fields[1:], " "),
 					pos:      c.Pos(),
+					testFile: isTestFile(pass, f),
 				}
 				if d.reason == "" {
 					pass.Reportf(c.Pos(), "hbplint:ignore %s directive is missing a reason; write why the suppression is safe", name)
 				}
 				m := ig.byLine[tf]
 				if m == nil {
-					m = map[int]directive{}
+					m = map[int]*directive{}
 					ig.byLine[tf] = m
 				}
 				m[tf.Line(c.Pos())] = d
@@ -78,7 +91,8 @@ func newIgnores(pass *analysis.Pass, name string) *ignores {
 }
 
 // suppressed reports whether a diagnostic at pos is covered by a
-// directive on the same line or the line above.
+// directive on the same line or the line above, and marks the covering
+// directive as used for the stale audit.
 func (ig *ignores) suppressed(pos token.Pos) bool {
 	tf := ig.pass.Fset.File(pos)
 	if tf == nil {
@@ -89,11 +103,15 @@ func (ig *ignores) suppressed(pos token.Pos) bool {
 		return false
 	}
 	line := tf.Line(pos)
-	if _, ok := m[line]; ok {
+	if d, ok := m[line]; ok {
+		d.used = true
 		return true
 	}
-	_, ok := m[line-1]
-	return ok
+	if d, ok := m[line-1]; ok {
+		d.used = true
+		return true
+	}
+	return false
 }
 
 // report emits a diagnostic unless a matching ignore directive covers
@@ -104,6 +122,34 @@ func (ig *ignores) report(pos token.Pos, format string, args ...any) {
 		return
 	}
 	ig.pass.Reportf(pos, format, args...)
+}
+
+// finish runs the stale-suppression audit: with HBPLINT_STALE_IGNORES
+// set, every directive that suppressed nothing in this run becomes a
+// diagnostic. A suppression whose flagged line no longer triggers the
+// analyzer is dead weight that silently licenses future violations on
+// that line, so CI runs one audit pass with the variable set.
+// Directives in test files are exempt (the analyzers skip test files,
+// so nothing there can ever be suppressed). Every analyzer calls
+// finish after its last report, including on packages it does not
+// apply to — a suppression in an exempt package is stale by
+// definition.
+func (ig *ignores) finish() {
+	if os.Getenv(staleAuditEnv) == "" {
+		return
+	}
+	var stale []*directive
+	for _, m := range ig.byLine {
+		for _, d := range m {
+			if !d.used && !d.testFile {
+				stale = append(stale, d)
+			}
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].pos < stale[j].pos })
+	for _, d := range stale {
+		ig.pass.Reportf(d.pos, "stale hbplint:ignore %s: this line no longer triggers the analyzer; delete the directive", ig.name)
+	}
 }
 
 // isTestFile reports whether the file containing pos is a _test.go

@@ -41,6 +41,10 @@ func Analyzers() []*analysis.Analyzer {
 		GroundTruth,
 		Determinism,
 		BoundedGrowth,
+		HotAlloc,
+		ShardIsolation,
+		LockSafety,
+		JournalOrder,
 	}
 }
 

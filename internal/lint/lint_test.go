@@ -16,19 +16,38 @@ func TestGroundTruth(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	linttest.Run(t, lint.Determinism, "determinism/sim", "determinism/ign")
+	linttest.Run(t, lint.Determinism, "determinism/sim", "determinism/ign", "determinism/place", "determinism/fleet", "determinism/engine")
 }
 
 func TestBoundedGrowth(t *testing.T) {
-	linttest.Run(t, lint.BoundedGrowth, "boundedgrowth/internal/core", "boundedgrowth/internal/roaming")
+	linttest.Run(t, lint.BoundedGrowth, "boundedgrowth/internal/core", "boundedgrowth/internal/roaming", "boundedgrowth/internal/tally", "boundedgrowth/internal/hbp")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "hotalloc/hot")
+}
+
+func TestShardIsolation(t *testing.T) {
+	linttest.Run(t, lint.ShardIsolation, "shardisolation/model")
+}
+
+func TestLockSafety(t *testing.T) {
+	linttest.Run(t, lint.LockSafety, "locksafety/jsonl")
+}
+
+func TestJournalOrder(t *testing.T) {
+	linttest.Run(t, lint.JournalOrder, "journalorder/fleet")
 }
 
 func TestSuiteOrder(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 4 {
-		t.Fatalf("suite has %d analyzers, want 4", len(as))
+	want := []string{
+		"packetretain", "groundtruth", "determinism", "boundedgrowth",
+		"hotalloc", "shardisolation", "locksafety", "journalorder",
 	}
-	want := []string{"packetretain", "groundtruth", "determinism", "boundedgrowth"}
+	if len(as) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(as), len(want))
+	}
 	for i, a := range as {
 		if a.Name != want[i] {
 			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])

@@ -19,6 +19,8 @@
 package linttest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -27,6 +29,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -126,8 +129,36 @@ type want struct {
 
 var wantRe = regexp.MustCompile("want (`[^`]*`|\"[^\"]*\")")
 
+// factStore is the in-memory stand-in for go vet's vetx fact files.
+// One store spans a whole Run call, so facts exported while analyzing
+// a corpus dependency are importable while analyzing its dependents —
+// the same bottom-up order the unitchecker driver guarantees. Unlike
+// the real driver it does not drop facts on unexported objects, which
+// lets corpora exercise fact logic without ceremonial exporting.
+type factStore struct {
+	obj map[types.Object][]analysis.Fact
+	pkg map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: map[types.Object][]analysis.Fact{},
+		pkg: map[*types.Package][]analysis.Fact{},
+	}
+}
+
+// runner applies one analyzer across a Run call, memoizing per-package
+// results so a package analyzed early for its facts is not re-run when
+// listed explicitly later.
+type runner struct {
+	l        *loader
+	store    *factStore
+	analyzed map[string][]analysis.Diagnostic
+}
+
 // Run loads each corpus package (paths relative to testdata/src),
-// applies the analyzer, and compares diagnostics against the // want
+// applies the analyzer — corpus dependencies first, when the analyzer
+// declares fact types — and compares diagnostics against the // want
 // comments in the corpus sources.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
@@ -135,32 +166,55 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l := newLoader(src)
+	r := &runner{l: newLoader(src), store: newFactStore(), analyzed: map[string][]analysis.Diagnostic{}}
 	for _, path := range pkgPaths {
-		lp, err := l.load(path)
+		lp, err := r.l.load(path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
 		if lp == nil {
 			t.Fatalf("%s: package not found under %s", path, src)
 		}
-		runPackage(t, a, l, lp)
+		diags := r.analyze(t, a, lp)
+		checkWants(t, a, r.l.fset, lp, diags)
 	}
 }
 
-func runPackage(t *testing.T, a *analysis.Analyzer, l *loader, lp *loaded) {
+// analyze runs the analyzer on one corpus package, after its corpus
+// dependencies (needed only when facts flow), and returns its
+// diagnostics.
+func (r *runner) analyze(t *testing.T, a *analysis.Analyzer, lp *loaded) []analysis.Diagnostic {
 	t.Helper()
-	wants := collectWants(t, l.fset, lp.files)
+	if diags, done := r.analyzed[lp.pkg.Path()]; done {
+		return diags
+	}
+	// Mark before recursing: import cycles are impossible in valid Go,
+	// but a stale map entry beats infinite recursion on a broken corpus.
+	r.analyzed[lp.pkg.Path()] = nil
+	if len(a.FactTypes) > 0 {
+		for _, imp := range lp.pkg.Imports() {
+			if dep, _ := r.l.load(imp.Path()); dep != nil {
+				r.analyze(t, a, dep)
+			}
+		}
+	}
+
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer:   a,
-		Fset:       l.fset,
-		Files:      lp.files,
-		Pkg:        lp.pkg,
-		TypesInfo:  lp.info,
-		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf:   map[*analysis.Analyzer]any{},
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer:          a,
+		Fset:              r.l.fset,
+		Files:             lp.files,
+		Pkg:               lp.pkg,
+		TypesInfo:         lp.info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          map[*analysis.Analyzer]any{},
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact:  r.store.importObjectFact,
+		ExportObjectFact:  r.store.exportObjectFact(t, a, lp.pkg),
+		ImportPackageFact: r.store.importPackageFact,
+		ExportPackageFact: r.store.exportPackageFact(t, a, lp.pkg),
+		AllObjectFacts:    r.store.allObjectFacts,
+		AllPackageFacts:   r.store.allPackageFacts,
 	}
 	for _, req := range a.Requires {
 		if req != inspect.Analyzer {
@@ -171,18 +225,110 @@ func runPackage(t *testing.T, a *analysis.Analyzer, l *loader, lp *loaded) {
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s on %s: %v", a.Name, lp.pkg.Path(), err)
 	}
+	r.analyzed[lp.pkg.Path()] = diags
+	return diags
+}
 
+// checkWants compares diagnostics against the package's expectations.
+// Both failure directions name the analyzer and the exact position, so
+// a multi-analyzer test run attributes every mismatch.
+func checkWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, lp *loaded, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, lp.files)
 	for _, d := range diags {
-		pos := l.fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		if w := matchWant(wants, pos, d.Message); w == nil {
-			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			t.Errorf("%s: [%s] unexpected diagnostic: %s", pos, a.Name, d.Message)
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			t.Errorf("%s:%d: [%s] expected diagnostic matching %q, got none", w.file, w.line, a.Name, w.re)
 		}
 	}
+}
+
+func (s *factStore) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	for _, f := range s.obj[obj] {
+		if copyFact(f, fact) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	for _, f := range s.pkg[pkg] {
+		if copyFact(f, fact) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportObjectFact stores a gob round-tripped copy of the fact: the
+// real driver serializes facts into vetx files, so a fact that cannot
+// survive gob must fail here, not only under go vet.
+func (s *factStore) exportObjectFact(t *testing.T, a *analysis.Analyzer, pkg *types.Package) func(types.Object, analysis.Fact) {
+	return func(obj types.Object, fact analysis.Fact) {
+		t.Helper()
+		if obj == nil || obj.Pkg() != pkg {
+			t.Fatalf("%s: exporting object fact for %v outside the analyzed package", a.Name, obj)
+		}
+		s.obj[obj] = append(s.obj[obj], gobRoundTrip(t, a, fact))
+	}
+}
+
+func (s *factStore) exportPackageFact(t *testing.T, a *analysis.Analyzer, pkg *types.Package) func(analysis.Fact) {
+	return func(fact analysis.Fact) {
+		t.Helper()
+		s.pkg[pkg] = append(s.pkg[pkg], gobRoundTrip(t, a, fact))
+	}
+}
+
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, facts := range s.obj {
+		for _, f := range facts {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (s *factStore) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, facts := range s.pkg {
+		for _, f := range facts {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+	}
+	return out
+}
+
+// copyFact copies src into dst when their concrete types match.
+func copyFact(src, dst analysis.Fact) bool {
+	sv, dv := reflect.ValueOf(src), reflect.ValueOf(dst)
+	if sv.Type() != dv.Type() || dv.Kind() != reflect.Pointer {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// gobRoundTrip encodes and re-decodes a fact, failing the test if the
+// fact type is not serializable the way the vetx files need.
+func gobRoundTrip(t *testing.T, a *analysis.Analyzer, fact analysis.Fact) analysis.Fact {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		t.Fatalf("%s: fact %T does not gob-encode: %v", a.Name, fact, err)
+	}
+	out := reflect.New(reflect.TypeOf(fact).Elem()).Interface().(analysis.Fact)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("%s: fact %T does not gob-decode: %v", a.Name, fact, err)
+	}
+	return out
 }
 
 // collectWants extracts // want expectations, sorted by position.

@@ -1,0 +1,38 @@
+// Package hbp sits on a defense import path: calls that launder
+// packet-derived values into keyed-insert helpers — cross-package via
+// keyedInsertFact, same-package via local summaries — are flagged just
+// like the direct inserts the AST check catches.
+package hbp
+
+import (
+	"boundedgrowth/internal/tally"
+	"netsim"
+)
+
+type filter struct {
+	perSeq map[int64]int64
+	seen   map[netsim.NodeID]bool
+}
+
+func (f *filter) Handle(p *netsim.Packet) {
+	tally.Bump(f.perSeq, p.Seq)  // want `call to boundedgrowth/internal/tally\.Bump launders packet field Seq into a raw map key \(parameter 1\)`
+	tally.Mark(f.seen, p)        // want `call to boundedgrowth/internal/tally\.Mark launders a packet into a raw map key \(parameter 1\)`
+	tally.Chain(f.perSeq, p.Seq) // want `call to boundedgrowth/internal/tally\.Chain launders packet field Seq into a raw map key \(parameter 1\)`
+	f.bump(p.Seq)                // want `launders packet field Seq into a raw map key \(parameter 0\)`
+}
+
+func (f *filter) Clean(p *netsim.Packet, watermark int64) {
+	// Attacker-independent keys are bounded by construction.
+	tally.Bump(f.perSeq, watermark)
+	// Deletes and reads grow nothing, whatever the key.
+	tally.Reset(f.perSeq, p.Seq)
+	_ = tally.Observe(f.perSeq, p.Seq)
+}
+
+// bump is a same-package laundering helper: the insert key is its
+// parameter, so the packet derivation lives at the call site above.
+func (f *filter) bump(k int64) { f.perSeq[k]++ }
+
+func (f *filter) Sanctioned(p *netsim.Packet) {
+	tally.Bump(f.perSeq, p.Seq) //hbplint:ignore boundedgrowth corpus fixture: the tally map is cleared every epoch by the caller, bounding growth to one epoch of sources
+}

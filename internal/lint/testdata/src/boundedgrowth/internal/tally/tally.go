@@ -1,0 +1,22 @@
+// Package tally is a lateral helper on a non-defense path: its raw map
+// inserts are not flagged here, but every function that feeds a
+// parameter into a raw map key carries a keyedInsertFact naming the
+// laundering parameters, so defense-package call sites are checked.
+package tally
+
+import "netsim"
+
+// Bump inserts under its key parameter (index 1).
+func Bump(m map[int64]int64, key int64) { m[key]++ }
+
+// Mark inserts under a field of its packet parameter (index 1).
+func Mark(m map[netsim.NodeID]bool, p *netsim.Packet) { m[p.Src] = true }
+
+// Chain launders its parameter through Bump (index 1, transitively).
+func Chain(m map[int64]int64, k int64) { Bump(m, k) }
+
+// Reset only deletes: deletes shrink state, so no fact.
+func Reset(m map[int64]int64, key int64) { delete(m, key) }
+
+// Observe only reads: no fact.
+func Observe(m map[int64]int64, key int64) int64 { return m[key] }

@@ -1,0 +1,18 @@
+// Package des is a testdata stub of the real engine package: just
+// enough surface for the shardisolation and hotalloc corpora to
+// exercise Channel.Send handoff and engine exemptions. enginePkg
+// matches it by path suffix.
+package des
+
+// Simulator stands in for the event engine.
+type Simulator struct{}
+
+// TypedFunc mirrors the engine's typed event callback.
+type TypedFunc func(sim *Simulator, a, b any, kind uint8)
+
+// Channel is the cross-shard conduit; Send hands a value to the
+// destination shard.
+type Channel struct{}
+
+// Send schedules fn on the far shard after delay, carrying a and b.
+func (c *Channel) Send(delay float64, fn TypedFunc, a, b any, kind uint8) {}

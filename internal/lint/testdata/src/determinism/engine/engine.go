@@ -1,0 +1,28 @@
+// Package engine is simulation code calling into an exempt service
+// package: the impureFact on the helpers makes the laundered
+// nondeterminism visible at these call sites.
+package engine
+
+import "determinism/fleet"
+
+func Bad() int64 {
+	return fleet.StampNow() // want `call to determinism/fleet\.StampNow, which is impure \(reads wall-clock time via time\.Now\)`
+}
+
+func BadTransitive() int64 {
+	return fleet.Elapsed() // want `call to determinism/fleet\.Elapsed, which is impure \(calls sinceStart, which is impure: reads wall-clock time via time\.Since\)`
+}
+
+func BadChannel(ch chan int) int {
+	return fleet.WaitSignal(ch) // want `call to determinism/fleet\.WaitSignal, which is impure \(performs a raw channel receive\)`
+}
+
+func Good(a, b int64) int64 {
+	return fleet.Span(a, b)
+}
+
+func GoodSanctioned() int64 {
+	// The helper's impurity was suppressed with a written reason at its
+	// definition, so no fact reaches this call.
+	return fleet.Sanctioned()
+}

@@ -1,0 +1,39 @@
+// Package fleet sits on an exempt import path (segment "fleet"): the
+// service layers read the wall clock by design, so determinism reports
+// nothing here — but every impure function still carries an impureFact,
+// so simulation call sites cannot launder a clock read through an
+// exported helper.
+package fleet
+
+import "time"
+
+var start = time.Now()
+
+// StampNow reads the wall clock directly; fact "reads wall-clock time
+// via time.Now".
+func StampNow() int64 { return time.Now().UnixNano() }
+
+// Elapsed launders the read through an unexported helper; fact "calls
+// sinceStart, which is impure: ...".
+func Elapsed() int64 { return sinceStart() }
+
+func sinceStart() int64 { return int64(time.Since(start)) }
+
+// WaitSignal parks on a raw channel; fact "performs a raw channel
+// receive".
+func WaitSignal(ch chan int) int { return <-ch }
+
+// Span is pure arithmetic: no fact, callable from simulation code.
+func Span(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Sanctioned is impure, but the site carries a written suppression —
+// the reason vouches that the effect never reaches simulation state —
+// so no fact is exported and callers are not flagged.
+func Sanctioned() int64 {
+	return time.Now().Unix() //hbplint:ignore determinism corpus fixture: wall clock feeds an operator log line, never simulation state
+}

@@ -1,0 +1,69 @@
+// Package place pins the comment-placement contract of
+// //hbplint:ignore: a directive covers the line a diagnostic is
+// REPORTED on, or the line immediately above it — nothing else. The
+// fixtures exercise the placements that trip people up: multi-line
+// statements, composite-literal elements, and case clauses.
+package place
+
+import "time"
+
+// A directive on the line above a multi-line statement covers only
+// diagnostics reported on the statement's first line.
+func MultiLineHead() int64 {
+	//hbplint:ignore determinism corpus fixture: the call starts the statement's first line, which this directive covers
+	v := time.Now().
+		Unix()
+	return v
+}
+
+// A diagnostic two lines into a multi-line statement is NOT covered by
+// a directive above the statement; the directive must sit on (or just
+// above) the line the call itself starts on.
+func MultiLineTail() int64 {
+	return 0 +
+		time.Now().Unix() // want `time\.Now in simulation code`
+}
+
+func MultiLineTailSuppressed() int64 {
+	return 0 +
+		time.Now().Unix() //hbplint:ignore determinism corpus fixture: same line as the flagged call inside a multi-line statement
+}
+
+// Inside a composite literal the diagnostic lands on the element's
+// line, so that is where the directive goes.
+func Composite() []int64 {
+	return []int64{
+		1,
+		time.Now().Unix(), //hbplint:ignore determinism corpus fixture: element-line placement inside a composite literal
+		3,
+	}
+}
+
+func CompositeUncovered() []int64 {
+	//hbplint:ignore determinism corpus fixture: covers the literal's opening line, not the element two lines down
+	return []int64{
+		1,
+		time.Now().Unix(), // want `time\.Now in simulation code`
+	}
+}
+
+// A diagnostic on a case expression is covered by a directive on the
+// line immediately preceding the case clause.
+func CaseClause(v int64) int {
+	switch v {
+	//hbplint:ignore determinism corpus fixture: line preceding the case clause covers the case expression
+	case time.Now().Unix():
+		return 1
+	}
+	return 0
+}
+
+// A directive above `switch` does not reach a diagnostic inside a
+// case body two lines down.
+func CaseBody(v int64) int64 {
+	switch v {
+	case 1:
+		return time.Now().Unix() // want `time\.Now in simulation code`
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+// Package dep provides callees for hotalloc's cross-package facts: an
+// allocator, a transitive allocator, and a clean function. Hot callers
+// in hotalloc/hot are flagged through the exported allocFact.
+package dep
+
+type Buf struct{ B []byte }
+
+// Alloc allocates directly.
+func Alloc(n int) *Buf {
+	return &Buf{B: make([]byte, n)}
+}
+
+// Chain allocates only transitively, through Alloc — the fact must be
+// the bottom-up closure, not just direct sites.
+func Chain(n int) *Buf {
+	return Alloc(n)
+}
+
+// Clean is allocation-free; calling it from hot code is fine.
+func Clean(x int) int { return x + 1 }
+
+// Sanctioned allocates, but the site carries a reasoned suppression,
+// so no fact is exported: the written reason vouches for callers too.
+func Sanctioned(xs []int, v int) []int {
+	//hbplint:ignore hotalloc amortized free-list growth: reaches steady state after warm-up, measured 0 allocs/op.
+	return append(xs, v)
+}

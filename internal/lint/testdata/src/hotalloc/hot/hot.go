@@ -1,0 +1,62 @@
+// Package hot exercises the hotalloc analyzer: a //hbplint:hotpath
+// root, its static-call closure, each allocation kind, the cold panic
+// exemption, suppression, and cross-package allocFact consumption.
+package hot
+
+import (
+	"fmt"
+
+	"hotalloc/dep"
+)
+
+type node struct {
+	vals []int
+	name string
+	out  *node
+}
+
+// Root is the annotated forwarding entry.
+//
+//hbplint:hotpath measured by the hot-path benchmarks
+func Root(n *node, v int) {
+	if v < 0 {
+		// Cold guard: the panic subtree (including Sprintf) is exempt.
+		panic(fmt.Sprintf("hot: bad value %d", v))
+	}
+	forward(n, v)
+	n.vals = append(n.vals, v) // want `append growth in hot-path function Root`
+	//hbplint:ignore hotalloc amortized ring growth: doubles capacity, reaches steady state after warm-up.
+	n.vals = append(n.vals, v)
+	_ = dep.Clean(v)
+	_ = dep.Alloc(v) // want `calls hotalloc/dep\.Alloc, which allocates`
+	_ = dep.Chain(v) // want `calls hotalloc/dep\.Chain, which allocates: calls Alloc`
+	_ = dep.Sanctioned(n.vals, v)
+}
+
+// forward is hot by closure from Root, not by annotation.
+func forward(n *node, v int) {
+	m := &node{}           // want `heap-escaping composite literal`
+	xs := []int{v, v}      // want `slice/map literal`
+	buf := make([]int, 4)  // want `make in hot-path function forward`
+	s := n.name + "suffix" // want `string concatenation`
+	emit(v)                // want `interface boxing of int`
+	emit(n)                // a pointer fits the interface word: no boxing
+	emit(nil)              // nil is not boxed
+	_ = fmt.Sprint(n) /* want `variadic call allocates its argument slice` */
+	f := func() int { return len(n.vals) } // want `closure capturing n`
+	g := static
+	_ = m
+	_ = xs
+	_ = buf
+	_ = s
+	_ = f
+	_ = g
+}
+
+func emit(any)    {}
+func static() int { return 0 }
+
+// cold is never reached from a hotpath root: it may allocate freely.
+func cold() *node {
+	return &node{vals: make([]int, 8)}
+}

@@ -1,0 +1,28 @@
+// Package clock is the cross-package half of the locksafety corpus: a
+// non-service package (no diagnostics apply here) whose exported
+// functions carry — or pointedly do not carry — blockingFacts for the
+// ledger package to consume.
+package clock
+
+import "time"
+
+// Settle blocks the caller while timers drain.
+func Settle() {
+	time.Sleep(time.Millisecond)
+}
+
+// Drain blocks through a local helper, so its fact comes from the
+// same-package propagation step, not direct detection.
+func Drain() {
+	settleOnce()
+}
+
+func settleOnce() {
+	time.Sleep(time.Millisecond)
+}
+
+// Stamp is pure bookkeeping; no blockingFact, so calls to it under a
+// lock stay clean.
+func Stamp() int64 {
+	return 42
+}

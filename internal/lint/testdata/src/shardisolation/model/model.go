@@ -1,0 +1,88 @@
+// Package model is the shardisolation corpus: package-level state
+// writes, sync/atomic coupling, and pointer payloads touched after
+// their cross-shard send, next to the exempt shapes of each.
+package model
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"des"
+)
+
+// Pkt is the corpus payload type.
+type Pkt struct {
+	Hops int
+	next *Pkt
+}
+
+var counter int
+var registry = map[string]*Pkt{}
+
+// limit is read-only after init — reads are always fine.
+var limit = 50
+
+func init() {
+	counter = 1 // exempt: init runs before any shard starts
+}
+
+func handler(sim *des.Simulator, a, b any, kind uint8) {}
+
+func BadGlobalWrites(p *Pkt) {
+	counter++         // want `writes package-level variable counter`
+	registry["x"] = p // want `writes package-level variable registry`
+	var local int
+	local++ // exempt: locals are shard-private
+	_ = local
+}
+
+func ReadsAreFine() int {
+	return limit + counter
+}
+
+// Guarded couples shards through a mutex field.
+type Guarded struct {
+	mu sync.Mutex // want `uses sync.Mutex`
+	n  int
+}
+
+func BadAtomic(x *int64) {
+	atomic.AddInt64(x, 1) // want `uses sync/atomic.AddInt64`
+}
+
+func UseAfterSend(c *des.Channel, p *Pkt) {
+	p.Hops++ // exempt: before the send the shard still owns p
+	c.Send(1.0, handler, nil, p, 0)
+	p.Hops++ // want `p is used after being sent across a shard boundary`
+}
+
+func CompleteHandoff(c *des.Channel, p *Pkt) {
+	p.Hops++
+	c.Send(1.0, handler, nil, p, 0) // exempt: nothing touches p afterwards
+}
+
+func ValuePayload(c *des.Channel, n int) int {
+	c.Send(1.0, handler, n, nil, 0)
+	return n + 1 // exempt: n crossed by value, no aliasing
+}
+
+func SendOnDeadBranch(c *des.Channel, p *Pkt, hot bool) {
+	if hot {
+		c.Send(1.0, handler, nil, p, 0)
+		return
+	}
+	p.Hops++ // exempt: this path never executed the send
+}
+
+func SendInLoop(c *des.Channel, p *Pkt, rounds int) {
+	for i := 0; i < rounds; i++ {
+		p.Hops++ // want `p is used after being sent across a shard boundary`
+		c.Send(1.0, handler, nil, p, 0)
+	}
+}
+
+func SanctionedReuse(c *des.Channel, p *Pkt) {
+	c.Send(1.0, handler, nil, p, 0)
+	//hbplint:ignore shardisolation corpus fixture: pretend-receiver on the same shard in a sequential-only scenario
+	p.Hops++
+}

@@ -85,6 +85,7 @@ func (nw *Network) freePacket(p *Packet) {
 	nw.pktFrees++
 	*p = Packet{freed: true}
 	if len(nw.pktFree) < maxPooledPackets {
+		//hbplint:ignore hotalloc pool free-list growth is capped at maxPooledPackets and reaches steady state during warm-up; the pool reuse tests pin 0 allocs after that.
 		nw.pktFree = append(nw.pktFree, p)
 	}
 }

@@ -192,6 +192,8 @@ func (n *Node) NewPacket() *Packet { return n.net.NewPacket() }
 // TTL, then routes it. Packets addressed to the node itself are
 // delivered locally without touching the network. Send takes ownership
 // of p (see the Packet ownership rule).
+//
+//hbplint:hotpath packet origination entry; every generated packet passes through here
 func (n *Node) Send(p *Packet) {
 	if n.down {
 		n.Stats.Drops[DropNodeDown]++

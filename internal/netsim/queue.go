@@ -34,6 +34,7 @@ func (r *pktRing) grow() {
 	if len(r.buf) > 0 {
 		newCap = len(r.buf) * 2
 	}
+	//hbplint:ignore hotalloc amortized ring doubling: capacity is bounded by the port's queue cap, after which push/pop never allocates.
 	buf := make([]*Packet, newCap)
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
