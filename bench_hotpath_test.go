@@ -33,16 +33,28 @@ func BenchmarkHotPathHierarchical(b *testing.B) { benchhot.Hierarchical(b) }
 func BenchmarkHotPathForestShard1(b *testing.B) { benchhot.Forest(1)(b) }
 func BenchmarkHotPathForestShard8(b *testing.B) { benchhot.Forest(8)(b) }
 
+// BenchmarkHotPathInternet is the reduced internet-scale scenario end
+// to end: macro-flow expansion at armed routers over a compressed
+// route table. BenchmarkHotPathInternetRoute isolates the compressed
+// next-hop lookup at 10⁵-endpoint scale and gauges routing bytes per
+// node.
+func BenchmarkHotPathInternet(b *testing.B)      { benchhot.Internet(b) }
+func BenchmarkHotPathInternetRoute(b *testing.B) { benchhot.InternetRoute(b) }
+
 // exercisedRoots maps every //hbplint:hotpath root to the benchmark
 // that drives it. Annotating a new root without extending this table —
 // and the benchmark coverage it documents — fails
 // TestHotPathRootsExercised, so the hotalloc-enforced region cannot
 // drift from what the BenchmarkHotPath* family actually measures.
 var exercisedRoots = map[string]string{
-	"des.Simulator.Run":   "BenchmarkHotPathFig8 / EventQueue / TypedEvent drive the dispatch loop",
-	"netsim.Node.Send":    "BenchmarkHotPathFig8 and Forwarding originate every packet here",
-	"netsim.linkDispatch": "BenchmarkHotPathForwarding and Fig8 forward packets hop by hop",
-	"netsim.crossArrive":  "BenchmarkHotPathForestShard8 delivers ring traffic across shard boundaries",
+	"des.Simulator.Run":         "BenchmarkHotPathFig8 / EventQueue / TypedEvent drive the dispatch loop",
+	"netsim.Node.Send":          "BenchmarkHotPathFig8 and Forwarding originate every packet here",
+	"netsim.Node.Inject":        "BenchmarkHotPathInternet materializes every macro-flow packet here",
+	"netsim.linkDispatch":       "BenchmarkHotPathForwarding and Fig8 forward packets hop by hop",
+	"netsim.crossArrive":        "BenchmarkHotPathForestShard8 delivers ring traffic across shard boundaries",
+	"netsim.denseTable.NextHop": "BenchmarkHotPathForwarding and Fig8 resolve hops on dense tables (small topologies auto-route dense)",
+	"netsim.treeRoutes.NextHop": "BenchmarkHotPathInternetRoute and Internet resolve hops on the compressed table",
+	"traffic.macroTick":         "BenchmarkHotPathInternet drives the flow-level tick loop",
 }
 
 // TestHotPathRootsExercised is the benchmark guard: the set of
@@ -50,7 +62,7 @@ var exercisedRoots = map[string]string{
 // the exercisedRoots table, and the two scenarios the table cites
 // (Fig8 and the sharded forest) must actually run those code paths.
 func TestHotPathRootsExercised(t *testing.T) {
-	found := collectHotpathRoots(t, "internal/des", "internal/netsim")
+	found := collectHotpathRoots(t, "internal/des", "internal/netsim", "internal/traffic")
 	for root := range found {
 		if _, ok := exercisedRoots[root]; !ok {
 			t.Errorf("//hbplint:hotpath root %s is not in the exercisedRoots table: name the benchmark that measures it (and make sure one does)", root)
@@ -96,6 +108,25 @@ func TestHotPathRootsExercised(t *testing.T) {
 	}
 	if fr.EventsFired == 0 || fr.Captures == 0 {
 		t.Errorf("sharded forest at width 2 fired %d events with %d captures; the cross-shard delivery path was not exercised", fr.EventsFired, fr.Captures)
+	}
+	// The reduced internet scenario covers the three internet-scale
+	// roots: macroTick (macro flows sent packets at all), Node.Inject
+	// (those packets materialized and were delivered — captures require
+	// delivery), and treeRoutes.NextHop (the config forces the
+	// compressed table, so every forwarded hop resolved through it).
+	icfg := benchhot.InternetSmallConfig()
+	ir, err := experiments.RunInternet(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.AttackSent == 0 || ir.LegitSent == 0 {
+		t.Errorf("internet scenario sent %d attack / %d legit packets; traffic.macroTick was not exercised", ir.AttackSent, ir.LegitSent)
+	}
+	if ir.Captures == 0 {
+		t.Error("internet scenario captured nothing; netsim.Node.Inject expansion was not exercised end to end")
+	}
+	if ir.RouteKind != "compressed" {
+		t.Errorf("internet scenario routed %q; netsim.treeRoutes.NextHop was not exercised", ir.RouteKind)
 	}
 }
 

@@ -25,7 +25,12 @@ type Result struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
-	Iterations   int     `json:"iterations,omitempty"`
+	// RouteBPerNode and HopsPerOp are the InternetRoute gauges: the
+	// compressed routing-state footprint and mean path length at
+	// 10⁵-endpoint scale.
+	RouteBPerNode float64 `json:"route_bytes_per_node,omitempty"`
+	HopsPerOp     float64 `json:"hops_per_op,omitempty"`
+	Iterations    int     `json:"iterations,omitempty"`
 }
 
 // baseline holds the numbers measured immediately before the
@@ -62,6 +67,12 @@ func measure(f func(*testing.B)) Result {
 	if ev, ok := r.Extra["events/sec"]; ok {
 		out.EventsPerSec = ev
 	}
+	if bn, ok := r.Extra["route-B/node"]; ok {
+		out.RouteBPerNode = bn
+	}
+	if h, ok := r.Extra["hops/op"]; ok {
+		out.HopsPerOp = h
+	}
 	return out
 }
 
@@ -85,13 +96,15 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Baseline:   baseline,
 		Current: map[string]Result{
-			"Fig8":         measure(benchhot.Fig8),
-			"Forwarding":   measure(benchhot.Forwarding),
-			"EventQueue":   measure(benchhot.EventQueue),
-			"TypedEvent":   measure(benchhot.TypedEvent),
-			"Hierarchical": measure(benchhot.Hierarchical),
-			"ForestShard1": measure(benchhot.Forest(1)),
-			"ForestShard8": measure(benchhot.Forest(8)),
+			"Fig8":          measure(benchhot.Fig8),
+			"Forwarding":    measure(benchhot.Forwarding),
+			"EventQueue":    measure(benchhot.EventQueue),
+			"TypedEvent":    measure(benchhot.TypedEvent),
+			"Hierarchical":  measure(benchhot.Hierarchical),
+			"ForestShard1":  measure(benchhot.Forest(1)),
+			"ForestShard8":  measure(benchhot.Forest(8)),
+			"Internet":      measure(benchhot.Internet),
+			"InternetRoute": measure(benchhot.InternetRoute),
 		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -106,14 +119,17 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *outPath)
 	fmt.Printf("GOMAXPROCS=%d (forest shard speedup needs >1 core)\n", runtime.GOMAXPROCS(0))
-	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent", "Hierarchical", "ForestShard1", "ForestShard8"} {
+	for _, name := range []string{"Fig8", "Forwarding", "EventQueue", "TypedEvent", "Hierarchical", "ForestShard1", "ForestShard8", "Internet", "InternetRoute"} {
 		cur := rep.Current[name]
 		if base, ok := baseline[name]; ok {
 			fmt.Printf("  %-11s %14.1f ns/op (was %14.1f)  %8d allocs/op (was %8d)\n",
 				name, cur.NsPerOp, base.NsPerOp, cur.AllocsPerOp, base.AllocsPerOp)
 		} else {
-			fmt.Printf("  %-11s %14.1f ns/op                        %8d allocs/op\n",
+			fmt.Printf("  %-13s %14.1f ns/op                        %8d allocs/op\n",
 				name, cur.NsPerOp, cur.AllocsPerOp)
+		}
+		if cur.RouteBPerNode > 0 {
+			fmt.Printf("  %-13s %14.1f route bytes/node, %.1f hops/op\n", "", cur.RouteBPerNode, cur.HopsPerOp)
 		}
 	}
 }

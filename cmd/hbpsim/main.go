@@ -11,6 +11,7 @@
 //	hbpsim -defense none
 //	hbpsim -defense hbp -onoff 0.5,6.5 -progressive
 //	hbpsim -server http://127.0.0.1:8080   # run on a hbpsimd daemon
+//	hbpsim -scale internet -zombies 100000 # power-law AS sweep, 10^3..10^5 zombies
 //
 // SIGINT cancels the run at the next event-batch checkpoint; the
 // process exits non-zero after noting the partial results.
@@ -55,7 +56,13 @@ func main() {
 	shards := flag.Int("shards", 0, "event-engine shards (0 or 1 sequential; N>1 hosts the run on a sharded engine, bit-identical results)")
 	server := flag.String("server", "", "submit to a running hbpsimd at this base URL instead of executing locally")
 	fleetURL := flag.String("fleet", "", "submit to a hbpfleet coordinator at this base URL (same API as -server; the fleet picks a worker)")
+	scale := flag.String("scale", "", "run a scale sweep instead of one scenario: 'internet' sweeps the zombie population 10^3..10^6 over power-law AS topologies")
+	zombies := flag.Int("zombies", 1000000, "with -scale internet: largest zombie population to sweep to")
 	flag.Parse()
+
+	if *scale != "" {
+		os.Exit(runScale(*scale, *zombies))
+	}
 
 	spec := scenario.TreeSpec{
 		Defense:     *defense,
@@ -162,6 +169,31 @@ func main() {
 	}
 	if *showTrace && res.Trace != nil {
 		fmt.Printf("\ndefense event log (%d events, %d evicted):\n%s", res.Trace.Len(), res.Trace.Dropped(), res.Trace.String())
+	}
+}
+
+// runScale executes a registry scale sweep locally and prints its
+// table. SIGINT cancels between (and cooperatively within) sweep
+// points.
+func runScale(name string, maxZombies int) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch name {
+	case "internet":
+		t, err := experiments.InternetSweep(maxZombies, ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted — sweep abandoned;", err)
+				return 130
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Print(t.Render())
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want: internet)\n", name)
+		return 2
 	}
 }
 

@@ -1,0 +1,39 @@
+package asnet
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// FromParents materializes an AS-level Graph from a parent-array tree
+// — the struct-of-arrays form topology.ASGraph emits. parent[0] must
+// be -1 (the root); every other entry names an earlier AS. transit
+// flags which ASes are transit (deployment candidates for HSMs);
+// stubs originate traffic only. Routes are computed before returning.
+//
+// The dense per-AS route matrix in this plane is O(ASes^2), so the
+// converter is meant for AS-level studies at moderate scale (up to a
+// few thousand ASes); router-level internet sweeps stay on
+// netsim.Cluster's compressed tables.
+func FromParents(sim *des.Simulator, parent []int32, transit []bool) *Graph {
+	if len(parent) == 0 || parent[0] != -1 {
+		panic("asnet: parent array must start with a -1 root")
+	}
+	if len(transit) != len(parent) {
+		panic("asnet: transit mask length mismatch")
+	}
+	g := NewGraph(sim)
+	for i := range parent {
+		g.AddAS(transit[i])
+	}
+	for i := 1; i < len(parent); i++ {
+		p := parent[i]
+		if p < 0 || p >= int32(i) {
+			panic(fmt.Sprintf("asnet: AS %d has invalid parent %d", i, p))
+		}
+		g.Connect(g.ases[p], g.ases[i])
+	}
+	g.ComputeRoutes()
+	return g
+}

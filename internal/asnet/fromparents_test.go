@@ -1,0 +1,52 @@
+package asnet
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/topology"
+)
+
+func TestFromParentsMirrorsASGraph(t *testing.T) {
+	g := topology.GenerateASGraph(topology.ASGraphParams{ASes: 400, Gamma: 2.1, Seed: 13})
+	sim := des.New()
+	ag := FromParents(sim, g.Parent, g.TransitMask())
+
+	if len(ag.ASes()) != 400 {
+		t.Fatalf("got %d ASes, want 400", len(ag.ASes()))
+	}
+	for i, a := range ag.ASes() {
+		if a.Transit != g.Transit(i) {
+			t.Fatalf("AS %d transit mismatch", i)
+		}
+		want := int(g.Degree[i])
+		if got := len(a.Neighbors()); got != want {
+			t.Fatalf("AS %d degree %d, want %d", i, got, want)
+		}
+	}
+	// Hop distances agree with tree depth: the only path from any AS
+	// to the root is the parent chain.
+	for _, i := range []int{1, 17, 399} {
+		if got := ag.Hops(ASID(i), 0); got != int(g.Depth[i]) {
+			t.Fatalf("AS %d -> root hops %d, want depth %d", i, got, g.Depth[i])
+		}
+	}
+}
+
+func TestFromParentsRejectsMalformed(t *testing.T) {
+	sim := des.New()
+	for name, fn := range map[string]func(){
+		"no-root":     func() { FromParents(sim, []int32{0, 0}, []bool{true, false}) },
+		"mask-length": func() { FromParents(sim, []int32{-1, 0}, []bool{true}) },
+		"fwd-parent":  func() { FromParents(sim, []int32{-1, 2, 0}, []bool{true, false, false}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

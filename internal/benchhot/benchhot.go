@@ -119,6 +119,78 @@ func Forest(shards int) func(*testing.B) {
 	}
 }
 
+// InternetSmallConfig is the reduced internet-scale sweep point used
+// by BenchmarkHotPathInternet: 50 zombies among 2000 hosts across 100
+// power-law ASes, 4 cluster parts on 2 shards, with the compressed
+// route table forced on (the topology sits below the auto-compress
+// threshold at this scale). Exported so the hot-path root guard test
+// can run the very scenario the benchmark measures.
+func InternetSmallConfig() experiments.InternetConfig {
+	cfg := experiments.InternetConfigFor(50, 1)
+	cfg.Topology.Hosts = 2000
+	cfg.Topology.Graph.ASes = 100
+	cfg.Topology.Parts = 4
+	cfg.Shards = 2
+	cfg.Topology.Routing = netsim.RouteCompressed
+	return cfg
+}
+
+// Internet runs the reduced internet-scale scenario end to end once
+// per iteration: flow-level macro agents (traffic.macroTick) expand
+// packets at armed routers (Node.Inject) over a compressed route
+// table (treeRoutes.NextHop), the honeypot frontier marches to the
+// access routers, and every zombie is captured.
+func Internet(b *testing.B) {
+	cfg := InternetSmallConfig()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		r, err := experiments.RunInternet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Captures == 0 {
+			b.Fatal("no captures")
+		}
+		if !r.Leak.Clean() {
+			b.Fatalf("leaked: %+v", r.Leak)
+		}
+		events += r.EventsFired
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// InternetRoute measures the compressed next-hop lookup at
+// 10⁵-endpoint scale. The power-law topology is built once outside
+// the timer; each iteration walks a complete host→server route
+// through treeRoutes.NextHop. The routing-state footprint rides along
+// as a bytes-per-node gauge so BENCH_hotpath.json tracks the memory
+// claim next to the lookup cost.
+func InternetRoute(b *testing.B) {
+	cfg := experiments.InternetConfigFor(50000, 1)
+	ss := des.NewSharded(cfg.Seed, 1)
+	it := topology.BuildInternet(ss, cfg.Topology)
+	cl := it.Cluster
+	if kind := cl.RouteKind(); kind != "compressed" {
+		b.Fatalf("route table is %q, want compressed", kind)
+	}
+	dst := it.Servers[0].ID
+	hops := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cl.PathHops(it.Hosts[i%len(it.Hosts)].ID, dst)
+		if h < 3 {
+			b.Fatalf("host route resolved in %d hops", h)
+		}
+		hops += h
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+	b.ReportMetric(float64(cl.RouteBytes())/float64(len(cl.Nodes())), "route-B/node")
+}
+
 // Forwarding measures steady-state per-packet cost over a 10-hop
 // path using pooled packets (20 events per op: serialization +
 // propagation at each hop).

@@ -143,6 +143,15 @@ type Defense struct {
 	// point at access routers). Set from the topology.
 	isHost func(*netsim.Node) bool
 
+	// RemoteDeployed, when set, reports whether a node owned by another
+	// cluster part runs a router agent. Sharded internet-scale runs use
+	// one Defense per part; back-propagation crossing a cut edge asks
+	// this hook instead of the local router map, so requests are sent
+	// point-to-point rather than falling back to piggyback flooding.
+	// Reads must be placement-independent (topology-derived), never
+	// live remote state.
+	RemoteDeployed func(*netsim.Node) bool
+
 	routers map[netsim.NodeID]*RouterAgent
 	legacy  map[netsim.NodeID]*LegacyAgent
 	servers map[netsim.NodeID]*ServerDefense
@@ -357,10 +366,14 @@ func (d *Defense) Router(id netsim.NodeID) *RouterAgent { return d.routers[id] }
 // ServerDefense returns the server-side defense for node id, or nil.
 func (d *Defense) ServerDefense(id netsim.NodeID) *ServerDefense { return d.servers[id] }
 
-// deployed reports whether a node runs a router agent.
+// deployed reports whether a node runs a router agent — locally, or
+// (in a sharded cluster run with one Defense instance per part) on a
+// remote part as told by RemoteDeployed.
 func (d *Defense) deployed(n *netsim.Node) bool {
-	_, ok := d.routers[n.ID]
-	return ok
+	if _, ok := d.routers[n.ID]; ok {
+		return true
+	}
+	return d.RemoteDeployed != nil && d.RemoteDeployed(n)
 }
 
 func (d *Defense) recordCapture(c Capture) {
@@ -436,7 +449,7 @@ func (d *Defense) authOK(m *Message, p *netsim.Packet, in *netsim.Port) bool {
 		d.rec(trace.AuthRejected, int(p.Dst), int(p.Src), int(m.Server), "multi-hop without tag")
 		return false
 	}
-	peer := in.Peer().Node()
+	peer := in.Far().Node()
 	// Only adjacent routers and pool servers may speak hop-by-hop.
 	if d.isHost(peer) && !d.isPoolServer(peer.ID) {
 		d.MsgBadAuth++

@@ -193,7 +193,7 @@ func (a *RouterAgent) closeSession(m *Message, propagate bool) {
 	}
 	sort.Slice(ports, func(i, j int) bool { return ports[i].Index() < ports[j].Index() })
 	for _, pt := range ports {
-		up := pt.Peer().Node()
+		up := pt.Far().Node()
 		if a.d.isHost(up) {
 			continue
 		}
@@ -271,7 +271,7 @@ func (a *RouterAgent) observe(n *netsim.Node, p *netsim.Packet, in, out *netsim.
 // if its peer is an end host (the attack host has been reached),
 // otherwise relay the request to the upstream router.
 func (a *RouterAgent) propagate(s *session, in *netsim.Port) {
-	up := in.Peer().Node()
+	up := in.Far().Node()
 	if a.d.isHost(up) {
 		// Access router reached: shut the switch port (Sec. 5.2).
 		in.BlockedIngress = true
@@ -315,8 +315,8 @@ func (a *RouterAgent) floodPiggyback(m *Message, kind MsgKind, via *netsim.Port)
 	} else {
 		fm.Sign(a.d.Cfg.AuthKey)
 	}
-	a.d.rec(trace.Piggybacked, int(a.Node.ID), int(via.Peer().Node().ID), int(m.Server), kind.String())
-	a.d.sendMsg(a.Node, via.Peer().Node().ID, fm)
+	a.d.rec(trace.Piggybacked, int(a.Node.ID), int(via.Far().Node().ID), int(m.Server), kind.String())
+	a.d.sendMsg(a.Node, via.Far().Node().ID, fm)
 }
 
 // LegacyAgent models a non-deploying router: it ignores honeypot
@@ -361,7 +361,7 @@ func (a *LegacyAgent) handleControl(p *netsim.Packet, in *netsim.Port) {
 		if pt == in {
 			continue
 		}
-		nb := pt.Peer().Node()
+		nb := pt.Far().Node()
 		if a.d.isHost(nb) {
 			continue
 		}

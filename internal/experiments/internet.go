@@ -1,0 +1,502 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/roaming"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// InternetConfig specifies an internet-scale HBP scenario: one
+// power-law AS tree partitioned across a sharded cluster, a zombie
+// population aggregated into per-part macro flows at a fixed total
+// attack rate (the paper's dispersion axis: more zombies each sending
+// less), and flow-level legitimate background traffic following the
+// roaming schedule. Per-packet simulation happens only from each
+// flow's expansion point — the deepest honeypot-armed router on the
+// member's path — downstream to the victim, so event cost tracks the
+// aggregate rates, not the endpoint count.
+type InternetConfig struct {
+	// Topology sizes the AS graph, host population and link classes.
+	Topology topology.InternetParams
+	// Shards is the engine width (0 or 1 sequential). Results are
+	// bit-identical at every width.
+	Shards int
+	// Zombies is the attack population size, spread over the host
+	// population by even stride (hence across stub ASes).
+	Zombies int
+	// AttackRate is the aggregate attack rate in bits/s across ALL
+	// zombies; sweeping Zombies at fixed AttackRate isolates
+	// dispersion from load.
+	AttackRate float64
+	// LegitFraction is the legitimate aggregate load as a fraction of
+	// the bottleneck bandwidth.
+	LegitFraction float64
+	// PacketSize is the data packet size in bytes.
+	PacketSize int
+	// Duration, AttackStart and AttackEnd shape the run.
+	Duration    float64
+	AttackStart float64
+	AttackEnd   float64
+	// EpochLen / Epochs / PoolK parameterize the roaming pool
+	// (N is the server count from Topology).
+	EpochLen float64
+	Epochs   int
+	PoolK    int
+	// Seed drives every stream; derived per part with des.DeriveSeed.
+	Seed int64
+	// EventLimit, when non-zero, aborts the run after that many
+	// dispatched events (summed over shards).
+	EventLimit uint64
+	// Context, when non-nil, cancels the run cooperatively.
+	Context context.Context
+}
+
+// InternetConfigFor sizes a scenario for one sweep point: the host
+// population scales with the zombie count (zombies stay a constant
+// fraction of endpoints) while the aggregate rates stay fixed.
+func InternetConfigFor(zombies int, seed int64) InternetConfig {
+	hosts := 2 * zombies
+	if hosts < 2000 {
+		hosts = 2000
+	}
+	ases := hosts / 50
+	if ases < 100 {
+		ases = 100
+	}
+	if ases > 20000 {
+		ases = 20000
+	}
+	tp := topology.DefaultInternetParams()
+	tp.Graph = topology.ASGraphParams{ASes: ases, Gamma: 2.1, Seed: des.DeriveSeed(seed, 17)}
+	tp.Hosts = hosts
+	tp.Servers = 5
+	tp.Parts = 16
+	return InternetConfig{
+		Topology:      tp,
+		Shards:        8,
+		Zombies:       zombies,
+		AttackRate:    2.5 * tp.Bottleneck.Bandwidth,
+		LegitFraction: 0.6,
+		PacketSize:    500,
+		Duration:      40,
+		AttackStart:   5,
+		AttackEnd:     35,
+		EpochLen:      5,
+		Epochs:        64,
+		PoolK:         3,
+		Seed:          seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c InternetConfig) Validate() error {
+	switch {
+	case c.Zombies < 1 || c.Zombies > c.Topology.Hosts:
+		return fmt.Errorf("experiments: %d zombies among %d hosts", c.Zombies, c.Topology.Hosts)
+	case c.AttackRate <= 0 || c.LegitFraction < 0:
+		return fmt.Errorf("experiments: bad rates (attack %v, legit fraction %v)", c.AttackRate, c.LegitFraction)
+	case c.PacketSize <= 0:
+		return fmt.Errorf("experiments: non-positive packet size")
+	case c.Duration <= 0 || c.AttackStart < 0 || c.AttackEnd > c.Duration || c.AttackStart >= c.AttackEnd:
+		return fmt.Errorf("experiments: bad run timing (%v, %v, %v)", c.Duration, c.AttackStart, c.AttackEnd)
+	case c.EpochLen <= 0 || c.Epochs < 2:
+		return fmt.Errorf("experiments: bad pool timing (%v, %d)", c.EpochLen, c.Epochs)
+	case c.PoolK < 1 || c.PoolK >= c.Topology.Servers:
+		return fmt.Errorf("experiments: pool K=%d of N=%d leaves no honeypots", c.PoolK, c.Topology.Servers)
+	case c.Shards < 0:
+		return fmt.Errorf("experiments: negative shard count %d", c.Shards)
+	}
+	return nil
+}
+
+// InternetResult summarizes one internet-scale run.
+type InternetResult struct {
+	Config InternetConfig
+	// Hosts/ASes/Parts echo the materialized topology.
+	Hosts, ASes, Parts int
+	// RouteKind / RouteBytes / BytesPerNode report the routing-state
+	// footprint (the compressed-table gauge of the memory model).
+	RouteKind    string
+	RouteBytes   int64
+	BytesPerNode float64
+	// Captures counts zombies captured; CaptureTimes are relative to
+	// the attack start, ascending.
+	Captures     int
+	CaptureTimes []float64
+	// MeanBefore / MeanDuringAttack are the bottleneck's legitimate
+	// goodput fractions.
+	MeanBefore       float64
+	MeanDuringAttack float64
+	// CtrlMessages sums the per-part defenses' control overhead —
+	// the control-cost axis of the sweep.
+	CtrlMessages int64
+	// PeakState / StateBudget sum the per-part defense-state
+	// high-water marks and ceilings — the state-budget axis.
+	PeakState   int
+	StateBudget int
+	// AttackSent / AttackSkipped / LegitSent count macro-flow
+	// emissions (skipped = held aggregated by the oracle).
+	AttackSent    int64
+	AttackSkipped int64
+	LegitSent     int64
+	// QueueDrops is the cluster-wide drop-tail loss count.
+	QueueDrops int64
+	// EventsFired sums dispatched events over all shards; identical
+	// at every shard count.
+	EventsFired uint64
+	// Wall is the wall-clock run time.
+	Wall time.Duration
+	// Leak is the post-teardown resource audit.
+	Leak LeakReport
+
+	partFPs []string
+}
+
+// Fingerprint is the determinism digest: per-part capture schedules
+// and flow counters plus cluster-wide drops. Runs of one config at
+// different shard counts must produce byte-identical fingerprints.
+func (r *InternetResult) Fingerprint() string {
+	return strings.Join(r.partFPs, "\n") + fmt.Sprintf("\ndrops=%d", r.QueueDrops)
+}
+
+// armedFrontierOracle expands a member's packets at the deepest
+// honeypot-armed router on its AS chain within the member's own part.
+// Back-propagation arms routers victim-outward, so the armed set on
+// any chain is a contiguous segment at the victim end; walking up
+// from the access router, the first armed router is the frontier.
+// Unarmed chains fall back to the level-1 subtree head — one hop from
+// AS 0 — so the victim side always sees full per-packet traffic while
+// the quiet stub edge stays aggregated. All lookups are local to the
+// part: topology is immutable, and the session tables consulted
+// belong to the part's own defense.
+type armedFrontierOracle struct {
+	it  *topology.Internet
+	def *core.Defense
+}
+
+func (o *armedFrontierOracle) Expand(member, dst netsim.NodeID) (*netsim.Node, *netsim.Port) {
+	idx := o.it.HostIndex(member)
+	if idx < 0 {
+		return nil, nil
+	}
+	as := o.it.HostAS[idx]
+	for {
+		if ra := o.def.Router(netsim.NodeID(as)); ra != nil && ra.HasSession(dst) {
+			r := o.it.Routers[as]
+			return r, r.NextHop(member)
+		}
+		p := o.it.Graph.Parent[as]
+		if p <= 0 {
+			break
+		}
+		as = p
+	}
+	r := o.it.Routers[as]
+	return r, r.NextHop(member)
+}
+
+// internetPart is the per-part state of an internet run.
+type internetPart struct {
+	pool   *roaming.Pool
+	def    *core.Defense
+	atk    *traffic.MacroFlow
+	legit  *traffic.MacroFlow
+	agents []*roaming.ServerAgent
+	capFP  []string
+	capAt  []float64
+}
+
+// RunInternet executes one internet-scale scenario end to end on the
+// sharded engine. The defense is fully deployed: every part runs its
+// own core.Defense over its local routers, with cross-part control
+// traffic riding the cut channels and remote deployment answered
+// topologically (every AS router deploys). Parts other than 0 hold an
+// unstarted replica pool — roaming.NewPool is deterministic in the
+// chain seed and ActiveSetAt is pure, so each part derives the same
+// schedule with zero cross-shard reads.
+func RunInternet(cfg InternetConfig) (*InternetResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	ss := des.NewSharded(cfg.Seed, shards)
+	it := topology.BuildInternet(ss, cfg.Topology)
+	cl := it.Cluster
+
+	res := &InternetResult{
+		Config: cfg,
+		Hosts:  len(it.Hosts), ASes: len(it.Routers), Parts: it.Parts,
+		RouteKind:  cl.RouteKind(),
+		RouteBytes: cl.RouteBytes(),
+	}
+	if n := len(cl.Nodes()); n > 0 {
+		res.BytesPerNode = float64(cl.RouteBytes()) / float64(n)
+	}
+
+	poolCfg := roaming.Config{
+		N: len(it.Servers), K: cfg.PoolK, EpochLen: cfg.EpochLen, Guard: 0.3,
+		Epochs: cfg.Epochs, ChainSeed: []byte("internet-sweep"),
+	}
+
+	// Zombie selection: even stride over the host population, which
+	// spreads the attack across stub ASes (maximum dispersion, the
+	// paper's hardest case) and is independent of partitioning.
+	nh := len(it.Hosts)
+	isZombie := make([]bool, nh)
+	for j := 0; j < cfg.Zombies; j++ {
+		isZombie[j*nh/cfg.Zombies] = true
+	}
+	atkMembers := make([][]netsim.NodeID, it.Parts)
+	legitMembers := make([][]netsim.NodeID, it.Parts)
+	for i, h := range it.Hosts {
+		part := int(it.PartOf[it.HostAS[i]])
+		if isZombie[i] {
+			atkMembers[part] = append(atkMembers[part], h.ID)
+		} else {
+			legitMembers[part] = append(legitMembers[part], h.ID)
+		}
+	}
+	totalLegit := 0
+	for _, m := range legitMembers {
+		totalLegit += len(m)
+	}
+
+	parts := make([]*internetPart, it.Parts)
+	for part := 0; part < it.Parts; part++ {
+		part := part
+		sim := cl.Part(part).Sim
+		pool, err := roaming.NewPool(sim, it.Servers, poolCfg)
+		if err != nil {
+			return nil, err
+		}
+		def, err := core.New(cl.Part(part), pool, it.IsHost, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		// Remote nodes a control walk reaches are deployed exactly when
+		// they are AS routers — a pure topology read, never remote
+		// defense state.
+		def.RemoteDeployed = it.IsRouter
+		pt := &internetPart{pool: pool, def: def}
+		parts[part] = pt
+		if part == 0 {
+			for _, s := range it.Servers {
+				pt.agents = append(pt.agents, roaming.NewServerAgent(pool, s))
+			}
+		}
+		def.DeployAll(pt.agents)
+		def.OnCapture = func(c core.Capture) {
+			pt.capFP = append(pt.capFP, fmt.Sprintf("%.9f:%d>%d", c.Time, c.Router, c.Attacker))
+			pt.capAt = append(pt.capAt, c.Time)
+			// Stop the captured host's contribution: its access port is
+			// shut, so its flow share is gone. The capture fires on the
+			// host's own part/shard, so this touches only local flows.
+			idx := it.HostIndex(c.Attacker)
+			if idx < 0 {
+				return
+			}
+			if isZombie[idx] {
+				if pt.atk != nil {
+					pt.atk.RemoveMember(c.Attacker)
+				}
+			} else if pt.legit != nil {
+				pt.legit.RemoveMember(c.Attacker)
+			}
+		}
+
+		oracle := &armedFrontierOracle{it: it, def: def}
+		prng := des.NewRNG(des.DeriveSeed(cfg.Seed, int64(3000+part)))
+		if len(atkMembers[part]) > 0 {
+			target := it.Servers[prng.Intn(len(it.Servers))].ID
+			spoofRNG := prng.Split(1)
+			pt.atk = &traffic.MacroFlow{
+				Sim:     sim,
+				Members: atkMembers[part],
+				Rate:    cfg.AttackRate * float64(len(atkMembers[part])) / float64(cfg.Zombies),
+				Size:    cfg.PacketSize,
+				Dest:    func() netsim.NodeID { return target },
+				Source: func(netsim.NodeID) netsim.NodeID {
+					return it.Hosts[spoofRNG.Intn(nh)].ID
+				},
+				Oracle: oracle, FlowID: 1,
+				Jitter: prng.Split(2), Poisson: prng.Split(3),
+			}
+		}
+		if len(legitMembers[part]) > 0 && cfg.LegitFraction > 0 {
+			pt.legit = &traffic.MacroFlow{
+				Sim:     sim,
+				Members: legitMembers[part],
+				Rate: cfg.LegitFraction * cfg.Topology.Bottleneck.Bandwidth *
+					float64(len(legitMembers[part])) / float64(totalLegit),
+				Size:   cfg.PacketSize,
+				Dest:   epochDest(sim, pool, poolCfg),
+				Oracle: oracle, Legit: true, FlowID: 2,
+				Jitter: prng.Split(4), Poisson: prng.Split(5),
+			}
+		}
+
+		if part == 0 {
+			pool.Start()
+		}
+		atk, legit := pt.atk, pt.legit
+		if legit != nil {
+			sim.At(0, legit.Start)
+		}
+		if atk != nil {
+			sim.At(cfg.AttackStart, atk.Start)
+			sim.At(cfg.AttackEnd, atk.Stop)
+		}
+	}
+
+	mon := metrics.NewBottleneckMonitor(cl.Part(0).Sim, it.Bottleneck, it.ServerGW, 1)
+
+	if cfg.EventLimit > 0 || cfg.Context != nil {
+		lim, ctx := cfg.EventLimit, cfg.Context
+		ss.SetInterrupt(0, func() error {
+			if lim > 0 && ss.Fired() > lim {
+				return des.ErrEventLimit
+			}
+			if ctx != nil {
+				return ctx.Err()
+			}
+			return nil
+		})
+	}
+
+	start := time.Now() //hbplint:ignore determinism wall clock only times the host's execution for the sweep report; it never feeds simulation state.
+	if err := ss.RunUntil(cfg.Duration); err != nil {
+		for _, pt := range parts {
+			pt.def.Close()
+		}
+		cl.Drain()
+		return nil, fmt.Errorf("experiments: internet run aborted at t=%.1fs after %d events: %w",
+			ss.Now(), ss.Fired(), err)
+	}
+	res.Wall = time.Since(start) //hbplint:ignore determinism wall clock only times the host's execution for the sweep report; it never feeds simulation state.
+
+	// Collection and leak-checked teardown.
+	series := mon.Series()
+	res.MeanBefore = series.MeanBetween(1, cfg.AttackStart)
+	res.MeanDuringAttack = series.MeanBetween(cfg.AttackStart, cfg.AttackEnd)
+	var capAt []float64
+	for i, pt := range parts {
+		res.Captures += len(pt.capFP)
+		capAt = append(capAt, pt.capAt...)
+		res.CtrlMessages += pt.def.MsgSent
+		res.PeakState += pt.def.PeakState
+		res.StateBudget += pt.def.StateBudget()
+		var as, ask, ls int64
+		if pt.atk != nil {
+			as, ask = pt.atk.Sent, pt.atk.Skipped
+		}
+		if pt.legit != nil {
+			ls = pt.legit.Sent
+		}
+		res.AttackSent += as
+		res.AttackSkipped += ask
+		res.LegitSent += ls
+		res.partFPs = append(res.partFPs, fmt.Sprintf(
+			"part%d caps[%s] atk=%d/%d legit=%d ctrl=%d",
+			i, strings.Join(pt.capFP, ","), as, ask, ls, pt.def.MsgSent))
+		pt.def.Close()
+		res.Leak.DefenseState += pt.def.StateSize()
+	}
+	sort.Float64s(capAt)
+	res.CaptureTimes = metrics.CaptureTimes(capAt, cfg.AttackStart)
+	res.QueueDrops = cl.TotalQueueDrops()
+	res.EventsFired = ss.Fired()
+	cl.Drain()
+	res.Leak.PacketsOutstanding = cl.PacketsOutstanding()
+	return res, nil
+}
+
+// epochDest returns a Dest closure that targets the roaming schedule's
+// active set for the current epoch, derived purely from the pool's
+// hash chain (no mutable pool state — safe on any shard), rotating
+// round-robin within the set and caching per epoch.
+func epochDest(sim *des.Simulator, pool *roaming.Pool, cfg roaming.Config) func() netsim.NodeID {
+	var active []netsim.NodeID
+	cached := -1
+	seq := 0
+	return func() netsim.NodeID {
+		e := int(sim.Now() / cfg.EpochLen)
+		if e >= cfg.Epochs {
+			e = cfg.Epochs - 1
+		}
+		if e != cached {
+			if set, err := pool.ActiveSetAt(e); err == nil && len(set) > 0 {
+				active, cached = set, e
+			}
+		}
+		seq++
+		return active[seq%len(active)]
+	}
+}
+
+// internetZombieSweep is the sweep axis: zombie populations from 10^3
+// to 10^6 at a fixed aggregate attack rate.
+var internetZombieSweep = []int{1000, 10000, 100000, 1000000}
+
+// InternetSweep runs the zombie sweep up to maxZombies and tabulates
+// capture behavior, goodput, control overhead, state budget and the
+// routing-state footprint per point.
+func InternetSweep(maxZombies int, ctx context.Context) (*Table, error) {
+	t := &Table{
+		Title: "Internet-scale sweep: capture dynamics vs zombie dispersion",
+		Note: "One power-law AS tree per point (hosts = 2x zombies), fixed aggregate " +
+			"attack rate; macro-flows expand per-packet only from the honeypot-armed " +
+			"frontier. route B/node is the compressed table's footprint.",
+		Headers: []string{"zombies", "hosts", "ASes", "route", "B/node", "captures",
+			"first-cap(s)", "median-cap(s)", "goodput", "ctrl-msgs", "peak-state", "events", "wall(s)"},
+	}
+	for _, z := range internetZombieSweep {
+		if z > maxZombies {
+			break
+		}
+		cfg := InternetConfigFor(z, 1)
+		cfg.Context = ctx
+		res, err := RunInternet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Leak.Clean() {
+			return nil, fmt.Errorf("experiments: internet leak at %d zombies: %+v", z, res.Leak)
+		}
+		first, median := "-", "-"
+		if len(res.CaptureTimes) > 0 {
+			first = fmt.Sprintf("%.1f", res.CaptureTimes[0])
+			median = fmt.Sprintf("%.1f", res.CaptureTimes[len(res.CaptureTimes)/2])
+		}
+		t.AddRow(z, res.Hosts, res.ASes, res.RouteKind, fmt.Sprintf("%.1f", res.BytesPerNode),
+			res.Captures, first, median, fmt.Sprintf("%.3f", res.MeanDuringAttack),
+			res.CtrlMessages, res.PeakState, fmt.Sprint(res.EventsFired),
+			fmt.Sprintf("%.1f", res.Wall.Seconds()))
+	}
+	return t, nil
+}
+
+// ExtInternet is the registry entry: the sweep depth follows the
+// scale (quick runs stop at 10^4 zombies, the default at 10^5, full
+// scale covers the complete 10^3..10^6 axis).
+func ExtInternet(s Scale) (*Table, error) {
+	max := 10000
+	if s.Leaves >= 1000 {
+		max = 1000000
+	} else if s.Leaves >= 200 {
+		max = 100000
+	}
+	return InternetSweep(max, s.Ctx)
+}

@@ -35,6 +35,7 @@ func Figures() map[string]FigureGen {
 		"byzantine":    ExtByzantine,
 		"hierarchical": ExtHierarchical,
 		"sharded":      ExtSharded,
+		"internet":     ExtInternet,
 	}
 }
 
@@ -47,5 +48,5 @@ func PaperFigureOrder() []string {
 func ExtFigureOrder() []string {
 	return []string{"levelk", "follower", "overhead", "load", "interas", "stackpi",
 		"spie", "defenses", "threshold", "eq4", "deployment", "onoff", "faults",
-		"byzantine", "hierarchical", "sharded"}
+		"byzantine", "hierarchical", "sharded", "internet"}
 }

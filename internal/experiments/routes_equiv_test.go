@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/asnet"
+	"repro/internal/des"
+	"repro/internal/netsim"
+)
+
+// These tests pin the tentpole equivalence: the compressed
+// Euler-interval route table must reproduce the dense table's event
+// stream bit for bit. Every pre-existing scenario family runs twice —
+// dense and compressed — at fixed seeds, and the full observable
+// digest (capture schedule, event count, drops, goodput bits) must
+// match. The compressed build diffs itself against a dense build for
+// non-tree edges, so equality is exact, not approximate.
+
+// treeDigest folds a tree run's observables into a string.
+func treeDigest(t *testing.T, cfg TreeConfig) string {
+	t.Helper()
+	res, err := RunTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, c := range res.Captures {
+		fmt.Fprintf(&b, "%.9f:%d>%d;", c.Time, c.Router, c.Attacker)
+	}
+	fmt.Fprintf(&b, "ev=%d drops=%d ctrl=%d before=%016x during=%016x",
+		res.EventsFired, res.QueueDrops, res.CtrlMessages,
+		math.Float64bits(res.MeanBefore), math.Float64bits(res.MeanDuringAttack))
+	return b.String()
+}
+
+func assertTreeEquivalence(t *testing.T, cfg TreeConfig) {
+	t.Helper()
+	cfg.Topology.Routing = netsim.RouteDense
+	dense := treeDigest(t, cfg)
+	cfg.Topology.Routing = netsim.RouteCompressed
+	compressed := treeDigest(t, cfg)
+	if dense != compressed {
+		t.Fatalf("compressed routing diverged from dense:\ndense:      %s\ncompressed: %s", dense, compressed)
+	}
+	if !strings.Contains(dense, ":") {
+		t.Fatalf("scenario captured nothing; digest pins too little: %s", dense)
+	}
+}
+
+func TestRouteEquivalenceTree(t *testing.T) {
+	cfg := quickTree()
+	cfg.Duration, cfg.AttackEnd = 60, 55
+	for _, shards := range []int{1, 8} {
+		cfg.Shards = shards
+		assertTreeEquivalence(t, cfg)
+	}
+}
+
+func TestRouteEquivalenceFullTopology(t *testing.T) {
+	// The full default topology (200 leaves, generated multi-level
+	// tree) at both engine widths.
+	cfg := DefaultTreeConfig()
+	cfg.Duration, cfg.AttackEnd = 40, 35
+	for _, shards := range []int{1, 8} {
+		cfg.Shards = shards
+		assertTreeEquivalence(t, cfg)
+	}
+}
+
+func TestRouteEquivalenceByzantine(t *testing.T) {
+	cfg := quickTree()
+	cfg.Duration, cfg.AttackEnd = 60, 55
+	cfg.EpochAuth = true
+	cfg.Watchdog = true
+	cfg.ByzantineNodes = 2
+	assertTreeEquivalence(t, cfg)
+}
+
+// hierRouteDigest runs the unified hierarchical scenario (inter-AS
+// plane with embedded per-stub-AS router networks) under the given
+// intra-AS route-table mode.
+func hierRouteDigest(t *testing.T, mode netsim.RouteMode) string {
+	t.Helper()
+	sim := des.New()
+	g := asnet.NewGraph(sim)
+	_, stubs, err := asnet.GenerateTopology(g, asnet.TopoParams{Transits: 6, Stubs: 10, ExtraLinks: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := &asnet.EmbeddedIntraAS{Seed: 11, Routing: mode}
+	def := asnet.NewDefense(g, 10, asnet.Config{Progressive: true, Rho: 8, IntraAS: em})
+	def.DeployAll()
+	sched, err := asnet.NewSchedule([]byte("hier-routes"), 2, 1, 0, 10, 0.2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := asnet.NewServer(def, stubs[0], sched)
+	fp := ""
+	def.OnCapture = func(c asnet.Capture) { fp += fmt.Sprintf("cap as=%d t=%.9f;", c.AS, c.Time) }
+	for i, stub := range stubs[1:4] {
+		atk := asnet.NewAttacker(def, stub, srv, 8+float64(4*i))
+		start := 0.5 + 0.7*float64(i)
+		sim.At(start, func() { atk.Start() })
+	}
+	if err := sim.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range em.Subs() {
+		fp += fmt.Sprintf("sub as=%d tb=%d caps=%d;", sub.AS, sub.Tracebacks, sub.Def.CaptureCount())
+	}
+	return fp + fmt.Sprintf("msg=%d", def.MsgSent)
+}
+
+func TestRouteEquivalenceHierarchical(t *testing.T) {
+	dense := hierRouteDigest(t, netsim.RouteDense)
+	compressed := hierRouteDigest(t, netsim.RouteCompressed)
+	if dense != compressed {
+		t.Fatalf("compressed intra-AS routing diverged:\ndense:      %s\ncompressed: %s", dense, compressed)
+	}
+	if !strings.Contains(dense, "cap as=") {
+		t.Fatalf("scenario captured nothing: %s", dense)
+	}
+}
+
+func TestRouteEquivalenceForestCluster(t *testing.T) {
+	// The cluster seam: ring-linked forest (non-tree cut edges, so the
+	// compressed build carries an overlay) at shards 1 and 8.
+	cfg := DefaultForestConfig()
+	for _, shards := range []int{1, 8} {
+		cfg.Shards = shards
+		cfg.Routing = netsim.RouteDense
+		dense, err := RunShardedForest(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Routing = netsim.RouteCompressed
+		compressed, err := RunShardedForest(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.Fingerprint() != compressed.Fingerprint() {
+			t.Fatalf("shards=%d: compressed cluster routing diverged:\ndense:\n%s\ncompressed:\n%s",
+				shards, dense.Fingerprint(), compressed.Fingerprint())
+		}
+		if dense.EventsFired != compressed.EventsFired {
+			t.Fatalf("shards=%d: event counts differ: %d vs %d", shards, dense.EventsFired, compressed.EventsFired)
+		}
+	}
+}

@@ -50,6 +50,10 @@ type ForestConfig struct {
 	// EventLimit, when non-zero, aborts the run with des.ErrEventLimit
 	// after that many dispatched events (summed over all shards).
 	EventLimit uint64
+	// Routing selects the cluster's route-table representation
+	// (netsim.RouteMode); the zero value keeps the historical dense
+	// table.
+	Routing netsim.RouteMode
 }
 
 // DefaultForestConfig returns a 4-tree forest sized so unit tests and
@@ -164,6 +168,7 @@ func RunShardedForest(cfg ForestConfig) (*ForestResult, error) {
 		place[i] = i % shards
 	}
 	cl := netsim.NewCluster(ss, place)
+	cl.Routing = cfg.Routing
 
 	// Phase 1: topology. Each part grows its own paper-style tree plus
 	// a sink host for inbound cross traffic.

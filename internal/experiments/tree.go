@@ -204,7 +204,7 @@ func RunTree(cfg TreeConfig) (*TreeResult, error) {
 		}
 		if cfg.Defense == PushbackLevelK {
 			weights := tr.HostWeights()
-			pb.HostWeight = func(pt *netsim.Port) float64 { return weights[pt] }
+			pb.HostWeight = weights.At
 		}
 		pb.DeployRouters(tr.Routers)
 		pb.Start()

@@ -28,9 +28,15 @@ import (
 type Cluster struct {
 	Sim *des.ShardedSimulator
 
+	// Routing selects the route-table representation ComputeRoutes
+	// builds (see RouteMode); the zero value keeps small clusters on
+	// the historical dense table.
+	Routing RouteMode
+
 	parts   []*Network
 	shardOf []int
 	nodes   []*Node // cluster-global ID order
+	rt      RouteTable
 }
 
 // NewCluster returns a cluster with one empty part network per entry
@@ -125,43 +131,36 @@ func (cl *Cluster) Connect(a, b *Node, bandwidth, delay float64) {
 	qb.remote = cl.Sim.NewChannel(cl.shardOf[pb], cl.shardOf[pa], delay)
 }
 
-// ComputeRoutes fills every node's next-hop table with shortest paths
-// over the whole cluster (hop count; ties broken by discovery order,
-// which follows node-creation and port-attachment order and is thus
-// placement-independent). Call it instead of the per-part
-// ComputeRoutes, after the topology is final.
+// ComputeRoutes builds one cluster-wide route table with shortest
+// paths over the whole cluster (hop count; ties broken by discovery
+// order, which follows node-creation and port-attachment order and is
+// thus placement-independent) and shares it with every node. The
+// representation follows cl.Routing. Call it instead of the per-part
+// ComputeRoutes, after the topology is final. The table is read-only
+// after this call, so shards on different cores share it safely.
 func (cl *Cluster) ComputeRoutes() {
-	n := len(cl.nodes)
-	for _, src := range cl.nodes {
-		src.routes = make([]*Port, n)
+	cl.rt = buildRoutes(cl.Routing, cl.nodes, len(cl.nodes), farOf)
+	for _, n := range cl.nodes {
+		n.rt = cl.rt
 	}
-	queue := make([]*Node, 0, n)
-	visited := make([]bool, n)
-	for _, dst := range cl.nodes {
-		for i := range visited {
-			visited[i] = false
-		}
-		queue = queue[:0]
-		queue = append(queue, dst)
-		visited[dst.ID] = true
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, pt := range cur.ports {
-				back := pt.Far() // nb's egress port toward cur
-				if back == nil {
-					continue
-				}
-				nb := back.node
-				if visited[nb.ID] {
-					continue
-				}
-				visited[nb.ID] = true
-				nb.routes[dst.ID] = back
-				queue = append(queue, nb)
-			}
-		}
+}
+
+// RouteBytes estimates the memory held by the cluster-wide route table
+// (0 before ComputeRoutes).
+func (cl *Cluster) RouteBytes() int64 {
+	if cl.rt == nil {
+		return 0
 	}
+	return cl.rt.RouteBytes()
+}
+
+// RouteKind names the route-table representation in use ("dense" or
+// "compressed"; empty before ComputeRoutes).
+func (cl *Cluster) RouteKind() string {
+	if cl.rt == nil {
+		return ""
+	}
+	return cl.rt.Kind()
 }
 
 // PathHops returns the hop count from a to b across the cluster

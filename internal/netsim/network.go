@@ -15,14 +15,28 @@ type Network struct {
 	// by the very flood they are fighting. Disable for ablation.
 	ControlPriority bool
 
+	// Routing selects the route-table representation ComputeRoutes
+	// builds (see RouteMode). The zero value, RouteAuto, keeps small
+	// networks on the historical dense table.
+	Routing RouteMode
+
 	nodes []*Node
 	links []*Link
-	// idIndex maps NodeID → node. For a standalone network IDs are
-	// dense (AddNode numbers them 0..n-1) and the index mirrors nodes;
-	// for a network that is one part of a Cluster, IDs are allocated
-	// cluster-globally and the index is sparse, with nil holes for IDs
-	// living on other parts.
+	// idIndex maps NodeID → node for the dense ID prefix: AddNode
+	// numbers standalone networks 0..n-1 and every node lands here. A
+	// network that is one part of a Cluster receives cluster-global IDs
+	// that skip ahead; those land in idSpill instead of growing the
+	// slice with nil holes (which at internet scale wasted
+	// O(cluster size) pointers per part).
 	idIndex []*Node
+	idSpill map[NodeID]*Node
+	// maxID is the largest ID ever added; maxID+1 bounds route-table
+	// indexing.
+	maxID NodeID
+
+	// rt is the route table shared by every node, built by
+	// ComputeRoutes.
+	rt RouteTable
 
 	// pktFree is the packet pool's free list. It is per-network (not
 	// global) so concurrent simulations in separate goroutines — the
@@ -52,6 +66,7 @@ func (nw *Network) NewPacket() *Packet {
 		p.freed = false
 		return p
 	}
+	//hbplint:ignore hotalloc pool warm-up allocation: only taken while the free list is empty; steady state reuses freed packets, and the pool reuse tests pin 0 allocs after warm-up.
 	return &Packet{}
 }
 
@@ -92,7 +107,7 @@ func (nw *Network) freePacket(p *Packet) {
 
 // New returns an empty network bound to the given simulator.
 func New(sim *des.Simulator) *Network {
-	return &Network{Sim: sim, ControlPriority: true}
+	return &Network{Sim: sim, ControlPriority: true, maxID: None}
 }
 
 // AddNode creates a node with the given debug name.
@@ -112,10 +127,21 @@ func (nw *Network) addNodeWithID(id NodeID, name string) *Node {
 	}
 	n := &Node{ID: id, Name: name, net: nw}
 	nw.nodes = append(nw.nodes, n)
-	for int(id) >= len(nw.idIndex) {
-		nw.idIndex = append(nw.idIndex, nil)
+	if int(id) == len(nw.idIndex) {
+		nw.idIndex = append(nw.idIndex, n)
+	} else {
+		// Cluster-global ID beyond the dense prefix: spill to the map
+		// instead of growing the slice with nil holes. (IDs below the
+		// prefix length are always occupied, so the duplicate check
+		// above already rejected them.)
+		if nw.idSpill == nil {
+			nw.idSpill = make(map[NodeID]*Node)
+		}
+		nw.idSpill[id] = n
 	}
-	nw.idIndex[id] = n
+	if id > nw.maxID {
+		nw.maxID = id
+	}
 	return n
 }
 
@@ -125,10 +151,13 @@ func (nw *Network) Nodes() []*Node { return nw.nodes }
 // Node returns the node with the given ID, or nil. For a Cluster part
 // this resolves only locally owned nodes; remote IDs return nil.
 func (nw *Network) Node(id NodeID) *Node {
-	if id < 0 || int(id) >= len(nw.idIndex) {
+	if id < 0 {
 		return nil
 	}
-	return nw.idIndex[id]
+	if int(id) < len(nw.idIndex) {
+		return nw.idIndex[id]
+	}
+	return nw.idSpill[id]
 }
 
 // Links returns all links in creation order.
@@ -161,44 +190,35 @@ func (nw *Network) Connect(a, b *Node, bandwidth, delay float64) *Link {
 	return l
 }
 
-// ComputeRoutes fills every node's next-hop table with shortest paths
-// (hop count; ties broken by discovery order, which is deterministic).
-// Call it after the topology is final and before traffic starts.
+// ComputeRoutes builds the network's route table — shortest paths by
+// hop count, ties broken by discovery order, which is deterministic —
+// and shares it with every node. The representation follows nw.Routing.
+// Cross-part ports (nil peer) are skipped: routes spanning parts are
+// the Cluster's job. Call it after the topology is final and before
+// traffic starts.
 func (nw *Network) ComputeRoutes() {
-	bound := len(nw.idIndex)
-	for _, src := range nw.nodes {
-		src.routes = make([]*Port, bound)
+	nw.rt = buildRoutes(nw.Routing, nw.nodes, int(nw.maxID)+1, peerOf)
+	for _, n := range nw.nodes {
+		n.rt = nw.rt
 	}
-	// BFS from every destination, recording each visited node's parent
-	// port toward the destination. Cross-part ports (nil peer) are
-	// skipped: routes spanning parts are the Cluster's job.
-	queue := make([]*Node, 0, len(nw.nodes))
-	visited := make([]bool, bound)
-	for _, dst := range nw.nodes {
-		for i := range visited {
-			visited[i] = false
-		}
-		queue = queue[:0]
-		queue = append(queue, dst)
-		visited[dst.ID] = true
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, pt := range cur.ports {
-				if pt.peer == nil {
-					continue
-				}
-				nb := pt.peer.node
-				if visited[nb.ID] {
-					continue
-				}
-				visited[nb.ID] = true
-				// nb reaches dst via the port back to cur.
-				nb.routes[dst.ID] = pt.peer
-				queue = append(queue, nb)
-			}
-		}
+}
+
+// RouteBytes estimates the memory held by the route table (0 before
+// ComputeRoutes).
+func (nw *Network) RouteBytes() int64 {
+	if nw.rt == nil {
+		return 0
 	}
+	return nw.rt.RouteBytes()
+}
+
+// RouteKind names the route-table representation in use ("dense" or
+// "compressed"; empty before ComputeRoutes).
+func (nw *Network) RouteKind() string {
+	if nw.rt == nil {
+		return ""
+	}
+	return nw.rt.Kind()
 }
 
 // PathHops returns the hop count from a to b (0 for a==b, -1 if
@@ -214,10 +234,13 @@ func (nw *Network) PathHops(a, b NodeID) int {
 		if next == nil {
 			return -1
 		}
-		cur = next.Peer().Node()
+		cur = next.farNode()
 		hops++
-		if hops > len(nw.nodes) {
-			return -1 // routing loop guard
+		// Loop guard bounded by the ID space, not the part's node
+		// count: a cluster part's walk legitimately crosses into other
+		// parts via farNode, so the path can be longer than the part.
+		if hops > int(nw.maxID)+1 {
+			return -1
 		}
 	}
 	if cur == nil {
@@ -239,9 +262,9 @@ func (nw *Network) Path(a, b NodeID) []*Node {
 		if next == nil {
 			return nil
 		}
-		cur = next.Peer().Node()
+		cur = next.farNode()
 		path = append(path, cur)
-		if len(path) > len(nw.nodes)+1 {
+		if len(path) > int(nw.maxID)+2 {
 			return nil
 		}
 	}

@@ -90,9 +90,11 @@ type Node struct {
 	ID   NodeID
 	Name string
 
-	net    *Network
-	ports  []*Port
-	routes []*Port // indexed by destination NodeID; nil = unreachable
+	net   *Network
+	ports []*Port
+	// rt is the shared route table built by ComputeRoutes; nil until
+	// routes are computed.
+	rt RouteTable
 
 	// Handler receives locally addressed packets.
 	Handler Handler
@@ -153,12 +155,14 @@ func (n *Node) AddHook(h ForwardHook) (remove func()) {
 type hookEntry struct{ h ForwardHook }
 
 // NextHop returns the port used to reach dst, or nil if unreachable.
-// Routes must have been computed (Network.ComputeRoutes).
+// Routes must have been computed (Network.ComputeRoutes or
+// Cluster.ComputeRoutes); the representation behind the lookup is the
+// network's RouteTable.
 func (n *Node) NextHop(dst NodeID) *Port {
-	if int(dst) >= len(n.routes) || dst < 0 {
+	if n.rt == nil {
 		return nil
 	}
-	return n.routes[dst]
+	return n.rt.NextHop(n, dst)
 }
 
 // PortTo returns the port directly connecting this node to neighbor,
@@ -210,6 +214,24 @@ func (n *Node) Send(p *Packet) {
 		return
 	}
 	n.forward(p, nil)
+}
+
+// Inject delivers p to this node as though it had just arrived from
+// the wire on port in, which must be one of n's ports. Flow-level
+// macro-agents use it to materialize an aggregated flow as a real
+// packet at the expansion boundary (the armed router or bottleneck)
+// instead of simulating every upstream hop. The packet is subject to
+// the normal arrival pipeline — ingress blocking, TTL decrement,
+// forwarding hooks. Inject stamps Born, fills a default TTL when
+// unset, and takes ownership of p (see the Packet ownership rule).
+//
+//hbplint:hotpath macro-agent expansion entry; aggregated flows materialize per-packet traffic here
+func (n *Node) Inject(p *Packet, in *Port) {
+	p.Born = n.net.Sim.Now()
+	if p.TTL == 0 {
+		p.TTL = DefaultTTL
+	}
+	n.receive(p, in)
 }
 
 // receive handles a packet arriving from the wire on port in.

@@ -58,6 +58,12 @@ type Params struct {
 	// Seed drives the generator; identical Params produce identical
 	// topologies.
 	Seed int64
+
+	// Routing selects the route-table representation (netsim.RouteMode)
+	// the built network computes. The zero value, RouteAuto, keeps
+	// small trees on the historical dense table; equivalence tests
+	// force RouteCompressed.
+	Routing netsim.RouteMode
 }
 
 // DefaultParams returns the Fig. 9-style configuration. The paper's
@@ -183,6 +189,7 @@ func NewTree(sim *des.Simulator, p Params) *Tree {
 	}
 	rng := des.NewRNG(p.Seed)
 	nw := netsim.New(sim)
+	nw.Routing = p.Routing
 	t := &Tree{
 		Net:    nw,
 		access: map[netsim.NodeID]*netsim.Node{},
@@ -270,13 +277,44 @@ func (t *Tree) DegreeHistogram() map[int]int {
 	return h
 }
 
-// HostWeights returns, for every router port on a leaf-to-server
+// HostWeightTable counts, for every router port on a leaf-to-server
 // path, the number of end hosts whose traffic toward the servers
-// enters through that port. Level-k-style weighted fair sharing
-// (internal/pushback WeightedShares) uses it to approximate the
-// per-host fairness plain Pushback lacks.
-func (t *Tree) HostWeights() map[*netsim.Port]float64 {
-	w := map[*netsim.Port]float64{}
+// enters through that port. It is keyed by (NodeID, port index)
+// rather than port pointer — two small integers — so the table costs
+// O(ports) flat slices instead of a pointer-keyed map, and any
+// iteration a caller performs over it is index-ordered, never
+// map-ordered.
+type HostWeightTable struct {
+	byNode [][]float64 // indexed by NodeID, then Port.Index
+}
+
+// At returns the host weight of a router port (0 when the port is on
+// no leaf-to-server path).
+func (t *HostWeightTable) At(pt *netsim.Port) float64 {
+	id := int(pt.Node().ID)
+	if id >= len(t.byNode) || pt.Index() >= len(t.byNode[id]) {
+		return 0
+	}
+	return t.byNode[id][pt.Index()]
+}
+
+// add increments the weight of pt, growing rows lazily.
+func (t *HostWeightTable) add(pt *netsim.Port) {
+	id := int(pt.Node().ID)
+	for id >= len(t.byNode) {
+		t.byNode = append(t.byNode, nil)
+	}
+	if t.byNode[id] == nil {
+		t.byNode[id] = make([]float64, pt.Node().Degree())
+	}
+	t.byNode[id][pt.Index()]++
+}
+
+// HostWeights returns the per-ingress-port host counts. Level-k-style
+// weighted fair sharing (internal/pushback WeightedShares) uses it to
+// approximate the per-host fairness plain Pushback lacks.
+func (t *Tree) HostWeights() *HostWeightTable {
+	w := &HostWeightTable{}
 	for _, leaf := range t.Leaves {
 		path := t.Net.Path(leaf.ID, t.ServerGW.ID)
 		for i := 0; i+1 < len(path); i++ {
@@ -284,7 +322,7 @@ func (t *Tree) HostWeights() map[*netsim.Port]float64 {
 			// leaf's server-bound traffic uses.
 			in := path[i+1].PortTo(path[i])
 			if in != nil {
-				w[in]++
+				w.add(in)
 			}
 		}
 	}

@@ -251,7 +251,7 @@ func TestHostWeightsConsistency(t *testing.T) {
 	w := tr.HostWeights()
 	// The gateway's ingress from Root carries every leaf.
 	in := tr.ServerGW.PortTo(tr.Root)
-	if got := w[in]; got != float64(p.Leaves) {
+	if got := w.At(in); got != float64(p.Leaves) {
 		t.Fatalf("gateway ingress weight %v, want %d", got, p.Leaves)
 	}
 	// Every leaf's own ingress port at its access router has weight
@@ -259,14 +259,14 @@ func TestHostWeightsConsistency(t *testing.T) {
 	for _, leaf := range tr.Leaves {
 		ar := tr.AccessRouter(leaf)
 		pt := ar.PortTo(leaf)
-		if w[pt] != 1 {
-			t.Fatalf("leaf ingress weight %v, want 1", w[pt])
+		if w.At(pt) != 1 {
+			t.Fatalf("leaf ingress weight %v, want 1", w.At(pt))
 		}
 	}
 	// Root's in-port weights over subtree ports sum to all leaves.
 	sum := 0.0
 	for _, pt := range tr.Root.Ports() {
-		sum += w[pt]
+		sum += w.At(pt)
 	}
 	if sum != float64(p.Leaves) {
 		t.Fatalf("root ingress weights sum %v, want %d", sum, p.Leaves)

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// portOracle expands every member at a fixed node, arriving on the
+// port facing the member's access side.
+type portOracle struct {
+	at   *netsim.Node
+	in   func(member netsim.NodeID) *netsim.Port
+	veto map[netsim.NodeID]bool
+}
+
+func (o *portOracle) Expand(member, dst netsim.NodeID) (*netsim.Node, *netsim.Port) {
+	if o.veto[member] {
+		return nil, nil
+	}
+	return o.at, o.in(member)
+}
+
+func newMacroRig(t testing.TB, nHosts int) (*rig, *MacroFlow, *portOracle) {
+	t.Helper()
+	r := newRig(t, 1, nHosts)
+	oracle := &portOracle{
+		at: r.hub,
+		in: func(m netsim.NodeID) *netsim.Port { return r.hub.PortTo(r.nw.Node(m)) },
+	}
+	members := make([]netsim.NodeID, 0, nHosts)
+	for _, h := range r.hosts {
+		members = append(members, h.ID)
+	}
+	mf := &MacroFlow{
+		Sim:     r.sim,
+		Members: members,
+		Rate:    1e5, // 100 kb/s aggregate
+		Size:    500, // -> 25 pkt/s total across all members
+		Dest:    func() netsim.NodeID { return r.servers[0].ID },
+		Oracle:  oracle,
+	}
+	return r, mf, oracle
+}
+
+func TestMacroFlowAggregateRate(t *testing.T) {
+	r, mf, _ := newMacroRig(t, 4)
+	perMember := map[netsim.NodeID]int{}
+	total := 0
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) {
+		total++
+		perMember[p.TrueSrc]++
+		if p.Src != p.TrueSrc {
+			t.Fatalf("unspoofed flow delivered Src %d != TrueSrc %d", p.Src, p.TrueSrc)
+		}
+	}
+	r.sim.At(0, func() { mf.Start() })
+	if err := r.sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	// The rate is aggregate: ~250 packets total regardless of the
+	// member count, round-robined so each member sends ~1/4.
+	if total < 248 || total > 252 {
+		t.Fatalf("delivered %d packets, want ~250 aggregate", total)
+	}
+	for _, h := range r.hosts {
+		if c := perMember[h.ID]; c < 55 || c > 70 {
+			t.Fatalf("member %v attributed %d of %d packets, want ~1/4", h, c, total)
+		}
+	}
+	// A packet emitted just before the horizon can still be in flight.
+	if mf.Sent < int64(total) || mf.Sent > int64(total)+2 {
+		t.Fatalf("Sent = %d, delivered %d", mf.Sent, total)
+	}
+	mf.Stop()
+	r.nw.Drain()
+	if n := r.nw.PacketsOutstanding(); n != 0 {
+		t.Fatalf("%d packets leaked", n)
+	}
+}
+
+func TestMacroFlowSpoofAndSkip(t *testing.T) {
+	r, mf, oracle := newMacroRig(t, 3)
+	const spoof = netsim.NodeID(9999)
+	mf.Source = func(member netsim.NodeID) netsim.NodeID { return spoof }
+	oracle.veto = map[netsim.NodeID]bool{r.hosts[1].ID: true}
+	seenVetoed := false
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) {
+		if p.Src != spoof {
+			t.Fatalf("Src = %d, want spoofed %d", p.Src, spoof)
+		}
+		if p.TrueSrc == r.hosts[1].ID {
+			seenVetoed = true
+		}
+	}
+	r.sim.At(0, func() { mf.Start() })
+	if err := r.sim.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if seenVetoed {
+		t.Fatal("oracle-vetoed member still materialized packets")
+	}
+	if mf.Skipped < 40 {
+		t.Fatalf("Skipped = %d, want ~1/3 of emissions", mf.Skipped)
+	}
+}
+
+func TestMacroFlowRemoveMember(t *testing.T) {
+	r, mf, _ := newMacroRig(t, 3)
+	removed := r.hosts[2].ID
+	var afterRemoval int
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) {
+		if r.sim.Now() > 5.01 && p.TrueSrc == removed {
+			afterRemoval++
+		}
+	}
+	r.sim.At(0, func() { mf.Start() })
+	r.sim.At(5, func() {
+		if !mf.RemoveMember(removed) {
+			t.Error("member not found")
+		}
+		if mf.RemoveMember(removed) {
+			t.Error("double removal succeeded")
+		}
+	})
+	if err := r.sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if afterRemoval > 0 {
+		t.Fatalf("removed member attributed %d packets after removal", afterRemoval)
+	}
+	if mf.Len() != 2 || !mf.Running() {
+		t.Fatalf("Len = %d Running = %v after one removal", mf.Len(), mf.Running())
+	}
+	mf.RemoveMember(r.hosts[0].ID)
+	mf.RemoveMember(r.hosts[1].ID)
+	if mf.Running() {
+		t.Fatal("flow still running with zero members")
+	}
+}
+
+func TestMacroFlowStopStartGeneration(t *testing.T) {
+	r, mf, _ := newMacroRig(t, 2)
+	received := 0
+	r.servers[0].Handler = func(p *netsim.Packet, in *netsim.Port) { received++ }
+	r.sim.At(0, func() { mf.Start() })
+	r.sim.At(1, func() { mf.Stop() })
+	r.sim.At(2, func() { mf.Start(); mf.Start() }) // double start is a no-op
+	r.sim.At(3, func() { mf.Stop() })
+	if err := r.sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	// Two 1-second windows at 25 pkt/s aggregate; stale ticks from the
+	// first generation must not leak into the second.
+	if received < 46 || received > 54 {
+		t.Fatalf("received %d, want ~50", received)
+	}
+	r.nw.Drain()
+	if n := r.nw.PacketsOutstanding(); n != 0 {
+		t.Fatalf("%d packets leaked", n)
+	}
+}
